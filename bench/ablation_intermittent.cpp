@@ -1,0 +1,117 @@
+// Ablation — intermittent-computing strategies vs the paper's proactive
+// energy management (Sec. I, refs [14-16]).
+//
+// Under blinking light, compares how much useful recognition work survives:
+// naive restart, Alpaca-style task atomicity, Hibernus-style checkpointing,
+// and the paper's approach — an energy manager that schedules around the
+// energy supply so brownouts (and their wasted re-execution) never happen.
+#include <memory>
+
+#include "bench_common.hpp"
+#include "core/energy_manager.hpp"
+#include "intermittent/executor.hpp"
+#include "regulator/switched_cap.hpp"
+
+namespace {
+
+using namespace hemp;
+using namespace hemp::literals;
+
+SocSystem make_soc() {
+  return SocSystem(SocConfig{}, std::make_unique<SwitchedCapRegulator>(),
+                   Processor::make_test_chip());
+}
+
+IrradianceTrace blinking() {
+  std::vector<IrradianceTrace::CloudEvent> blinks;
+  for (int i = 0; i < 8; ++i) {
+    blinks.push_back({Seconds(0.03 + i * 0.06), Seconds(0.022), 1.0});
+  }
+  return IrradianceTrace::clouds(1.0, std::move(blinks));
+}
+
+void print_figure() {
+  bench::header("Ablation", "intermittent strategies vs proactive scheduling");
+  const Seconds horizon = 0.5_s;
+  const TaskProgram program = TaskProgram::recognition_frame(32, 32);
+
+  bench::section("blinking light, 0.5 s horizon, 32x32 recognition frames");
+  std::printf("%-16s %10s %10s %12s %12s %10s\n", "strategy", "frames",
+              "failures", "wasted (M)", "ckpts", "restores");
+
+  for (auto strategy : {IntermittentStrategy::kRestart,
+                        IntermittentStrategy::kTaskAtomic,
+                        IntermittentStrategy::kCheckpoint}) {
+    IntermittentExecutorParams params;
+    params.strategy = strategy;
+    params.op = {0.5_V, 400.0_MHz};
+    IntermittentExecutor exec(program, params);
+    SocSystem soc = make_soc();
+    soc.run(blinking(), exec, horizon);
+    const auto& st = exec.stats();
+    std::printf("%-16s %10d %10d %12.2f %12d %10d\n",
+                to_string(strategy).c_str(), st.programs_completed,
+                st.power_failures, st.wasted_cycles / 1e6,
+                st.checkpoints_written, st.restores);
+  }
+
+  // The paper's world: the energy manager tracks the supply and submits each
+  // frame as a deadline job only when it can run; failures don't happen.
+  {
+    const PvCell cell = make_ixys_kxob22_cell();
+    const SwitchedCapRegulator reg;
+    const Processor proc = Processor::make_test_chip();
+    const SystemModel model(cell, reg, proc);
+    EnergyManager manager(model, EnergyManagerParams{});
+
+    class FrameFeeder : public SocController {
+     public:
+      FrameFeeder(EnergyManager& m, double cycles) : m_(m), cycles_(cycles) {}
+      void on_start(const SocState& s, SocCommand& c) override { m_.on_start(s, c); }
+      void on_tick(const SocState& s, SocCommand& c) override {
+        if (!m_.sprinting() && s.time >= next_) {
+          m_.submit({cycles_, Seconds(20e-3)});
+          next_ = s.time + Seconds(5e-3);
+        }
+        m_.on_tick(s, c);
+      }
+
+     private:
+      EnergyManager& m_;
+      double cycles_;
+      Seconds next_{0.0};
+    } feeder(manager, program.total_cycles());
+
+    SocSystem soc = make_soc();
+    const SimResult r = soc.run(blinking(), feeder, horizon);
+    std::printf("%-16s %10d %10d %12s %12s %10s   (+%d missed-by-plan)\n",
+                "managed (paper)", manager.jobs_completed(), r.totals.brownouts,
+                "~0", "-", "-", manager.jobs_missed());
+  }
+
+  bench::section("takeaway");
+  std::printf(
+      "  recovery mechanisms (restart/task/checkpoint) pay re-execution and\n"
+      "  NVM overhead after every failure; the paper's holistic manager\n"
+      "  avoids the failures themselves by scheduling against the harvest.\n");
+}
+
+void BM_TaskAtomicRun(benchmark::State& state) {
+  const TaskProgram program = TaskProgram::recognition_frame(32, 32);
+  for (auto _ : state) {
+    IntermittentExecutorParams params;
+    params.op = {Volts(0.5), Hertz(400e6)};
+    IntermittentExecutor exec(program, params);
+    SocSystem soc = make_soc();
+    benchmark::DoNotOptimize(
+        soc.run(IrradianceTrace::constant(1.0), exec, Seconds(20e-3)));
+  }
+}
+BENCHMARK(BM_TaskAtomicRun)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  return hemp::bench::run(argc, argv);
+}

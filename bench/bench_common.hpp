@@ -1,0 +1,46 @@
+// Shared helpers for the per-figure bench binaries.
+//
+// Every binary reproduces one figure of the paper: it prints the figure's
+// series (the same rows a plotting script would consume), prints a
+// paper-vs-measured comparison for the headline numbers, and registers
+// google-benchmark timings for the computational kernels involved.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+namespace hemp::bench {
+
+inline void header(const char* fig, const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s: %s\n", fig, title);
+  std::printf("================================================================\n");
+}
+
+inline void section(const char* name) { std::printf("\n--- %s ---\n", name); }
+
+/// One paper-vs-measured row for EXPERIMENTS.md.
+inline void report(const char* metric, const std::string& paper,
+                   const std::string& measured) {
+  std::printf("  %-46s paper: %-18s measured: %s\n", metric, paper.c_str(),
+              measured.c_str());
+}
+
+inline std::string fmt(const char* format, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, format, v);
+  return buf;
+}
+
+/// Prints the figure body (given as a callback) and then runs benchmarks.
+inline int run(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace hemp::bench

@@ -1,0 +1,85 @@
+// Fig. 2 — measured solar-cell I-V curves under variable light conditions.
+//
+// Reproduces the I-V family of the IXYS KX0B22-04X3F model across the named
+// light environments and checks the full-sun endpoints against the
+// calibration targets (Voc ~ 1.5 V, Isc ~ 15 mA).
+#include "bench_common.hpp"
+#include "harvester/iv_curve.hpp"
+#include "harvester/light_environment.hpp"
+#include "harvester/pv_cell.hpp"
+
+namespace {
+
+using namespace hemp;
+
+void print_figure() {
+  bench::header("Fig. 2", "solar cell I-V curves vs light condition");
+  const PvCell cell = make_ixys_kxob22_cell();
+
+  bench::section("I-V family (V, then one current column per condition, mA)");
+  const auto conditions = all_light_conditions();
+  std::printf("%8s", "V");
+  for (auto c : conditions) std::printf("%16s", to_string(c).c_str());
+  std::printf("\n");
+  for (double v = 0.0; v <= 1.5 + 1e-9; v += 0.1) {
+    std::printf("%8.2f", v);
+    for (auto c : conditions) {
+      std::printf("%16.3f",
+                  cell.current(Volts(v), irradiance_fraction(c)).value() * 1e3);
+    }
+    std::printf("\n");
+  }
+
+  bench::section("maximum power points");
+  for (auto c : conditions) {
+    const double g = irradiance_fraction(c);
+    const MaxPowerPoint mpp = find_mpp(cell, g);
+    std::printf("  %-14s MPP = %.3f V / %.2f mA -> %.2f mW (Voc %.3f V)\n",
+                to_string(c).c_str(), mpp.voltage.value(),
+                mpp.current.value() * 1e3, mpp.power.value() * 1e3,
+                cell.open_circuit_voltage(g).value());
+  }
+
+  bench::section("paper vs measured");
+  bench::report("full-sun Voc", "~1.5 V",
+                bench::fmt("%.3f V", cell.open_circuit_voltage(1.0).value()));
+  bench::report("full-sun Isc", "~15 mA (22% cell)",
+                bench::fmt("%.2f mA", cell.short_circuit_current(1.0).value() * 1e3));
+  bench::report("I-V droops with light", "sunlight >> indoor",
+                bench::fmt("indoor Isc = %.2f mA",
+                           cell.short_circuit_current(0.02).value() * 1e3));
+}
+
+void BM_CellCurrentEval(benchmark::State& state) {
+  const PvCell cell = make_ixys_kxob22_cell();
+  double v = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cell.current(Volts(0.2 + v), 1.0));
+    v = v < 1.0 ? v + 1e-4 : 0.0;
+  }
+}
+BENCHMARK(BM_CellCurrentEval);
+
+void BM_IvCurveSweep(benchmark::State& state) {
+  const PvCell cell = make_ixys_kxob22_cell();
+  for (auto _ : state) {
+    IvCurve curve(cell, 1.0, static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(curve.points().data());
+  }
+}
+BENCHMARK(BM_IvCurveSweep)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_FindMpp(benchmark::State& state) {
+  const PvCell cell = make_ixys_kxob22_cell();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(find_mpp(cell, 1.0));
+  }
+}
+BENCHMARK(BM_FindMpp);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  return hemp::bench::run(argc, argv);
+}

@@ -1,0 +1,54 @@
+// Fig. 3 — LDO efficiency vs output voltage (45% at 0.55 V in this work).
+#include "bench_common.hpp"
+#include "regulator/ldo.hpp"
+
+namespace {
+
+using namespace hemp;
+using namespace hemp::literals;
+
+void print_figure() {
+  bench::header("Fig. 3", "LDO efficiency vs output voltage");
+  const Ldo ldo;
+  const Volts vin = 1.2_V;
+  const Watts load = 5.0_mW;
+
+  bench::section("efficiency sweep (Vin = 1.2 V, 5 mW load)");
+  std::printf("%8s %12s\n", "Vout", "eta");
+  const VoltageRange range = ldo.output_range(vin);
+  for (double v = 0.2; v <= 1.0 + 1e-9; v += 0.05) {
+    if (!range.contains(Volts(v))) continue;
+    std::printf("%8.2f %11.1f%%\n", v, ldo.efficiency(vin, Volts(v), load) * 100);
+  }
+
+  bench::section("paper vs measured");
+  bench::report("eta at Vout = 0.55 V", "45%",
+                bench::fmt("%.1f%%", ldo.efficiency(vin, 0.55_V, load) * 100));
+  bench::report("eta shape", "linear in Vout (resistive division)",
+                bench::fmt("eta(0.3)/eta(0.6) = %.3f (ideal 0.5)",
+                           ldo.efficiency(vin, 0.3_V, load) /
+                               ldo.efficiency(vin, 0.6_V, load)));
+}
+
+void BM_LdoEfficiency(benchmark::State& state) {
+  const Ldo ldo;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ldo.efficiency(Volts(1.2), Volts(0.55), Watts(5e-3)));
+  }
+}
+BENCHMARK(BM_LdoEfficiency);
+
+void BM_LdoInputPowerInversion(benchmark::State& state) {
+  const Ldo ldo;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ldo.output_power(Volts(1.2), Volts(0.55), Watts(10e-3)));
+  }
+}
+BENCHMARK(BM_LdoInputPowerInversion);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  return hemp::bench::run(argc, argv);
+}

@@ -1,0 +1,61 @@
+// Fig. 4 — switched-capacitor regulator efficiency vs output voltage at full
+// (~10 mW) and half load (67% / 64% at 0.55 V in this work), with the 2:1,
+// 3:2 and 5:4 ratio configurations.
+#include "bench_common.hpp"
+#include "regulator/switched_cap.hpp"
+
+namespace {
+
+using namespace hemp;
+using namespace hemp::literals;
+
+void print_figure() {
+  bench::header("Fig. 4", "SC regulator efficiency, full vs half load");
+  const SwitchedCapRegulator sc;
+  const Volts vin = 1.2_V;
+
+  bench::section("efficiency sweep (Vin = 1.2 V)");
+  std::printf("%8s %12s %12s %8s\n", "Vout", "full(10mW)", "half(5mW)", "ratio");
+  const VoltageRange range = sc.output_range(vin);
+  for (double v = 0.25; v <= 1.0 + 1e-9; v += 0.05) {
+    if (!range.contains(Volts(v))) continue;
+    std::printf("%8.2f %11.1f%% %11.1f%%  1/%.2f\n", v,
+                sc.efficiency(vin, Volts(v), 10.0_mW) * 100,
+                sc.efficiency(vin, Volts(v), 5.0_mW) * 100,
+                1.0 / sc.active_ratio(vin, Volts(v)));
+  }
+
+  bench::section("paper vs measured");
+  bench::report("full-load eta at 0.55 V", "67%",
+                bench::fmt("%.1f%%", sc.efficiency(vin, 0.55_V, 10.0_mW) * 100));
+  bench::report("half-load eta at 0.55 V", "64%",
+                bench::fmt("%.1f%%", sc.efficiency(vin, 0.55_V, 5.0_mW) * 100));
+  bench::report("multiple configs needed for range", "2:1, 3:2, 5:4",
+                bench::fmt("%.0f ratios modeled",
+                           static_cast<double>(sc.params().ratios.size())));
+}
+
+void BM_ScEfficiency(benchmark::State& state) {
+  const SwitchedCapRegulator sc;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sc.efficiency(Volts(1.2), Volts(0.55), Watts(10e-3)));
+  }
+}
+BENCHMARK(BM_ScEfficiency);
+
+void BM_ScRatioSelection(benchmark::State& state) {
+  const SwitchedCapRegulator sc;
+  double v = 0.25;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sc.active_ratio(Volts(1.2), Volts(v)));
+    v = v < 0.9 ? v + 1e-3 : 0.25;
+  }
+}
+BENCHMARK(BM_ScRatioSelection);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  return hemp::bench::run(argc, argv);
+}

@@ -1,0 +1,58 @@
+// Fig. 5 — fully integrated buck regulator efficiency vs output voltage at
+// full and half load (63% / 58% at 0.55 V in this work; 40-75% across the
+// 0.3-0.8 V test-chip range).
+#include "bench_common.hpp"
+#include "regulator/buck.hpp"
+
+namespace {
+
+using namespace hemp;
+using namespace hemp::literals;
+
+void print_figure() {
+  bench::header("Fig. 5", "buck regulator efficiency, full vs half load");
+  const BuckRegulator buck;
+  const Volts vin = 1.2_V;
+
+  bench::section("efficiency sweep (Vin = 1.2 V)");
+  std::printf("%8s %12s %12s\n", "Vout", "full(10mW)", "half(5mW)");
+  double eta_min = 1.0, eta_max = 0.0;
+  for (int i = 0; i <= 10; ++i) {
+    const double v = 0.3 + 0.05 * i;
+    const double full = buck.efficiency(vin, Volts(v), 10.0_mW);
+    const double half = buck.efficiency(vin, Volts(v), 5.0_mW);
+    for (double p = 2e-3; p <= 18e-3; p += 2e-3) {
+      const double eta = buck.efficiency(vin, Volts(v), Watts(p));
+      eta_min = std::min(eta_min, eta);
+      eta_max = std::max(eta_max, eta);
+    }
+    std::printf("%8.2f %11.1f%% %11.1f%%\n", v, full * 100, half * 100);
+  }
+
+  bench::section("paper vs measured");
+  bench::report("full-load eta at 0.55 V", "63%",
+                bench::fmt("%.1f%%", buck.efficiency(vin, 0.55_V, 10.0_mW) * 100));
+  bench::report("half-load eta at 0.55 V", "58%",
+                bench::fmt("%.1f%%", buck.efficiency(vin, 0.55_V, 5.0_mW) * 100));
+  bench::report("eta envelope across V and load", "40% ~ 75%",
+                bench::fmt("%.0f%%", eta_min * 100) + " ~ " +
+                    bench::fmt("%.0f%%", eta_max * 100));
+  bench::report("output range (Sec. VII chip)", "0.3 - 0.8 V",
+                bench::fmt("%.1f", buck.output_range(vin).min.value()) + " - " +
+                    bench::fmt("%.1f V", buck.output_range(vin).max.value()));
+}
+
+void BM_BuckEfficiency(benchmark::State& state) {
+  const BuckRegulator buck;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(buck.efficiency(Volts(1.2), Volts(0.55), Watts(10e-3)));
+  }
+}
+BENCHMARK(BM_BuckEfficiency);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  return hemp::bench::run(argc, argv);
+}

@@ -1,0 +1,69 @@
+// Fig. 6a — power-voltage curves of the PV module and the microprocessor at
+// maximum speed, with the MPP and the unregulated intersection point marked.
+#include "bench_common.hpp"
+#include "core/perf_optimizer.hpp"
+#include "regulator/switched_cap.hpp"
+
+namespace {
+
+using namespace hemp;
+
+void print_figure() {
+  bench::header("Fig. 6a", "solar P-V vs processor max-speed load line");
+  const PvCell cell = make_ixys_kxob22_cell();
+  const SwitchedCapRegulator sc;
+  const Processor proc = Processor::make_test_chip();
+  const SystemModel model(cell, sc, proc);
+  const PerformanceOptimizer opt(model);
+
+  bench::section("power curves (mW)");
+  std::printf("%8s %14s %14s\n", "V", "solar(full)", "uP(max speed)");
+  for (double v = 0.2; v <= 1.4 + 1e-9; v += 0.05) {
+    const double p_solar = cell.power(Volts(v), 1.0).value() * 1e3;
+    double p_proc = -1.0;
+    if (v <= proc.max_voltage().value()) {
+      p_proc = proc.max_power(Volts(v)).value() * 1e3;
+    }
+    if (p_proc >= 0.0) {
+      std::printf("%8.2f %14.2f %14.2f\n", v, p_solar, p_proc);
+    } else {
+      std::printf("%8.2f %14.2f %14s\n", v, p_solar, "-");
+    }
+  }
+
+  const MaxPowerPoint mpp = find_mpp(cell, 1.0);
+  const PerfPoint unreg = opt.unregulated(1.0);
+  bench::section("marked points");
+  std::printf("  MPP from PV module:            %.3f V / %.2f mW\n",
+              mpp.voltage.value(), mpp.power.value() * 1e3);
+  std::printf("  max performance (unregulated): %.3f V / %.2f mW / %.0f MHz\n",
+              unreg.vdd.value(), unreg.processor_power.value() * 1e3,
+              unreg.frequency.value() / 1e6);
+
+  bench::section("paper vs measured");
+  bench::report("unregulated point sits far below MPP voltage", "yes (Fig. 6a)",
+                bench::fmt("%.2f V", unreg.vdd.value()) + " vs " +
+                    bench::fmt("%.2f V MPP", mpp.voltage.value()));
+  bench::report("incoming power significantly reduced", "yes",
+                bench::fmt("%.0f%% of MPP power",
+                           unreg.harvested_power.value() / mpp.power.value() * 100));
+}
+
+void BM_UnregulatedIntersection(benchmark::State& state) {
+  const PvCell cell = make_ixys_kxob22_cell();
+  const SwitchedCapRegulator sc;
+  const Processor proc = Processor::make_test_chip();
+  const SystemModel model(cell, sc, proc);
+  const PerformanceOptimizer opt(model);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opt.unregulated(1.0));
+  }
+}
+BENCHMARK(BM_UnregulatedIntersection);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  return hemp::bench::run(argc, argv);
+}

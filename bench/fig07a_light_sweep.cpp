@@ -1,0 +1,81 @@
+// Fig. 7a — regulated output power vs raw solar under 100% / 50% / 25% light:
+// the regulator wins big under strong light but loses below ~25%, where the
+// bypass path delivers more (the paper's low-light rule).
+#include "bench_common.hpp"
+#include "core/regulator_selector.hpp"
+#include "regulator/switched_cap.hpp"
+
+namespace {
+
+using namespace hemp;
+
+void print_figure() {
+  bench::header("Fig. 7a", "regulator output vs raw solar across light levels");
+  const PvCell cell = make_ixys_kxob22_cell();
+  const SwitchedCapRegulator sc;
+  const Processor proc = Processor::make_test_chip();
+  const SystemModel model(cell, sc, proc);
+  const RegulatorSelector selector(model);
+
+  bench::section("regulated output power vs Vdd per light level (mW)");
+  std::printf("%8s %12s %12s %12s\n", "Vdd", "G=1.00", "G=0.50", "G=0.25");
+  for (double v = 0.3; v <= 0.75 + 1e-9; v += 0.05) {
+    std::printf("%8.2f %12.2f %12.2f %12.2f\n", v,
+                model.delivered_power(Volts(v), 1.0).value() * 1e3,
+                model.delivered_power(Volts(v), 0.5).value() * 1e3,
+                model.delivered_power(Volts(v), 0.25).value() * 1e3);
+  }
+
+  bench::section("path decision per light level");
+  for (double g : {1.0, 0.5, 0.25, 0.12}) {
+    const PathDecision d = selector.decide(g);
+    std::printf("  G=%.2f: regulated %.2f mW vs raw %.2f mW -> %s (%+.0f%%)\n", g,
+                d.regulated.processor_power.value() * 1e3,
+                d.unregulated.processor_power.value() * 1e3,
+                d.use_regulator ? "regulate" : "bypass",
+                d.regulator_advantage * 100);
+  }
+
+  bench::section("paper vs measured");
+  bench::report("gain at 100% / 50% light", "+30~40%", [&] {
+    const double a = selector.decide(1.0).regulator_advantage * 100;
+    const double b = selector.decide(0.5).regulator_advantage * 100;
+    return bench::fmt("%+.0f%% /", a) + bench::fmt(" %+.0f%%", b);
+  }());
+  bench::report("at 25% light regulator under-delivers", "~-20%",
+                bench::fmt("%+.0f%%", selector.decide(0.25).regulator_advantage * 100));
+  const auto cross = selector.crossover_irradiance();
+  bench::report("bypass crossover light level", "~25% of full sun",
+                cross ? bench::fmt("%.0f%%", *cross * 100) : "none found");
+}
+
+void BM_PathDecision(benchmark::State& state) {
+  const PvCell cell = make_ixys_kxob22_cell();
+  const SwitchedCapRegulator sc;
+  const Processor proc = Processor::make_test_chip();
+  const SystemModel model(cell, sc, proc);
+  const RegulatorSelector selector(model);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selector.decide(0.5));
+  }
+}
+BENCHMARK(BM_PathDecision);
+
+void BM_CrossoverSearch(benchmark::State& state) {
+  const PvCell cell = make_ixys_kxob22_cell();
+  const SwitchedCapRegulator sc;
+  const Processor proc = Processor::make_test_chip();
+  const SystemModel model(cell, sc, proc);
+  const RegulatorSelector selector(model);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selector.crossover_irradiance());
+  }
+}
+BENCHMARK(BM_CrossoverSearch);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  return hemp::bench::run(argc, argv);
+}

@@ -1,0 +1,90 @@
+// Fig. 9a — energy vs completion time: the source-side energy a job needs
+// (Eq. 10, falling with T) against the energy the harvester + capacitor can
+// offer (Eq. 11, rising with T).  Their intersection is the fastest feasible
+// completion time.
+#include "bench_common.hpp"
+#include "core/sprint_scheduler.hpp"
+#include "regulator/buck.hpp"
+
+namespace {
+
+using namespace hemp;
+using namespace hemp::literals;
+
+void print_figure() {
+  bench::header("Fig. 9a", "required vs available energy vs completion time");
+  const PvCell cell = make_ixys_kxob22_cell();
+  const BuckRegulator buck;
+  const Processor proc = Processor::make_test_chip();
+  const SystemModel model(cell, buck, proc);
+  const SprintScheduler scheduler(model);
+
+  // One 64x64 recognition frame under full sun with a part-charged cap.
+  const double cycles = 9.65e6;
+  const double g = 1.0;
+  const Joules cap = capacitor_energy(47.0_uF, 1.2_V) - capacitor_energy(47.0_uF, 0.9_V);
+
+  bench::section("energy curves (uJ) vs completion time");
+  std::printf("%10s %14s %14s\n", "T (ms)", "Eout(need)", "Ein(have)");
+  for (double t_ms = 8.0; t_ms <= 30.0 + 1e-9; t_ms += 1.0) {
+    const Seconds t(t_ms * 1e-3);
+    const double need = scheduler.required_source_energy(cycles, t, g).value();
+    const double have = scheduler.available_energy(t, g, cap).value();
+    if (std::isfinite(need)) {
+      std::printf("%10.1f %14.2f %14.2f\n", t_ms, need * 1e6, have * 1e6);
+    } else {
+      std::printf("%10.1f %14s %14.2f\n", t_ms, "inf", have * 1e6);
+    }
+  }
+
+  const auto t_min = scheduler.min_completion_time(cycles, g, cap);
+  bench::section("paper vs measured");
+  bench::report("curves intersect at the completion time", "yes (Fig. 9a)",
+                t_min ? bench::fmt("T* = %.2f ms", t_min->value() * 1e3)
+                      : "no intersection");
+  if (t_min) {
+    const double need = scheduler.required_source_energy(cycles, *t_min, g).value();
+    const double have = scheduler.available_energy(*t_min, g, cap).value();
+    bench::report("need == have at T*", "by construction",
+                  bench::fmt("%.3f", need / have));
+    // Pushing faster needs disproportionately more energy (E ~ 1/T^2 trend).
+    const Seconds t_fast(t_min->value() * 0.8);
+    const double need_fast =
+        scheduler.required_source_energy(cycles, t_fast, g).value();
+    bench::report("20% faster completion costs", "superlinear energy",
+                  bench::fmt("%+.0f%% energy", (need_fast / need - 1.0) * 100));
+  }
+}
+
+void BM_RequiredEnergy(benchmark::State& state) {
+  const PvCell cell = make_ixys_kxob22_cell();
+  const BuckRegulator buck;
+  const Processor proc = Processor::make_test_chip();
+  const SystemModel model(cell, buck, proc);
+  const SprintScheduler scheduler(model);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        scheduler.required_source_energy(9.65e6, Seconds(15e-3), 1.0));
+  }
+}
+BENCHMARK(BM_RequiredEnergy);
+
+void BM_MinCompletionTime(benchmark::State& state) {
+  const PvCell cell = make_ixys_kxob22_cell();
+  const BuckRegulator buck;
+  const Processor proc = Processor::make_test_chip();
+  const SystemModel model(cell, buck, proc);
+  const SprintScheduler scheduler(model);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        scheduler.min_completion_time(9.65e6, 1.0, Joules(25e-6)));
+  }
+}
+BENCHMARK(BM_MinCompletionTime);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  return hemp::bench::run(argc, argv);
+}

@@ -1,0 +1,78 @@
+// Fig. 11a — measured system characteristics of the 65 nm test chip: clock
+// frequency, leakage / dynamic / regulator energy contributions vs voltage,
+// with the conventional MEP and the regulator-aware MEP marked.
+#include "bench_common.hpp"
+#include "core/mep_optimizer.hpp"
+#include "regulator/buck.hpp"
+
+namespace {
+
+using namespace hemp;
+
+void print_figure() {
+  bench::header("Fig. 11a", "chip speed and energy contributions vs voltage");
+  const PvCell cell = make_ixys_kxob22_cell();
+  const BuckRegulator buck;  // the Sec. VII chip integrates the buck
+  const Processor proc = Processor::make_test_chip();
+  const SystemModel model(cell, buck, proc);
+  const MepOptimizer mep(model);
+
+  bench::section("speed and energy breakdown vs Vdd");
+  std::printf("%8s %10s %12s %12s %14s\n", "Vdd", "f (MHz)", "Edyn (pJ)",
+              "Eleak (pJ)", "Esource (pJ)");
+  for (double v = 0.22; v <= 1.0 + 1e-9; v += 0.04) {
+    const Volts vdd(v);
+    const Hertz f = proc.max_frequency(vdd);
+    const double e_dyn =
+        proc.power_model().dynamic_energy_per_cycle(vdd).value() * 1e12;
+    const double e_leak =
+        proc.power_model().leakage_energy_per_cycle(vdd, f).value() * 1e12;
+    const double e_src = mep.source_energy_per_cycle(vdd, 1.0).value() * 1e12;
+    if (std::isfinite(e_src)) {
+      std::printf("%8.2f %10.0f %12.2f %12.2f %14.2f\n", v, f.value() / 1e6,
+                  e_dyn, e_leak, e_src);
+    } else {
+      std::printf("%8.2f %10.0f %12.2f %12.2f %14s\n", v, f.value() / 1e6, e_dyn,
+                  e_leak, "-");
+    }
+  }
+
+  bench::section("paper vs measured");
+  bench::report("peak frequency near 1 V", "~1.2 GHz (Fig. 11a right axis)",
+                bench::fmt("%.2f GHz", proc.max_frequency(Volts(1.0)).value() / 1e9));
+  const auto conv = mep.conventional();
+  const auto hol = mep.holistic(1.0);
+  bench::report("conventional MEP", "low-V minimum of Edyn+Eleak",
+                bench::fmt("%.2f V", conv.vdd.value()));
+  bench::report("MEP w/ regulator sits higher", "yes (Fig. 11a annotation)",
+                bench::fmt("%.2f V", hol.vdd.value()));
+  bench::report("leakage dominates below MEP", "yes", [&] {
+    const Volts v(conv.vdd.value() - 0.08);
+    const Hertz f = proc.max_frequency(v);
+    const double dyn = proc.power_model().dynamic_energy_per_cycle(v).value();
+    const double leak =
+        proc.power_model().leakage_energy_per_cycle(v, f).value();
+    return bench::fmt("Eleak/Edyn = %.1f at ", leak / dyn) +
+           bench::fmt("%.2f V", v.value());
+  }());
+}
+
+void BM_EnergyBreakdownSweep(benchmark::State& state) {
+  const Processor proc = Processor::make_test_chip();
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (double v = 0.22; v <= 1.0; v += 0.01) {
+      const Hertz f = proc.max_frequency(Volts(v));
+      acc += proc.power_model().energy_per_cycle(Volts(v), f).value();
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_EnergyBreakdownSweep);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  return hemp::bench::run(argc, argv);
+}

@@ -1,0 +1,89 @@
+// Battery-powered vs battery-less operation (the paper's Sec. I motivation).
+//
+// The same recognition workload runs two ways: from a 1 mAh battery through
+// the Cho-style battery-aware DP scheduler, and from the solar harvester
+// through the paper's holistic energy manager.  The battery node is cheaper
+// per frame while it lasts — and then it is dead.
+#include <cstdio>
+#include <memory>
+
+#include "battery/dp_scheduler.hpp"
+#include "core/energy_manager.hpp"
+#include "imgproc/pipeline.hpp"
+#include "regulator/switched_cap.hpp"
+#include "sim/soc_system.hpp"
+
+int main() {
+  using namespace hemp;
+  using namespace hemp::literals;
+
+  const double frame_cycles =
+      RecognitionPipeline::make_test_chip_pipeline().frame_cycles(64, 64);
+  const Seconds frame_deadline = 30.0_ms;
+
+  // --- Battery world: DP scheduling over (regulator, DVFS). ------------------
+  const Battery battery;  // 1 mAh NiMH-class cell
+  const RegulatorBank bank = RegulatorBank::paper_bank(false);
+  const Processor proc = Processor::make_test_chip();
+  const BatteryDpScheduler dp(battery, bank, proc);
+
+  const BatterySchedule per_frame = dp.schedule(frame_cycles, frame_deadline);
+  std::printf("=== Battery node (1 mAh cell, battery-aware DP) ===\n");
+  if (per_frame.feasible) {
+    const double uc = per_frame.charge_drawn.value() * 1e6;
+    const double frames = battery.params().capacity.value() /
+                          per_frame.charge_drawn.value();
+    std::printf("charge per frame:   %.1f uC\n", uc);
+    std::printf("frames per battery: %.0f (then the node is dead)\n", frames);
+    const BatterySchedule fixed =
+        dp.fixed_configuration(frame_cycles, frame_deadline);
+    if (fixed.feasible) {
+      std::printf("DP vs fixed config: %.1f%% charge saved\n",
+                  (1.0 - per_frame.charge_drawn.value() /
+                             fixed.charge_drawn.value()) * 100);
+    }
+  } else {
+    std::printf("frame infeasible from this battery\n");
+  }
+
+  // --- Harvesting world: the paper's holistic manager. ------------------------
+  std::printf("\n=== Battery-less node (solar + holistic manager) ===\n");
+  const PvCell cell = make_ixys_kxob22_cell();
+  const SwitchedCapRegulator sc;
+  const SystemModel model(cell, sc, proc);
+  EnergyManager manager(model, EnergyManagerParams{});
+
+  class Feeder : public SocController {
+   public:
+    Feeder(EnergyManager& m, double cycles, Seconds deadline)
+        : m_(m), cycles_(cycles), deadline_(deadline) {}
+    void on_start(const SocState& s, SocCommand& c) override { m_.on_start(s, c); }
+    void on_tick(const SocState& s, SocCommand& c) override {
+      if (!m_.sprinting() && s.time >= next_) {
+        m_.submit({cycles_, deadline_});
+        next_ = s.time + Seconds(60e-3);
+      }
+      m_.on_tick(s, c);
+    }
+
+   private:
+    EnergyManager& m_;
+    double cycles_;
+    Seconds deadline_;
+    Seconds next_{0.0};
+  } feeder(manager, frame_cycles, frame_deadline);
+
+  SocSystem soc(SocConfig{}, std::make_unique<SwitchedCapRegulator>(),
+                Processor::make_test_chip());
+  const SimResult r = soc.run(IrradianceTrace::constant(0.8), feeder, 1.0_s);
+  std::printf("frames in 1 s of 80%% sun: %d (missed: %d)\n",
+              manager.jobs_completed(), manager.jobs_missed());
+  std::printf("energy harvested:         %.2f mJ\n",
+              r.totals.harvested.value() * 1e3);
+  std::printf("frames per battery:       unlimited while lit\n");
+
+  std::printf("\nThe battery node wins on per-frame overhead; the harvesting\n"
+              "node wins on lifetime — the paper's case for making the\n"
+              "battery-less system as efficient as possible.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// A full day in the life of the battery-less node, via the quasi-static
+// envelope simulator: diurnal light with afternoon clouds, hour-by-hour
+// harvest and throughput, comparing max-performance and min-energy policies.
+#include <cstdio>
+
+#include "core/envelope.hpp"
+#include "imgproc/pipeline.hpp"
+#include "regulator/switched_cap.hpp"
+
+int main() {
+  using namespace hemp;
+
+  const PvCell cell = make_ixys_kxob22_cell();
+  const SwitchedCapRegulator reg;
+  const Processor proc = Processor::make_test_chip();
+  const SystemModel model(cell, reg, proc);
+  const EnvelopeSimulator sim(model);
+
+  // A day: sun up 06:00-18:00, heavy clouds 13:00-15:00.
+  const double hour = 3600.0;
+  auto day_profile = [&](Seconds t) {
+    const auto base = IrradianceTrace::diurnal(1.0, Seconds(6 * hour),
+                                               Seconds(18 * hour));
+    double g = base.at(t);
+    if (t.value() >= 13 * hour && t.value() < 15 * hour) g *= 0.2;
+    return g;
+  };
+  const IrradianceTrace day(day_profile, "diurnal with afternoon clouds");
+
+  EnvelopeParams params;
+  params.step = Seconds(30.0);
+
+  const double frame_cycles =
+      RecognitionPipeline::make_test_chip_pipeline().frame_cycles(64, 64);
+
+  std::printf("=== One day of battery-less operation ===\n\n");
+  std::printf("%8s %8s %12s %14s\n", "policy", "lit (h)", "harvest (J)",
+              "frames / day");
+  for (auto policy : {EnvelopePolicy::kMaxPerformance, EnvelopePolicy::kMinEnergy}) {
+    params.policy = policy;
+    const EnvelopeResult r = sim.run(day, Seconds(24 * hour), params);
+    std::printf("%8s %8.1f %12.1f %14.0f\n",
+                policy == EnvelopePolicy::kMaxPerformance ? "perf" : "eco",
+                r.lit_time.value() / hour, r.harvested.value(),
+                r.cycles / frame_cycles);
+  }
+
+  // Hour-by-hour breakdown for the performance policy.
+  params.policy = EnvelopePolicy::kMaxPerformance;
+  std::printf("\nhour-by-hour (perf policy):\n");
+  std::printf("%6s %8s %12s %12s\n", "hour", "G", "f (MHz)", "Vdd");
+  const EnvelopeResult r = sim.run(day, Seconds(24 * hour), params);
+  for (int h = 0; h < 24; h += 2) {
+    // Find the trace sample nearest this hour.
+    const double target = h * hour + 1800.0;
+    const EnvelopeSample* best = &r.trace.front();
+    for (const auto& s : r.trace) {
+      if (std::abs(s.time.value() - target) <
+          std::abs(best->time.value() - target)) {
+        best = &s;
+      }
+    }
+    std::printf("%6d %8.2f %12.0f %11.2fV\n", h, best->irradiance,
+                best->frequency.value() / 1e6, best->vdd.value());
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+#include "battery/battery.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace hemp {
+
+void BatteryParams::validate() const {
+  HEMP_REQUIRE(capacity.value() > 0.0, "Battery: capacity must be positive");
+  HEMP_REQUIRE(ocv_curve.size() >= 2, "Battery: need >= 2 OCV points");
+  HEMP_REQUIRE(ocv_curve.front().first == 0.0 && ocv_curve.back().first == 1.0,
+               "Battery: OCV curve must span SoC [0, 1]");
+  for (const auto& [soc, v] : ocv_curve) {
+    HEMP_REQUIRE(v > 0.0, "Battery: OCV must be positive");
+  }
+  HEMP_REQUIRE(internal_resistance.value() >= 0.0,
+               "Battery: internal resistance must be non-negative");
+  HEMP_REQUIRE(cutoff.value() > 0.0, "Battery: cutoff must be positive");
+}
+
+Battery::Battery(const BatteryParams& params, double initial_soc)
+    : params_(params), ocv_(params.ocv_curve), soc_(initial_soc) {
+  params_.validate();
+  HEMP_REQUIRE(initial_soc >= 0.0 && initial_soc <= 1.0,
+               "Battery: initial SoC must be in [0, 1]");
+}
+
+Volts Battery::open_circuit_voltage() const { return open_circuit_voltage(soc_); }
+
+Volts Battery::open_circuit_voltage(double soc) const {
+  HEMP_CHECK_RANGE(soc >= 0.0 && soc <= 1.0, "Battery: SoC out of range");
+  return Volts(ocv_(soc));
+}
+
+Volts Battery::terminal_voltage(Amps i) const {
+  HEMP_CHECK_RANGE(i.value() >= 0.0, "Battery: negative load current");
+  const double v = open_circuit_voltage().value() -
+                   i.value() * params_.internal_resistance.value();
+  return Volts(std::max(v, 0.0));
+}
+
+bool Battery::can_supply(Amps i) const {
+  return soc_ > 0.0 && terminal_voltage(i) >= params_.cutoff;
+}
+
+Coulombs Battery::discharge(Amps i, Seconds dt) {
+  HEMP_CHECK_RANGE(i.value() >= 0.0, "Battery: cannot charge this model");
+  HEMP_CHECK_RANGE(dt.value() >= 0.0, "Battery: negative time step");
+  const Volts v = terminal_voltage(i);
+  const double q_wanted = i.value() * dt.value();
+  const double q_avail = params_.capacity.value() * soc_;
+  const double q = std::min(q_wanted, q_avail);
+  soc_ -= q / params_.capacity.value();
+  energy_delivered_ += Joules(v.value() * q);
+  return Coulombs(q);
+}
+
+}  // namespace hemp

@@ -1,0 +1,242 @@
+#include "battery/dp_scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace hemp {
+
+void DpSchedulerParams::validate() const {
+  HEMP_REQUIRE(time_slots >= 2, "DpScheduler: need >= 2 time slots");
+  HEMP_REQUIRE(cycle_buckets >= 4, "DpScheduler: need >= 4 cycle buckets");
+  HEMP_REQUIRE(dvfs_levels >= 2, "DpScheduler: need >= 2 DVFS levels");
+}
+
+BatteryDpScheduler::BatteryDpScheduler(const Battery& battery,
+                                       const RegulatorBank& bank,
+                                       const Processor& processor,
+                                       const DpSchedulerParams& params)
+    : battery_(&battery), bank_(&bank), processor_(&processor), params_(params) {
+  params_.validate();
+}
+
+std::vector<BatteryDpScheduler::Config> BatteryDpScheduler::enumerate_configs() const {
+  std::vector<Config> configs;
+  const Processor& proc = *processor_;
+  const double v_lo = proc.min_voltage().value();
+  const double v_hi = std::min(proc.max_voltage().value(), 0.9);
+  for (int i = 0; i < params_.dvfs_levels; ++i) {
+    const Volts v(v_lo + (v_hi - v_lo) * i / (params_.dvfs_levels - 1));
+    const OperatingPoint op{v, proc.max_frequency(v)};
+    // One config per regulator, skipping the bypass switch (the direct
+    // connection is modeled explicitly below).
+    for (std::size_t r = 0; r < bank_->size(); ++r) {
+      const Regulator& reg = bank_->at(r);
+      if (reg.kind() == RegulatorKind::kBypass) continue;
+      configs.push_back({&reg, op});
+    }
+    // Direct battery connection: Vdd follows the terminal voltage; the level
+    // only caps the clock.
+    configs.push_back({nullptr, op});
+  }
+  return configs;
+}
+
+std::optional<BatteryDpScheduler::SlotCost> BatteryDpScheduler::slot_cost(
+    const Config& config, double charge_drawn) const {
+  const Battery& bat = *battery_;
+  const Processor& proc = *processor_;
+  const double cap = bat.params().capacity.value();
+  const double soc = bat.state_of_charge() - charge_drawn / cap;
+  if (soc <= 0.0) return std::nullopt;
+  const double ocv = bat.open_circuit_voltage(soc).value();
+  const double r_int = bat.params().internal_resistance.value();
+  const double cutoff = bat.params().cutoff.value();
+
+  double vterm = ocv;
+  double current = 0.0;
+  Hertz f_eff{0.0};
+  Volts vdd{0.0};
+  // Fixed-point for the IR-drop-coupled load (converges in a few rounds).
+  for (int iter = 0; iter < 8; ++iter) {
+    vterm = ocv - current * r_int;
+    if (vterm < cutoff) return std::nullopt;
+    if (config.regulator != nullptr) {
+      vdd = config.op.vdd;
+      if (!config.regulator->supports(Volts(vterm), vdd)) return std::nullopt;
+      f_eff = config.op.frequency;
+      const Watts pout = proc.power_model().total_power(vdd, f_eff);
+      if (pout > config.regulator->rated_load()) return std::nullopt;
+      const double eta = config.regulator->efficiency(Volts(vterm), vdd, pout);
+      if (eta <= 0.0) return std::nullopt;
+      current = pout.value() / eta / vterm;
+    } else {
+      // Direct connection: the rail IS the battery terminal.
+      if (vterm > proc.max_voltage().value() ||
+          vterm < proc.min_voltage().value()) {
+        return std::nullopt;
+      }
+      vdd = Volts(vterm);
+      f_eff = Hertz(std::min(config.op.frequency.value(),
+                             proc.max_frequency(vdd).value()));
+      const Watts p = proc.power_model().total_power(vdd, f_eff);
+      current = p.value() / vterm;
+    }
+  }
+  return SlotCost{Amps(current), f_eff, vdd};
+}
+
+BatterySchedule BatteryDpScheduler::schedule(double cycles, Seconds deadline) const {
+  HEMP_CHECK_RANGE(cycles > 0.0, "DpScheduler: non-positive cycle count");
+  HEMP_CHECK_RANGE(deadline.value() > 0.0, "DpScheduler: non-positive deadline");
+  const int K = params_.time_slots;
+  const int C = params_.cycle_buckets;
+  const double dt = deadline.value() / K;
+  const double cycles_per_bucket = cycles / C;
+  const std::vector<Config> configs = enumerate_configs();
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // value[k][c] = min charge drawn after k slots with c buckets retired.
+  std::vector<std::vector<double>> value(K + 1, std::vector<double>(C + 1, kInf));
+  // parent[k][c] = (config index or -1 for idle) chosen to arrive here.
+  std::vector<std::vector<int>> parent(K + 1, std::vector<int>(C + 1, -2));
+  std::vector<std::vector<int>> from(K + 1, std::vector<int>(C + 1, -1));
+  value[0][0] = 0.0;
+
+  for (int k = 0; k < K; ++k) {
+    for (int c = 0; c <= C; ++c) {
+      const double q0 = value[k][c];
+      if (!std::isfinite(q0)) continue;
+      // Idle slot (power-gated).
+      if (q0 < value[k + 1][c]) {
+        value[k + 1][c] = q0;
+        parent[k + 1][c] = -1;
+        from[k + 1][c] = c;
+      }
+      if (c == C) continue;  // job finished: idle through the tail
+      for (std::size_t i = 0; i < configs.size(); ++i) {
+        const auto cost = slot_cost(configs[i], q0);
+        if (!cost) continue;
+        const int gained =
+            static_cast<int>(cost->frequency.value() * dt / cycles_per_bucket);
+        if (gained <= 0) continue;
+        const int c2 = std::min(c + gained, C);
+        const double q2 = q0 + cost->current.value() * dt;
+        if (q2 < value[k + 1][c2]) {
+          value[k + 1][c2] = q2;
+          parent[k + 1][c2] = static_cast<int>(i);
+          from[k + 1][c2] = c;
+        }
+      }
+    }
+  }
+
+  BatterySchedule out;
+  out.slot_length = Seconds(dt);
+  if (!std::isfinite(value[K][C])) return out;  // infeasible
+
+  // Reconstruct the slot decisions backwards.
+  out.slots.assign(static_cast<std::size_t>(K), SlotDecision{});
+  int c = C;
+  for (int k = K; k > 0; --k) {
+    const int choice = parent[k][c];
+    SlotDecision& slot = out.slots[static_cast<std::size_t>(k - 1)];
+    if (choice >= 0) {
+      const Config& cfg = configs[static_cast<std::size_t>(choice)];
+      slot.idle = false;
+      slot.regulator = cfg.regulator;
+      slot.op = cfg.op;
+    }
+    c = from[k][c];
+  }
+  out.charge_drawn = Coulombs(value[K][C]);
+  // Energy at the (slightly sagged) terminal: integrate via replay.
+  const Replay r = replay(out, cycles);
+  out.feasible = r.completed;
+  out.battery_energy = Joules(out.charge_drawn.value() *
+                              battery_->open_circuit_voltage().value());
+  return out;
+}
+
+BatterySchedule BatteryDpScheduler::fixed_configuration(double cycles,
+                                                        Seconds deadline) const {
+  HEMP_CHECK_RANGE(cycles > 0.0, "DpScheduler: non-positive cycle count");
+  HEMP_CHECK_RANGE(deadline.value() > 0.0, "DpScheduler: non-positive deadline");
+  const int K = params_.time_slots;
+  const double dt = deadline.value() / K;
+  const std::vector<Config> configs = enumerate_configs();
+  const double f_needed = cycles / deadline.value();
+
+  // Pick the cheapest configuration (charge per cycle) that meets the rate
+  // at the battery's *initial* voltage — the non-battery-aware decision.
+  const Config* best = nullptr;
+  SlotCost best_cost;
+  double best_charge_per_cycle = std::numeric_limits<double>::infinity();
+  for (const auto& cfg : configs) {
+    const auto cost = slot_cost(cfg, 0.0);
+    if (!cost) continue;
+    if (cost->frequency.value() < f_needed) continue;
+    const double cpc = cost->current.value() / cost->frequency.value();
+    if (cpc < best_charge_per_cycle) {
+      best_charge_per_cycle = cpc;
+      best = &cfg;
+      best_cost = *cost;
+    }
+  }
+  BatterySchedule out;
+  out.slot_length = Seconds(dt);
+  if (best == nullptr) return out;
+
+  out.slots.assign(static_cast<std::size_t>(K), SlotDecision{});
+  // Use the same floored bucket accounting as the DP so the two schedules
+  // are compared under identical quantization.
+  const double cycles_per_bucket = cycles / params_.cycle_buckets;
+  double done = 0.0;
+  double charge = 0.0;
+  for (int k = 0; k < K; ++k) {
+    if (done >= cycles) break;  // rest of the slots stay idle
+    const auto cost = slot_cost(*best, charge);
+    if (!cost) {
+      // Battery sagged below what the locked configuration needs.
+      out.feasible = false;
+      out.charge_drawn = Coulombs(charge);
+      return out;
+    }
+    out.slots[static_cast<std::size_t>(k)] = SlotDecision{best->regulator, best->op,
+                                                          false};
+    const int gained =
+        static_cast<int>(cost->frequency.value() * dt / cycles_per_bucket);
+    done += gained * cycles_per_bucket;
+    charge += cost->current.value() * dt;
+  }
+  out.charge_drawn = Coulombs(charge);
+  out.battery_energy =
+      Joules(charge * battery_->open_circuit_voltage().value());
+  out.feasible = done >= cycles;
+  return out;
+}
+
+BatteryDpScheduler::Replay BatteryDpScheduler::replay(const BatterySchedule& schedule,
+                                                      double cycles) const {
+  Replay r;
+  Battery bat(battery_->params(), battery_->state_of_charge());
+  double charge = 0.0;
+  for (const SlotDecision& slot : schedule.slots) {
+    if (slot.idle) continue;
+    const Config cfg{slot.regulator, slot.op};
+    const auto cost = slot_cost(cfg, charge);
+    if (!cost) break;
+    bat.discharge(cost->current, schedule.slot_length);
+    charge += cost->current.value() * schedule.slot_length.value();
+    r.cycles_done += cost->frequency.value() * schedule.slot_length.value();
+    if (r.cycles_done >= cycles) break;
+  }
+  r.charge_drawn = Coulombs(charge);
+  r.final_soc = bat.state_of_charge();
+  r.completed = r.cycles_done >= cycles * (1.0 - 1e-9);
+  return r;
+}
+
+}  // namespace hemp

@@ -1,0 +1,103 @@
+// Battery-aware regulator + DVFS scheduling by dynamic programming — the
+// conventional baseline the paper contrasts with (Cho et al., ISLPED'08,
+// ref [19]).
+//
+// A job of N cycles must finish by a deadline while drawing from a battery
+// whose terminal voltage sags as it discharges.  The scheduler divides the
+// deadline into slots and, per slot, picks a (regulator, DVFS level)
+// configuration — including a direct battery connection (passive voltage
+// scaling, refs [17-18]) — minimizing the total charge drawn.  As the paper
+// notes, this framework neither handles a volatile harvesting source nor
+// models fully integrated regulator profiles; it is implemented here as the
+// baseline those observations are made against.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "battery/battery.hpp"
+#include "processor/processor.hpp"
+#include "regulator/bank.hpp"
+
+namespace hemp {
+
+struct DpSchedulerParams {
+  /// Number of time slots the deadline is divided into.
+  int time_slots = 24;
+  /// Quantization of job progress (cycle buckets).  Progress is floored to
+  /// whole buckets, so finer buckets waste fewer cycles per slot.
+  int cycle_buckets = 384;
+  /// Number of DVFS levels considered per slot.
+  int dvfs_levels = 12;
+
+  void validate() const;
+};
+
+/// One slot's chosen configuration.
+struct SlotDecision {
+  /// nullptr = direct battery connection (PVS); otherwise the regulator used.
+  const Regulator* regulator = nullptr;
+  OperatingPoint op{Volts(0.0), Hertz(0.0)};
+  bool idle = true;
+};
+
+struct BatterySchedule {
+  std::vector<SlotDecision> slots;
+  Seconds slot_length{0.0};
+  Coulombs charge_drawn{0.0};
+  Joules battery_energy{0.0};
+  bool feasible = false;
+};
+
+class BatteryDpScheduler {
+ public:
+  /// `bank` supplies the candidate regulators; the direct-connection option
+  /// is always considered in addition.
+  BatteryDpScheduler(const Battery& battery, const RegulatorBank& bank,
+                     const Processor& processor,
+                     const DpSchedulerParams& params = {});
+
+  /// Minimum-charge schedule finishing `cycles` by `deadline`.
+  [[nodiscard]] BatterySchedule schedule(double cycles, Seconds deadline) const;
+
+  /// Greedy baseline: lock the configuration that is best at the initial
+  /// battery voltage and never revisit it (what a non-battery-aware design
+  /// does).  Infeasible when that configuration cannot finish in time or the
+  /// battery sags out from under it.
+  [[nodiscard]] BatterySchedule fixed_configuration(double cycles,
+                                                    Seconds deadline) const;
+
+  /// Replay a schedule against a fresh battery copy; returns the battery
+  /// state after execution (for validation and benches).
+  struct Replay {
+    bool completed = false;
+    double cycles_done = 0.0;
+    Coulombs charge_drawn{0.0};
+    double final_soc = 0.0;
+  };
+  [[nodiscard]] Replay replay(const BatterySchedule& schedule, double cycles) const;
+
+ private:
+  struct Config {
+    const Regulator* regulator;  // nullptr = direct connection
+    OperatingPoint op;
+  };
+  /// Battery current and effective clock for one slot of running `config`
+  /// given the charge already drawn (which fixes the sagging terminal
+  /// voltage); nullopt when the configuration is infeasible there.
+  struct SlotCost {
+    Amps current{0.0};
+    Hertz frequency{0.0};
+    Volts vdd{0.0};
+  };
+  [[nodiscard]] std::optional<SlotCost> slot_cost(const Config& config,
+                                                  double charge_drawn) const;
+  [[nodiscard]] std::vector<Config> enumerate_configs() const;
+
+  const Battery* battery_;
+  const RegulatorBank* bank_;
+  const Processor* processor_;
+  DpSchedulerParams params_;
+};
+
+}  // namespace hemp

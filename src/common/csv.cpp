@@ -1,0 +1,31 @@
+#include "common/csv.hpp"
+
+#include <iomanip>
+
+#include "common/error.hpp"
+
+namespace hemp {
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> columns)
+    : path_(path), out_(path), width_(columns.size()) {
+  HEMP_REQUIRE(!columns.empty(), "CsvWriter: need at least one column");
+  if (!out_) throw ModelError("CsvWriter: cannot open " + path);
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << columns[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+  HEMP_REQUIRE(values.size() == width_, "CsvWriter: row width mismatch");
+  out_ << std::setprecision(9);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << values[i];
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+}  // namespace hemp

@@ -1,0 +1,29 @@
+// Minimal CSV writer used by the waveform recorder and bench harnesses to dump
+// series that correspond to the paper's figures.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace hemp {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.  Throws on I/O error.
+  CsvWriter(const std::string& path, std::vector<std::string> columns);
+
+  /// Append one row; must match the header width.
+  void row(const std::vector<double>& values);
+
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::size_t width_ = 0;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace hemp

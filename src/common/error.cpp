@@ -1,0 +1,24 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace hemp::detail {
+namespace {
+
+std::string format(const char* expr, const char* file, int line, const std::string& msg) {
+  std::ostringstream os;
+  os << msg << " [failed: " << expr << " at " << file << ":" << line << "]";
+  return os.str();
+}
+
+}  // namespace
+
+void throw_model_error(const char* expr, const char* file, int line, const std::string& msg) {
+  throw ModelError(format(expr, file, line, msg));
+}
+
+void throw_range_error(const char* expr, const char* file, int line, const std::string& msg) {
+  throw RangeError(format(expr, file, line, msg));
+}
+
+}  // namespace hemp::detail

@@ -1,0 +1,55 @@
+// Error handling helpers.
+//
+// The library throws on contract violations (bad model parameters, out-of-range
+// operating points) rather than returning sentinel values: an energy manager
+// silently running with a nonsensical voltage is worse than a crash.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hemp {
+
+/// Thrown when a model is constructed with physically impossible parameters.
+class ModelError : public std::invalid_argument {
+ public:
+  explicit ModelError(const std::string& what) : std::invalid_argument(what) {}
+};
+
+/// Thrown when a quantity is outside the range a component supports
+/// (e.g. asking a buck regulator for an output above its input).
+class RangeError : public std::out_of_range {
+ public:
+  explicit RangeError(const std::string& what) : std::out_of_range(what) {}
+};
+
+/// Thrown when a numeric routine fails to converge.
+class ConvergenceError : public std::runtime_error {
+ public:
+  explicit ConvergenceError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_model_error(const char* expr, const char* file, int line,
+                                    const std::string& msg);
+[[noreturn]] void throw_range_error(const char* expr, const char* file, int line,
+                                    const std::string& msg);
+}  // namespace detail
+
+/// Validate a constructor/model precondition; throws ModelError on failure.
+#define HEMP_REQUIRE(expr, msg)                                              \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::hemp::detail::throw_model_error(#expr, __FILE__, __LINE__, (msg));   \
+    }                                                                        \
+  } while (false)
+
+/// Validate a runtime operating-range condition; throws RangeError on failure.
+#define HEMP_CHECK_RANGE(expr, msg)                                          \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::hemp::detail::throw_range_error(#expr, __FILE__, __LINE__, (msg));   \
+    }                                                                        \
+  } while (false)
+
+}  // namespace hemp

@@ -1,0 +1,95 @@
+#include "common/interpolation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hemp {
+namespace {
+
+double lerp_segment(double x, std::pair<double, double> a, std::pair<double, double> b) {
+  const double t = (x - a.first) / (b.first - a.first);
+  return a.second + t * (b.second - a.second);
+}
+
+}  // namespace
+
+PiecewiseLinear::PiecewiseLinear(std::vector<std::pair<double, double>> knots)
+    : knots_(std::move(knots)) {
+  HEMP_REQUIRE(knots_.size() >= 2, "PiecewiseLinear: need at least 2 knots");
+  for (std::size_t i = 1; i < knots_.size(); ++i) {
+    HEMP_REQUIRE(knots_[i - 1].first < knots_[i].first,
+                 "PiecewiseLinear: x knots must be strictly increasing");
+  }
+}
+
+PiecewiseLinear::PiecewiseLinear(const std::vector<double>& xs,
+                                 const std::vector<double>& ys) {
+  HEMP_REQUIRE(xs.size() == ys.size(), "PiecewiseLinear: xs/ys size mismatch");
+  std::vector<std::pair<double, double>> knots;
+  knots.reserve(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) knots.emplace_back(xs[i], ys[i]);
+  *this = PiecewiseLinear(std::move(knots));
+}
+
+double PiecewiseLinear::operator()(double x) const {
+  HEMP_REQUIRE(!knots_.empty(), "PiecewiseLinear: empty table");
+  if (x <= knots_.front().first) {
+    return extrapolate_ ? lerp_segment(x, knots_[0], knots_[1]) : knots_.front().second;
+  }
+  if (x >= knots_.back().first) {
+    return extrapolate_
+               ? lerp_segment(x, knots_[knots_.size() - 2], knots_.back())
+               : knots_.back().second;
+  }
+  const auto it = std::upper_bound(
+      knots_.begin(), knots_.end(), x,
+      [](double v, const std::pair<double, double>& k) { return v < k.first; });
+  return lerp_segment(x, *(it - 1), *it);
+}
+
+bool PiecewiseLinear::monotone_increasing() const {
+  for (std::size_t i = 1; i < knots_.size(); ++i) {
+    if (knots_[i].second <= knots_[i - 1].second) return false;
+  }
+  return true;
+}
+
+bool PiecewiseLinear::monotone_decreasing() const {
+  for (std::size_t i = 1; i < knots_.size(); ++i) {
+    if (knots_[i].second >= knots_[i - 1].second) return false;
+  }
+  return true;
+}
+
+double PiecewiseLinear::inverse(double y) const {
+  const bool inc = monotone_increasing();
+  const bool dec = monotone_decreasing();
+  HEMP_REQUIRE(inc || dec, "PiecewiseLinear::inverse: y values must be monotone");
+  // Normalize to an increasing search.
+  auto y_at = [&](std::size_t i) { return knots_[i].second; };
+  const std::size_t n = knots_.size();
+  if (inc) {
+    if (y <= y_at(0)) return knots_.front().first;
+    if (y >= y_at(n - 1)) return knots_.back().first;
+    for (std::size_t i = 1; i < n; ++i) {
+      if (y <= y_at(i)) {
+        const double t = (y - y_at(i - 1)) / (y_at(i) - y_at(i - 1));
+        return knots_[i - 1].first + t * (knots_[i].first - knots_[i - 1].first);
+      }
+    }
+  } else {
+    if (y >= y_at(0)) return knots_.front().first;
+    if (y <= y_at(n - 1)) return knots_.back().first;
+    for (std::size_t i = 1; i < n; ++i) {
+      if (y >= y_at(i)) {
+        const double t = (y - y_at(i - 1)) / (y_at(i) - y_at(i - 1));
+        return knots_[i - 1].first + t * (knots_[i].first - knots_[i - 1].first);
+      }
+    }
+  }
+  throw ConvergenceError("PiecewiseLinear::inverse: lookup failed");
+}
+
+}  // namespace hemp

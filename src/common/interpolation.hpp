@@ -1,0 +1,54 @@
+// Piecewise-linear lookup tables.
+//
+// Used for regulator efficiency maps, the MPP-tracking power->voltage LUT
+// (paper Sec. VI-A) and measured-curve replay in benches.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+namespace hemp {
+
+/// Piecewise-linear y(x) over strictly increasing knots.
+///
+/// Out-of-range queries clamp to the boundary value by default (matching how a
+/// hardware LUT saturates); `extrapolate()` switches to linear extrapolation.
+class PiecewiseLinear {
+ public:
+  PiecewiseLinear() = default;
+
+  /// Build from (x, y) pairs; x must be strictly increasing, size >= 2.
+  explicit PiecewiseLinear(std::vector<std::pair<double, double>> knots);
+
+  /// Convenience: build from parallel vectors.
+  PiecewiseLinear(const std::vector<double>& xs, const std::vector<double>& ys);
+
+  [[nodiscard]] double operator()(double x) const;
+
+  /// Switch out-of-range behaviour to linear extrapolation from end segments.
+  PiecewiseLinear& extrapolate(bool enable = true) {
+    extrapolate_ = enable;
+    return *this;
+  }
+
+  [[nodiscard]] double x_min() const { return knots_.front().first; }
+  [[nodiscard]] double x_max() const { return knots_.back().first; }
+  [[nodiscard]] std::size_t size() const { return knots_.size(); }
+  [[nodiscard]] const std::vector<std::pair<double, double>>& knots() const {
+    return knots_;
+  }
+
+  /// True when y is strictly increasing over the knots.
+  [[nodiscard]] bool monotone_increasing() const;
+  /// True when y is strictly decreasing over the knots.
+  [[nodiscard]] bool monotone_decreasing() const;
+
+  /// Inverse lookup x(y); requires monotone (either direction) y values.
+  [[nodiscard]] double inverse(double y) const;
+
+ private:
+  std::vector<std::pair<double, double>> knots_;
+  bool extrapolate_ = false;
+};
+
+}  // namespace hemp

@@ -1,0 +1,67 @@
+// Scalar numeric routines: root finding, 1-D minimization, integration.
+//
+// All routines operate on plain doubles; callers wrap/unwrap unit types at the
+// boundary.  Tolerances are absolute on the argument unless noted.
+#pragma once
+
+#include <functional>
+
+namespace hemp::numeric {
+
+struct RootOptions {
+  double x_tol = 1e-9;       ///< stop when bracket width < x_tol
+  int max_iterations = 200;  ///< hard iteration cap (throws ConvergenceError)
+};
+
+/// Find x in [lo, hi] with f(x) == 0 by bisection.
+/// Requires f(lo) and f(hi) to have opposite signs (or one of them be zero).
+double bisect_root(const std::function<double(double)>& f, double lo, double hi,
+                   const RootOptions& opts = {});
+
+/// Brent's method: bisection safety with inverse-quadratic speed.
+/// Same bracketing contract as bisect_root.
+double brent_root(const std::function<double(double)>& f, double lo, double hi,
+                  const RootOptions& opts = {});
+
+struct MinimizeOptions {
+  double x_tol = 1e-7;
+  int max_iterations = 200;
+  /// Number of coarse grid probes used to locate the basin before refining.
+  /// Needed because several of our objectives (energy vs Vdd with a
+  /// ratio-switching SC regulator) are piecewise and multi-modal.
+  int grid_points = 64;
+};
+
+struct MinimizeResult {
+  double x = 0.0;
+  double value = 0.0;
+};
+
+/// Golden-section search on [lo, hi]; assumes unimodal f on the interval.
+MinimizeResult golden_section_minimize(const std::function<double(double)>& f,
+                                       double lo, double hi,
+                                       const MinimizeOptions& opts = {});
+
+/// Global-ish 1-D minimization: coarse grid scan to find the best basin, then
+/// golden-section refinement inside the bracketing grid cells.  Robust to the
+/// piecewise/multi-modal objectives produced by ratio-switching regulators.
+MinimizeResult grid_refine_minimize(const std::function<double(double)>& f,
+                                    double lo, double hi,
+                                    const MinimizeOptions& opts = {});
+
+/// Maximize f on [lo, hi] (grid + refine); returns argmax and max value.
+MinimizeResult grid_refine_maximize(const std::function<double(double)>& f,
+                                    double lo, double hi,
+                                    const MinimizeOptions& opts = {});
+
+/// Composite-trapezoid integral of f over [lo, hi] with n panels.
+double trapezoid_integral(const std::function<double(double)>& f, double lo,
+                          double hi, int panels = 256);
+
+/// Clamp helper that tolerates inverted bounds in debug-built models.
+double clamp(double x, double lo, double hi);
+
+/// True when |a - b| <= tol * max(1, |a|, |b|).
+bool approx_equal(double a, double b, double tol = 1e-9);
+
+}  // namespace hemp::numeric

@@ -1,0 +1,44 @@
+#include "common/units.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <string>
+
+namespace hemp {
+namespace {
+
+// Render with the SI prefix that keeps the mantissa in [1, 1000).
+std::string with_prefix(double v, const char* unit) {
+  struct Prefix {
+    double scale;
+    const char* name;
+  };
+  static constexpr Prefix kPrefixes[] = {
+      {1e9, "G"}, {1e6, "M"}, {1e3, "k"}, {1.0, ""},
+      {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"}, {1e-12, "p"},
+  };
+  if (v == 0.0) return std::string("0 ") + unit;
+  const double mag = std::fabs(v);
+  for (const auto& p : kPrefixes) {
+    if (mag >= p.scale) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.4g %s%s", v / p.scale, p.name, unit);
+      return buf;
+    }
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.4g %s", v, unit);
+  return buf;
+}
+
+}  // namespace
+
+std::ostream& operator<<(std::ostream& os, Volts v) { return os << with_prefix(v.value(), "V"); }
+std::ostream& operator<<(std::ostream& os, Amps v) { return os << with_prefix(v.value(), "A"); }
+std::ostream& operator<<(std::ostream& os, Watts v) { return os << with_prefix(v.value(), "W"); }
+std::ostream& operator<<(std::ostream& os, Joules v) { return os << with_prefix(v.value(), "J"); }
+std::ostream& operator<<(std::ostream& os, Seconds v) { return os << with_prefix(v.value(), "s"); }
+std::ostream& operator<<(std::ostream& os, Hertz v) { return os << with_prefix(v.value(), "Hz"); }
+std::ostream& operator<<(std::ostream& os, Farads v) { return os << with_prefix(v.value(), "F"); }
+
+}  // namespace hemp

@@ -1,0 +1,162 @@
+// Strong physical-unit types used across the HEMP library.
+//
+// Every quantity that crosses a module boundary (harvester -> regulator ->
+// processor -> scheduler) is wrapped in a tagged arithmetic type so that a
+// voltage can never be silently passed where a power is expected.  Only the
+// physically meaningful cross-unit operators are defined (V*A=W, W*s=J, ...).
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <iosfwd>
+
+namespace hemp {
+
+/// Tagged scalar quantity.  `Tag` is an empty struct naming the dimension.
+template <typename Tag>
+class Quantity {
+ public:
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double value) : value_(value) {}
+
+  /// Raw magnitude in SI base units (volts, amps, watts, ...).
+  [[nodiscard]] constexpr double value() const { return value_; }
+
+  constexpr auto operator<=>(const Quantity&) const = default;
+
+  constexpr Quantity operator-() const { return Quantity(-value_); }
+  constexpr Quantity& operator+=(Quantity rhs) {
+    value_ += rhs.value_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity rhs) {
+    value_ -= rhs.value_;
+    return *this;
+  }
+  constexpr Quantity& operator*=(double s) {
+    value_ *= s;
+    return *this;
+  }
+  constexpr Quantity& operator/=(double s) {
+    value_ /= s;
+    return *this;
+  }
+
+  friend constexpr Quantity operator+(Quantity a, Quantity b) {
+    return Quantity(a.value_ + b.value_);
+  }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) {
+    return Quantity(a.value_ - b.value_);
+  }
+  friend constexpr Quantity operator*(Quantity a, double s) {
+    return Quantity(a.value_ * s);
+  }
+  friend constexpr Quantity operator*(double s, Quantity a) {
+    return Quantity(a.value_ * s);
+  }
+  friend constexpr Quantity operator/(Quantity a, double s) {
+    return Quantity(a.value_ / s);
+  }
+  /// Ratio of two like quantities is dimensionless.
+  friend constexpr double operator/(Quantity a, Quantity b) {
+    return a.value_ / b.value_;
+  }
+
+ private:
+  double value_ = 0.0;
+};
+
+struct VoltTag {};
+struct AmpTag {};
+struct WattTag {};
+struct JouleTag {};
+struct SecondTag {};
+struct HertzTag {};
+struct FaradTag {};
+struct OhmTag {};
+struct CoulombTag {};
+
+using Volts = Quantity<VoltTag>;
+using Amps = Quantity<AmpTag>;
+using Watts = Quantity<WattTag>;
+using Joules = Quantity<JouleTag>;
+using Seconds = Quantity<SecondTag>;
+using Hertz = Quantity<HertzTag>;
+using Farads = Quantity<FaradTag>;
+using Ohms = Quantity<OhmTag>;
+using Coulombs = Quantity<CoulombTag>;
+
+// --- Physically meaningful cross-unit operators -----------------------------
+
+constexpr Watts operator*(Volts v, Amps i) { return Watts(v.value() * i.value()); }
+constexpr Watts operator*(Amps i, Volts v) { return v * i; }
+constexpr Amps operator/(Watts p, Volts v) { return Amps(p.value() / v.value()); }
+constexpr Volts operator/(Watts p, Amps i) { return Volts(p.value() / i.value()); }
+
+constexpr Joules operator*(Watts p, Seconds t) { return Joules(p.value() * t.value()); }
+constexpr Joules operator*(Seconds t, Watts p) { return p * t; }
+constexpr Watts operator/(Joules e, Seconds t) { return Watts(e.value() / t.value()); }
+constexpr Seconds operator/(Joules e, Watts p) { return Seconds(e.value() / p.value()); }
+
+constexpr Coulombs operator*(Farads c, Volts v) { return Coulombs(c.value() * v.value()); }
+constexpr Coulombs operator*(Amps i, Seconds t) { return Coulombs(i.value() * t.value()); }
+constexpr Amps operator/(Coulombs q, Seconds t) { return Amps(q.value() / t.value()); }
+constexpr Seconds operator/(Coulombs q, Amps i) { return Seconds(q.value() / i.value()); }
+constexpr Volts operator/(Coulombs q, Farads c) { return Volts(q.value() / c.value()); }
+
+constexpr Ohms operator/(Volts v, Amps i) { return Ohms(v.value() / i.value()); }
+constexpr Amps operator/(Volts v, Ohms r) { return Amps(v.value() / r.value()); }
+constexpr Volts operator*(Amps i, Ohms r) { return Volts(i.value() * r.value()); }
+constexpr Volts operator*(Ohms r, Amps i) { return i * r; }
+
+/// f * t = number of cycles (dimensionless count).
+constexpr double operator*(Hertz f, Seconds t) { return f.value() * t.value(); }
+constexpr double operator*(Seconds t, Hertz f) { return f * t; }
+/// N cycles at energy-per-cycle e -> total energy.  (Joules already carries
+/// "per cycle" by context; counts are plain doubles.)
+constexpr Seconds operator/(double cycles, Hertz f) { return Seconds(cycles / f.value()); }
+
+/// Energy stored on a capacitor charged to `v`: E = C v^2 / 2.
+constexpr Joules capacitor_energy(Farads c, Volts v) {
+  return Joules(0.5 * c.value() * v.value() * v.value());
+}
+
+// --- User-defined literals ---------------------------------------------------
+
+namespace literals {
+constexpr Volts operator""_V(long double v) { return Volts(static_cast<double>(v)); }
+constexpr Volts operator""_mV(long double v) { return Volts(static_cast<double>(v) * 1e-3); }
+constexpr Amps operator""_A(long double v) { return Amps(static_cast<double>(v)); }
+constexpr Amps operator""_mA(long double v) { return Amps(static_cast<double>(v) * 1e-3); }
+constexpr Amps operator""_uA(long double v) { return Amps(static_cast<double>(v) * 1e-6); }
+constexpr Watts operator""_W(long double v) { return Watts(static_cast<double>(v)); }
+constexpr Watts operator""_mW(long double v) { return Watts(static_cast<double>(v) * 1e-3); }
+constexpr Watts operator""_uW(long double v) { return Watts(static_cast<double>(v) * 1e-6); }
+constexpr Joules operator""_J(long double v) { return Joules(static_cast<double>(v)); }
+constexpr Joules operator""_mJ(long double v) { return Joules(static_cast<double>(v) * 1e-3); }
+constexpr Joules operator""_uJ(long double v) { return Joules(static_cast<double>(v) * 1e-6); }
+constexpr Joules operator""_nJ(long double v) { return Joules(static_cast<double>(v) * 1e-9); }
+constexpr Joules operator""_pJ(long double v) { return Joules(static_cast<double>(v) * 1e-12); }
+constexpr Seconds operator""_s(long double v) { return Seconds(static_cast<double>(v)); }
+constexpr Seconds operator""_ms(long double v) { return Seconds(static_cast<double>(v) * 1e-3); }
+constexpr Seconds operator""_us(long double v) { return Seconds(static_cast<double>(v) * 1e-6); }
+constexpr Hertz operator""_Hz(long double v) { return Hertz(static_cast<double>(v)); }
+constexpr Hertz operator""_kHz(long double v) { return Hertz(static_cast<double>(v) * 1e3); }
+constexpr Hertz operator""_MHz(long double v) { return Hertz(static_cast<double>(v) * 1e6); }
+constexpr Hertz operator""_GHz(long double v) { return Hertz(static_cast<double>(v) * 1e9); }
+constexpr Farads operator""_F(long double v) { return Farads(static_cast<double>(v)); }
+constexpr Farads operator""_uF(long double v) { return Farads(static_cast<double>(v) * 1e-6); }
+constexpr Farads operator""_nF(long double v) { return Farads(static_cast<double>(v) * 1e-9); }
+constexpr Farads operator""_pF(long double v) { return Farads(static_cast<double>(v) * 1e-12); }
+constexpr Ohms operator""_Ohm(long double v) { return Ohms(static_cast<double>(v)); }
+}  // namespace literals
+
+std::ostream& operator<<(std::ostream& os, Volts v);
+std::ostream& operator<<(std::ostream& os, Amps v);
+std::ostream& operator<<(std::ostream& os, Watts v);
+std::ostream& operator<<(std::ostream& os, Joules v);
+std::ostream& operator<<(std::ostream& os, Seconds v);
+std::ostream& operator<<(std::ostream& os, Hertz v);
+std::ostream& operator<<(std::ostream& os, Farads v);
+
+}  // namespace hemp

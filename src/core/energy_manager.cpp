@@ -1,0 +1,213 @@
+#include "core/energy_manager.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hemp {
+
+void EnergyManagerParams::validate() const {
+  tracker.validate();
+  HEMP_REQUIRE(sprint_factor >= 0.0 && sprint_factor <= 0.5,
+               "EnergyManager: sprint factor in [0, 0.5]");
+  HEMP_REQUIRE(recover_voltage.value() > 0.0, "EnergyManager: bad recover voltage");
+  HEMP_REQUIRE(bypass_enter_ratio > 0.0 && bypass_enter_ratio < bypass_exit_ratio,
+               "EnergyManager: bypass hysteresis must satisfy enter < exit");
+  HEMP_REQUIRE(reassess_period.value() > 0.0, "EnergyManager: bad reassess period");
+}
+
+EnergyManager::EnergyManager(const SystemModel& model,
+                             const EnergyManagerParams& params)
+    : model_(&model), params_(params), tracker_(model, params.tracker),
+      scheduler_(model), mep_(model) {
+  params_.validate();
+  // Precompute the low-light crossover (Fig. 7a): the incoming power below
+  // which bypassing the regulator delivers more to the core.
+  RegulatorSelector selector(model);
+  if (const auto g_cross = selector.crossover_irradiance()) {
+    crossover_power_ = model.mpp(*g_cross).power;
+  } else {
+    crossover_power_ = Watts(0.0);  // regulator (or bypass) dominates everywhere
+  }
+}
+
+void EnergyManager::submit(const JobRequest& job) {
+  HEMP_REQUIRE(job.cycles > 0.0, "EnergyManager: job needs positive cycles");
+  HEMP_REQUIRE(job.relative_deadline.value() > 0.0,
+               "EnergyManager: job needs a positive deadline");
+  queue_.push_back(job);
+}
+
+void EnergyManager::on_start(const SocState& state, SocCommand& cmd) {
+  tracker_.on_start(state, cmd);
+  prev_v_solar_ = state.v_solar;
+  enter_tracking(state, cmd);
+}
+
+void EnergyManager::enter_tracking(const SocState& state, SocCommand& cmd) {
+  state_ = State::kTracking;
+  cmd.path = low_light_bypass_ ? PowerPath::kBypass : PowerPath::kRegulated;
+  cmd.run = true;
+  if (params_.mode == ManagerMode::kMinEnergy && !low_light_bypass_) {
+    apply_mep_point(cmd, state.irradiance > 0.0 ? 0.5 : 0.5);
+  }
+}
+
+void EnergyManager::apply_mep_point(SocCommand& cmd, double g_estimate) {
+  // Quantize to 0.05-sun buckets: the MEP barely moves with light, and the
+  // holistic solve is far too expensive to run per tick.
+  const int bucket = static_cast<int>(g_estimate * 20.0 + 0.5);
+  auto it = mep_cache_.find(bucket);
+  if (it == mep_cache_.end()) {
+    it = mep_cache_.emplace(bucket, mep_.holistic(std::max(bucket, 1) / 20.0)).first;
+  }
+  const MepPoint& mep = it->second;
+  if (mep.feasible) {
+    cmd.vdd_target = mep.vdd;
+    cmd.frequency = mep.frequency;
+  }
+}
+
+void EnergyManager::on_tick(const SocState& state, SocCommand& cmd) {
+  switch (state_) {
+    case State::kTracking: tick_tracking(state, cmd); break;
+    case State::kSprinting: tick_sprinting(state, cmd); break;
+    case State::kRecovering: tick_recovering(state, cmd); break;
+  }
+}
+
+void EnergyManager::refresh_light_estimate(const SocState& state,
+                                           const SocCommand& cmd) {
+  if (state.time < next_reassess_) return;
+  next_reassess_ = state.time + params_.reassess_period;
+  // Near equilibrium the node voltage is steady and the source draw equals
+  // the incoming solar power — the only observable a real board has without
+  // a current sensor.
+  const double dv = std::fabs(state.v_solar.value() - prev_v_solar_.value());
+  prev_v_solar_ = state.v_solar;
+  if (dv > 0.01) return;  // node still slewing; estimate would be biased
+  double p_draw = state.p_processor.value();
+  if (!low_light_bypass_ && p_draw > 0.0) {
+    const Regulator& reg = model_->regulator();
+    if (reg.supports(state.v_solar, cmd.vdd_target)) {
+      const double eta = reg.efficiency(state.v_solar, cmd.vdd_target, Watts(p_draw));
+      if (eta > 0.0) p_draw /= eta;
+    }
+  }
+  if (p_draw > 0.0) p_in_estimate_ = Watts(p_draw);
+
+  // Low-light bypass hysteresis (Fig. 7a rule).
+  if (p_in_estimate_ && crossover_power_.value() > 0.0) {
+    const double p = p_in_estimate_->value();
+    if (!low_light_bypass_ && p < params_.bypass_enter_ratio * crossover_power_.value()) {
+      low_light_bypass_ = true;
+    } else if (low_light_bypass_ &&
+               p > params_.bypass_exit_ratio * crossover_power_.value()) {
+      low_light_bypass_ = false;
+    }
+  }
+}
+
+void EnergyManager::start_next_job(const SocState& state, SocCommand& cmd) {
+  const JobRequest job = queue_.front();
+  queue_.pop_front();
+  const SprintPlan plan =
+      scheduler_.plan(job.cycles, job.relative_deadline, params_.sprint_factor);
+  if (!plan.feasible) {
+    ++jobs_missed_;
+    return;
+  }
+  sprint_ = ActiveSprint{plan, state.time, state.cycles_retired, false};
+  state_ = State::kSprinting;
+  cmd.path = PowerPath::kRegulated;
+  cmd.vdd_target = plan.slow.vdd;
+  cmd.frequency = plan.slow.frequency;
+  cmd.run = true;
+}
+
+void EnergyManager::tick_tracking(const SocState& state, SocCommand& cmd) {
+  if (!queue_.empty()) {
+    start_next_job(state, cmd);
+    return;
+  }
+  refresh_light_estimate(state, cmd);
+  if (low_light_bypass_) {
+    cmd.path = PowerPath::kBypass;
+    // Ride the shared node: clock as fast as the rail allows.
+    if (state.v_dd >= model_->processor().min_voltage() &&
+        state.v_dd <= model_->processor().max_voltage()) {
+      cmd.frequency = model_->processor().max_frequency(state.v_dd);
+      cmd.run = true;
+    } else {
+      cmd.run = false;  // wait for the node to charge back up
+    }
+    return;
+  }
+  cmd.path = PowerPath::kRegulated;
+  if (params_.mode == ManagerMode::kMaxPerformance) {
+    tracker_.on_tick(state, cmd);
+  } else {
+    const double g = p_in_estimate_
+                         ? std::clamp(p_in_estimate_->value() /
+                                          std::max(model_->mpp(1.0).power.value(), 1e-9),
+                                      0.05, 1.0)
+                         : 0.5;
+    apply_mep_point(cmd, g);
+  }
+}
+
+void EnergyManager::tick_sprinting(const SocState& state, SocCommand& cmd) {
+  ActiveSprint& s = *sprint_;
+  const double done_cycles = state.cycles_retired - s.start_cycles;
+  const Seconds elapsed = state.time - s.started;
+
+  if (done_cycles >= s.plan.cycles) {
+    ++jobs_completed_;
+    sprint_.reset();
+    state_ = State::kRecovering;
+    cmd.run = false;
+    cmd.path = PowerPath::kRegulated;
+    return;
+  }
+  if (elapsed > s.plan.deadline * 1.5) {
+    ++jobs_missed_;
+    sprint_.reset();
+    state_ = State::kRecovering;
+    cmd.run = false;
+    cmd.path = PowerPath::kRegulated;
+    return;
+  }
+
+  if (s.bypassed) {
+    if (state.v_dd >= model_->processor().min_voltage()) {
+      cmd.frequency = model_->processor().max_frequency(state.v_dd);
+    }
+    return;
+  }
+
+  const OperatingPoint& op =
+      elapsed < s.plan.phase_time ? s.plan.slow : s.plan.fast;
+  cmd.vdd_target = op.vdd;
+  cmd.frequency = op.frequency;
+
+  const bool no_headroom = !model_->regulator().supports(state.v_solar, op.vdd);
+  const bool sagging = state.v_dd.value() < op.vdd.value() - 0.05 &&
+                       elapsed.value() > 1e-4;
+  if (no_headroom || sagging) {
+    s.bypassed = true;
+    cmd.path = PowerPath::kBypass;
+  }
+}
+
+void EnergyManager::tick_recovering(const SocState& state, SocCommand& cmd) {
+  // Large duty cycle: idle the core and let the harvester refill the storage
+  // cap (paper Sec. VI-B closing remark).
+  cmd.run = false;
+  cmd.path = PowerPath::kRegulated;
+  if (state.v_solar >= params_.recover_voltage || !queue_.empty()) {
+    enter_tracking(state, cmd);
+  }
+}
+
+}  // namespace hemp

@@ -1,0 +1,112 @@
+// Holistic runtime energy manager (the paper's "intelligent scheduling and
+// management", contribution 2).
+//
+// A SocController state machine that composes every mechanism in the paper:
+//   * steady state: MPP-tracking DVFS (Sec. VI-A) in max-performance mode, or
+//     holding the holistic minimum-energy point (Sec. V) in min-energy mode;
+//   * low light: bypasses the regulator below the Fig. 7a crossover and runs
+//     the core straight off the cell;
+//   * deadlines: plans and executes a sprint (Sec. VI-B) for each submitted
+//     job, with regulator bypass at the tail, then recovers the storage cap
+//     at a large duty cycle before resuming steady-state operation.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+
+#include "core/mep_optimizer.hpp"
+#include "core/mpp_tracker.hpp"
+#include "core/regulator_selector.hpp"
+#include "core/sprint_scheduler.hpp"
+#include "core/system_model.hpp"
+#include "sim/soc_system.hpp"
+
+namespace hemp {
+
+enum class ManagerMode {
+  kMaxPerformance,  ///< track MPP, run as fast as the harvest allows
+  kMinEnergy,       ///< hold the holistic MEP (background/maintenance work)
+};
+
+struct EnergyManagerParams {
+  ManagerMode mode = ManagerMode::kMaxPerformance;
+  MppTrackerParams tracker{};
+  /// Sprint factor used for deadline jobs (paper demonstrates 20%).
+  double sprint_factor = 0.2;
+  /// After a sprint, idle until the solar node recovers above this voltage.
+  Volts recover_voltage{1.05};
+  /// Hysteresis around the low-light bypass decision (fractions of the
+  /// crossover power).
+  double bypass_enter_ratio = 0.9;
+  double bypass_exit_ratio = 1.2;
+  /// How often the steady-state light estimate is refreshed.
+  Seconds reassess_period{2e-3};
+
+  void validate() const;
+};
+
+struct JobRequest {
+  double cycles = 0.0;
+  Seconds relative_deadline{0.0};
+};
+
+class EnergyManager : public SocController {
+ public:
+  EnergyManager(const SystemModel& model, const EnergyManagerParams& params);
+
+  /// Queue a deadline job; it starts at the next tick after the current
+  /// activity finishes (or immediately when tracking).
+  void submit(const JobRequest& job);
+
+  void on_start(const SocState& state, SocCommand& cmd) override;
+  void on_tick(const SocState& state, SocCommand& cmd) override;
+
+  [[nodiscard]] int jobs_completed() const { return jobs_completed_; }
+  [[nodiscard]] int jobs_missed() const { return jobs_missed_; }
+  [[nodiscard]] bool in_bypass() const { return low_light_bypass_; }
+  [[nodiscard]] bool sprinting() const { return sprint_.has_value(); }
+  /// Latest steady-state estimate of the incoming solar power.
+  [[nodiscard]] std::optional<Watts> light_estimate() const { return p_in_estimate_; }
+
+ private:
+  struct ActiveSprint {
+    SprintPlan plan;
+    Seconds started{0.0};
+    double start_cycles = 0.0;
+    bool bypassed = false;
+  };
+
+  void enter_tracking(const SocState& state, SocCommand& cmd);
+  void start_next_job(const SocState& state, SocCommand& cmd);
+  void tick_tracking(const SocState& state, SocCommand& cmd);
+  void tick_sprinting(const SocState& state, SocCommand& cmd);
+  void tick_recovering(const SocState& state, SocCommand& cmd);
+  void refresh_light_estimate(const SocState& state, const SocCommand& cmd);
+  void apply_mep_point(SocCommand& cmd, double g_estimate);
+
+  const SystemModel* model_;
+  EnergyManagerParams params_;
+  MppTrackingController tracker_;
+  SprintScheduler scheduler_;
+  MepOptimizer mep_;
+
+  enum class State { kTracking, kSprinting, kRecovering };
+  State state_ = State::kTracking;
+
+  std::deque<JobRequest> queue_;
+  std::optional<ActiveSprint> sprint_;
+  int jobs_completed_ = 0;
+  int jobs_missed_ = 0;
+
+  bool low_light_bypass_ = false;
+  Watts crossover_power_{0.0};
+  /// Holistic MEP solutions memoized per quantized irradiance bucket — the
+  /// MEP solve is a grid optimization and must not run every tick.
+  std::map<int, MepPoint> mep_cache_;
+  std::optional<Watts> p_in_estimate_;
+  Seconds next_reassess_{0.0};
+  Volts prev_v_solar_{0.0};
+};
+
+}  // namespace hemp

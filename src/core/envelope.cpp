@@ -1,0 +1,103 @@
+#include "core/envelope.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/perf_optimizer.hpp"
+
+namespace hemp {
+
+void EnvelopeParams::validate() const {
+  HEMP_REQUIRE(step.value() > 0.0, "Envelope: step must be positive");
+  HEMP_REQUIRE(irradiance_buckets >= 10, "Envelope: need >= 10 irradiance buckets");
+}
+
+EnvelopeSimulator::EnvelopeSimulator(const SystemModel& model) : model_(&model) {}
+
+EnvelopeSimulator::Decision EnvelopeSimulator::decide(
+    double g, const EnvelopeParams& params) const {
+  const int g_bucket = static_cast<int>(g * params.irradiance_buckets + 0.5);
+  const int policy_key = static_cast<int>(params.policy);
+  const auto key = std::make_pair(policy_key, g_bucket);
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+
+  Decision d;
+  const double g_q =
+      static_cast<double>(g_bucket) / params.irradiance_buckets;
+  if (g_q > 0.0) {
+    const PerformanceOptimizer perf(*model_);
+    const RegulatorSelector selector(*model_);
+    const PathDecision path = selector.decide(g_q);
+    const PerfPoint& best =
+        path.use_regulator ? path.regulated : path.unregulated;
+    if (best.feasible) {
+      if (params.policy == EnvelopePolicy::kMaxPerformance) {
+        d.viable = true;
+        d.bypassed = !path.use_regulator;
+        d.vdd = best.vdd;
+        d.frequency = best.frequency;
+        d.processor_power = best.processor_power;
+        d.harvest = path.use_regulator ? model_->mpp(g_q).power
+                                       : best.harvested_power;
+      } else {
+        // Min-energy policy: sit at the holistic MEP if the harvest covers
+        // it; otherwise fall back to whatever the performance point allows.
+        const MepOptimizer mep(*model_);
+        const MepPoint point = mep.holistic(g_q);
+        const Watts budget = model_->delivered_power(point.vdd, g_q);
+        const Watts need = model_->processor().max_power(point.vdd);
+        if (point.feasible && need.value() <= budget.value()) {
+          d.viable = true;
+          d.bypassed = false;
+          d.vdd = point.vdd;
+          d.frequency = point.frequency;
+          d.processor_power = need;
+          // Harvester throttles to the load: no storage grows unboundedly.
+          d.harvest = Watts(need.value() / model_->efficiency_at(point.vdd, g_q));
+        } else if (best.feasible) {
+          d.viable = true;
+          d.bypassed = !path.use_regulator;
+          d.vdd = best.vdd;
+          d.frequency = best.frequency;
+          d.processor_power = best.processor_power;
+          d.harvest = path.use_regulator ? model_->mpp(g_q).power
+                                         : best.harvested_power;
+        }
+      }
+    }
+  }
+  cache_.emplace(key, d);
+  return d;
+}
+
+EnvelopeResult EnvelopeSimulator::run(const IrradianceTrace& light, Seconds horizon,
+                                      const EnvelopeParams& params) const {
+  params.validate();
+  HEMP_CHECK_RANGE(horizon.value() > 0.0, "Envelope: non-positive horizon");
+
+  EnvelopeResult out;
+  const double dt = params.step.value();
+  const long steps = static_cast<long>(std::ceil(horizon.value() / dt));
+  const long decimation = std::max<long>(steps / 512, 1);
+
+  for (long i = 0; i < steps; ++i) {
+    const Seconds t(i * dt);
+    const double g = light.at(t);
+    const Decision d = decide(g, params);
+    if (d.viable) {
+      out.lit_time += Seconds(dt);
+      out.cycles += d.frequency.value() * dt;
+      out.harvested += d.harvest * Seconds(dt);
+      out.delivered += d.processor_power * Seconds(dt);
+    } else {
+      out.dark_time += Seconds(dt);
+    }
+    if (i % decimation == 0) {
+      out.trace.push_back({t, g, d.vdd, d.frequency, d.harvest, d.bypassed});
+    }
+  }
+  return out;
+}
+
+}  // namespace hemp

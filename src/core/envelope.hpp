@@ -1,0 +1,78 @@
+// Quasi-static long-horizon simulator.
+//
+// The transient SoC simulator integrates microsecond capacitor dynamics —
+// right for waveform-level questions (Figs. 8, 11b) but hopeless for "how
+// many frames does this node process in a day".  The envelope simulator
+// assumes the energy manager holds the system at its steady-state optimal
+// operating point within each coarse step (which the transient sim shows it
+// reaches within milliseconds) and integrates power and cycles over hours.
+// Operating-point decisions are memoized per quantized irradiance, so a
+// day-long run costs a handful of optimizer solves.
+#pragma once
+
+#include <map>
+
+#include "core/mep_optimizer.hpp"
+#include "core/regulator_selector.hpp"
+#include "core/system_model.hpp"
+#include "harvester/light_environment.hpp"
+
+namespace hemp {
+
+enum class EnvelopePolicy {
+  kMaxPerformance,  ///< track MPP, spend everything on clocks
+  kMinEnergy,       ///< hold the holistic MEP (fixed service rate)
+};
+
+struct EnvelopeParams {
+  EnvelopePolicy policy = EnvelopePolicy::kMaxPerformance;
+  /// Coarse integration step.
+  Seconds step{1.0};
+  /// Irradiance quantization for decision memoization (buckets per sun).
+  int irradiance_buckets = 100;
+
+  void validate() const;
+};
+
+struct EnvelopeSample {
+  Seconds time{0.0};
+  double irradiance = 0.0;
+  Volts vdd{0.0};
+  Hertz frequency{0.0};
+  Watts harvest{0.0};
+  bool bypassed = false;
+};
+
+struct EnvelopeResult {
+  Joules harvested{0.0};
+  Joules delivered{0.0};
+  double cycles = 0.0;
+  Seconds lit_time{0.0};   ///< time with a running clock
+  Seconds dark_time{0.0};  ///< time too dark to operate at all
+  /// Decimated trace of the operating envelope (~one sample per 100 steps).
+  std::vector<EnvelopeSample> trace;
+};
+
+class EnvelopeSimulator {
+ public:
+  explicit EnvelopeSimulator(const SystemModel& model);
+
+  [[nodiscard]] EnvelopeResult run(const IrradianceTrace& light, Seconds horizon,
+                                   const EnvelopeParams& params = {}) const;
+
+ private:
+  struct Decision {
+    bool viable = false;
+    bool bypassed = false;
+    Volts vdd{0.0};
+    Hertz frequency{0.0};
+    Watts processor_power{0.0};
+    Watts harvest{0.0};
+  };
+  [[nodiscard]] Decision decide(double g, const EnvelopeParams& params) const;
+
+  const SystemModel* model_;
+  mutable std::map<std::pair<int, int>, Decision> cache_;
+};
+
+}  // namespace hemp

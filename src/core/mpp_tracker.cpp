@@ -1,0 +1,167 @@
+#include "core/mpp_tracker.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace hemp {
+
+Watts estimate_input_power(Watts p_draw, Farads c, Volts v1, Volts v2, Seconds t) {
+  HEMP_CHECK_RANGE(v1 > v2, "estimate_input_power: V1 must exceed V2");
+  HEMP_CHECK_RANGE(t.value() > 0.0, "estimate_input_power: non-positive interval");
+  HEMP_CHECK_RANGE(c.value() > 0.0, "estimate_input_power: non-positive capacitance");
+  const double dv2 = v1.value() * v1.value() - v2.value() * v2.value();
+  const double discharge = 0.5 * c.value() * dv2 / t.value();
+  return Watts(std::max(p_draw.value() - discharge, 0.0));
+}
+
+MppLut::MppLut(const PvCell& cell, Volts measure_voltage, double g_min, double g_max,
+               int samples)
+    : measure_voltage_(measure_voltage) {
+  HEMP_REQUIRE(samples >= 4, "MppLut: need >= 4 samples");
+  HEMP_REQUIRE(0.0 < g_min && g_min < g_max, "MppLut: bad irradiance range");
+  std::vector<double> p, vmpp, gs, pmpp;
+  double last_p = -1.0;
+  for (int i = 0; i < samples; ++i) {
+    const double g = g_min + (g_max - g_min) * i / (samples - 1);
+    const double p_meas = cell.power(measure_voltage_, g).value();
+    if (p_meas <= last_p) continue;  // keep the power axis strictly increasing
+    const MaxPowerPoint point = find_mpp(cell, g);
+    p.push_back(p_meas);
+    vmpp.push_back(point.voltage.value());
+    gs.push_back(g);
+    pmpp.push_back(point.power.value());
+    last_p = p_meas;
+  }
+  HEMP_REQUIRE(p.size() >= 2, "MppLut: cell power not increasing with irradiance");
+  power_to_vmpp_ = PiecewiseLinear(p, vmpp);
+  power_to_g_ = PiecewiseLinear(p, gs);
+  power_to_pmpp_ = PiecewiseLinear(p, pmpp);
+}
+
+Volts MppLut::mpp_voltage_for(Watts p_in) const {
+  return Volts(power_to_vmpp_(p_in.value()));
+}
+
+double MppLut::irradiance_for(Watts p_in) const { return power_to_g_(p_in.value()); }
+
+Watts MppLut::mpp_power_for(Watts p_in) const {
+  return Watts(power_to_pmpp_(p_in.value()));
+}
+
+void MppTrackerParams::validate() const {
+  HEMP_REQUIRE(control_period.value() > 0.0, "MppTracker: bad control period");
+  HEMP_REQUIRE(deadband.value() > 0.0, "MppTracker: bad deadband");
+  HEMP_REQUIRE(v_high > v_low, "MppTracker: v_high must exceed v_low");
+  HEMP_REQUIRE(solar_capacitance.value() > 0.0, "MppTracker: bad capacitance");
+  HEMP_REQUIRE(dvfs_steps >= 4, "MppTracker: need >= 4 DVFS steps");
+}
+
+namespace {
+
+DvfsLadder make_ladder(const Processor& proc, Volts ceiling, int steps) {
+  const double lo = proc.min_voltage().value();
+  const double hi = std::min(ceiling.value(), proc.max_voltage().value());
+  HEMP_REQUIRE(hi > lo, "MppTracker: empty DVFS range");
+  std::vector<OperatingPoint> levels;
+  levels.reserve(static_cast<std::size_t>(steps));
+  for (int i = 0; i < steps; ++i) {
+    const Volts v(lo + (hi - lo) * i / (steps - 1));
+    levels.push_back({v, proc.max_frequency(v)});
+  }
+  return DvfsLadder(std::move(levels));
+}
+
+}  // namespace
+
+MppTrackingController::MppTrackingController(const SystemModel& model,
+                                             const MppTrackerParams& params)
+    : model_(&model), params_(params),
+      lut_(model.cell(), Volts(0.5 * (params.v_high.value() + params.v_low.value()))),
+      ladder_(make_ladder(model.processor(), params.vdd_ceiling, params.dvfs_steps)),
+      timer_(params.v_high, params.v_low) {
+  params_.validate();
+}
+
+void MppTrackingController::on_start(const SocState& state, SocCommand& cmd) {
+  // Cold start: assume strong light (track toward the full-sun MPP) and begin
+  // at a low ladder level; the proportional loop climbs as the node proves it
+  // can hold the target.  The first dimming transient re-seeds via Eq. 7.
+  v_target_ = model_->mpp(1.0).voltage;
+  timer_.reset(state.v_solar);
+  level_ = 0;
+  cmd.path = PowerPath::kRegulated;
+  cmd.run = true;
+  step(0, cmd);
+}
+
+void MppTrackingController::step(int delta, SocCommand& cmd) {
+  const long next = static_cast<long>(level_) + delta;
+  level_ = static_cast<std::size_t>(
+      std::clamp<long>(next, 0, static_cast<long>(ladder_.size()) - 1));
+  const OperatingPoint& op = ladder_.at(level_);
+  cmd.vdd_target = op.vdd;
+  cmd.frequency = op.frequency;
+}
+
+void MppTrackingController::seed_for_budget(Watts p_budget, const SocState& state,
+                                            SocCommand& cmd) {
+  const Processor& proc = model_->processor();
+  const Regulator& reg = model_->regulator();
+  // Highest ladder level whose source-side draw fits the budget.
+  std::size_t chosen = 0;
+  for (std::size_t i = 0; i < ladder_.size(); ++i) {
+    const OperatingPoint& op = ladder_.at(i);
+    if (!reg.supports(state.v_solar, op.vdd)) continue;
+    const Watts pout = proc.max_power(op.vdd);
+    const double eta = reg.efficiency(state.v_solar, op.vdd, pout);
+    if (eta <= 0.0) continue;
+    if (pout.value() / eta <= p_budget.value()) chosen = i;
+  }
+  level_ = chosen;
+  const OperatingPoint& op = ladder_.at(level_);
+  cmd.vdd_target = op.vdd;
+  cmd.frequency = op.frequency;
+}
+
+void MppTrackingController::on_tick(const SocState& state, SocCommand& cmd) {
+  // --- Eq. 7 transient estimator. --------------------------------------------
+  if (auto fall = timer_.update(state.v_solar, state.time);
+      fall && fall->value() > 0.0) {
+    const Regulator& reg = model_->regulator();
+    double p_draw = state.p_processor.value();
+    if (reg.supports(state.v_solar, cmd.vdd_target) && p_draw > 0.0) {
+      const double eta = reg.efficiency(state.v_solar, cmd.vdd_target,
+                                        Watts(p_draw));
+      if (eta > 0.0) p_draw /= eta;
+    }
+    const Watts p_in = estimate_input_power(Watts(p_draw), params_.solar_capacitance,
+                                            params_.v_high, params_.v_low, *fall);
+    last_estimate_ = p_in;
+    v_target_ = lut_.mpp_voltage_for(p_in);
+    seed_for_budget(lut_.mpp_power_for(p_in), state, cmd);
+    ++retargets_;
+    next_control_ = state.time + params_.control_period;
+    return;
+  }
+
+  // --- Steady-state proportional ladder stepping. ----------------------------
+  // Hold DVFS while a threshold-time measurement is in flight: Eq. 7 assumes
+  // a constant load across the V1 -> V2 window.
+  if (timer_.armed()) return;
+  if (state.time < next_control_) return;
+  next_control_ = state.time + params_.control_period;
+  const double err = state.v_solar.value() - v_target_.value();
+  const double dv = state.v_solar.value() - prev_v_solar_.value();
+  prev_v_solar_ = state.v_solar;
+  const double slew = params_.slew_tolerance.value();
+  if (err > params_.deadband.value() && dv > -slew) {
+    step(+1, cmd);  // node above MPP and not already falling: draw more
+  } else if (err < -params_.deadband.value() && dv < slew) {
+    step(-1, cmd);  // node below MPP and not already recovering: back off
+  }
+}
+
+}  // namespace hemp

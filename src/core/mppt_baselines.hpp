@@ -1,0 +1,103 @@
+// Conventional MPPT baselines for comparison against the paper's
+// threshold-time scheme (Sec. VI-A argues its scheme is faster and needs no
+// current sensing "compared to current measurement [18]").
+//
+//   * Perturb & Observe: hill-climb the DVFS ladder on measured harvested
+//     power.  Requires a current/power sensor on the solar node — exactly
+//     the hardware cost the paper's scheme avoids.
+//   * Fractional open-circuit voltage: periodically open the load for a
+//     short window, sample Voc, and regulate the node to k * Voc (k ~ 0.8).
+//     Requires no sensor but loses harvest during every sampling window and
+//     tracks only as well as the fixed fraction approximates the real MPP.
+#pragma once
+
+#include "core/system_model.hpp"
+#include "processor/processor.hpp"
+#include "sim/soc_system.hpp"
+
+namespace hemp {
+
+struct PerturbObserveParams {
+  /// Perturbation period; classic P&O must wait for the node to settle
+  /// between perturbations, so this is much slower than the node dynamics.
+  Seconds perturb_period{2e-3};
+  /// Ladder geometry (shared with the paper's tracker for fairness).
+  int dvfs_steps = 48;
+  Volts vdd_ceiling{0.8};
+
+  void validate() const;
+};
+
+/// Classic hill-climbing MPPT: perturb the load, observe harvested power.
+class PerturbObserveController : public SocController {
+ public:
+  PerturbObserveController(const SystemModel& model,
+                           const PerturbObserveParams& params = {});
+
+  void on_start(const SocState& state, SocCommand& cmd) override;
+  void on_tick(const SocState& state, SocCommand& cmd) override;
+
+  [[nodiscard]] int perturbations() const { return perturbations_; }
+  [[nodiscard]] int reversals() const { return reversals_; }
+
+ private:
+  void apply_level(SocCommand& cmd);
+
+  const SystemModel* model_;
+  PerturbObserveParams params_;
+  DvfsLadder ladder_;
+  std::size_t level_ = 0;
+  int direction_ = +1;  // +1 = draw more (push node down), -1 = back off
+  double prev_power_ = 0.0;
+  Seconds next_perturb_{0.0};
+  int perturbations_ = 0;
+  int reversals_ = 0;
+};
+
+struct FractionalVocParams {
+  /// Fraction of the sampled Voc used as the MPP estimate (k ~ 0.76-0.82 for
+  /// silicon cells).
+  double voc_fraction = 0.80;
+  /// How often the load is opened to sample Voc.
+  Seconds sample_period{50e-3};
+  /// How long the load stays open per sample (node must rise near Voc).
+  Seconds sample_window{3e-3};
+  /// Regulation loop (same shape as the paper's tracker).
+  Seconds control_period{500e-6};
+  Volts deadband{0.02};
+  Volts slew_tolerance{0.002};
+  int dvfs_steps = 48;
+  Volts vdd_ceiling{0.8};
+
+  void validate() const;
+};
+
+/// Fractional-Voc MPPT: sample the open-circuit voltage, target k * Voc.
+class FractionalVocController : public SocController {
+ public:
+  FractionalVocController(const SystemModel& model,
+                          const FractionalVocParams& params = {});
+
+  void on_start(const SocState& state, SocCommand& cmd) override;
+  void on_tick(const SocState& state, SocCommand& cmd) override;
+
+  [[nodiscard]] Volts target_voltage() const { return v_target_; }
+  [[nodiscard]] int samples_taken() const { return samples_; }
+
+ private:
+  void apply_level(SocCommand& cmd);
+
+  const SystemModel* model_;
+  FractionalVocParams params_;
+  DvfsLadder ladder_;
+  std::size_t level_ = 0;
+  Volts v_target_{0.0};
+  Volts prev_v_solar_{0.0};
+  bool sampling_ = false;
+  Seconds sample_ends_{0.0};
+  Seconds next_sample_{0.0};
+  Seconds next_control_{0.0};
+  int samples_ = 0;
+};
+
+}  // namespace hemp

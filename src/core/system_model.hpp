@@ -1,0 +1,56 @@
+// Holistic system model: harvester + regulator + processor viewed as one
+// optimization target (the paper's central idea, Sec. I contribution 1).
+//
+// Everything the optimizers need reduces to two curves:
+//   * delivered_power(Vdd, G): how much power reaches the rail at Vdd when the
+//     regulator holds the solar cell at its maximum power point — found by a
+//     self-consistent solve because regulator efficiency depends on load;
+//   * Processor::max_power(Vdd): what the core consumes at full speed.
+#pragma once
+
+#include <map>
+
+#include "common/units.hpp"
+#include "harvester/iv_curve.hpp"
+#include "harvester/pv_cell.hpp"
+#include "processor/processor.hpp"
+#include "regulator/regulator.hpp"
+
+namespace hemp {
+
+class SystemModel {
+ public:
+  /// Non-owning view over the three subsystems; they must outlive the model.
+  SystemModel(const PvCell& cell, const Regulator& regulator,
+              const Processor& processor);
+
+  [[nodiscard]] const PvCell& cell() const { return *cell_; }
+  [[nodiscard]] const Regulator& regulator() const { return *regulator_; }
+  [[nodiscard]] const Processor& processor() const { return *processor_; }
+
+  /// MPP of the harvester at irradiance `g`.  Results are memoized per exact
+  /// irradiance value (runtime controllers query the same handful of levels
+  /// every tick).  Not thread-safe.
+  [[nodiscard]] MaxPowerPoint mpp(double g) const;
+
+  /// Power delivered to the rail at `vdd` when the converter input sits at
+  /// the harvester MPP and all harvested power flows through the regulator.
+  /// Solves  pout = eta(v_mpp, vdd, pout) * p_mpp  for pout; returns 0 when
+  /// the regulator cannot regulate (v_mpp, vdd).
+  [[nodiscard]] Watts delivered_power(Volts vdd, double g) const;
+
+  /// Power available at `vdd` without any regulator: the raw solar cell
+  /// output with its terminal tied to the rail (Fig. 6a intersection logic).
+  [[nodiscard]] Watts unregulated_power(Volts vdd, double g) const;
+
+  /// Regulator efficiency at the operating point implied by delivered_power.
+  [[nodiscard]] double efficiency_at(Volts vdd, double g) const;
+
+ private:
+  const PvCell* cell_;
+  const Regulator* regulator_;
+  const Processor* processor_;
+  mutable std::map<double, MaxPowerPoint> mpp_cache_;
+};
+
+}  // namespace hemp

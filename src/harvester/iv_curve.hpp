@@ -1,0 +1,55 @@
+// Sampled I-V / P-V curves and the maximum-power-point solver.
+//
+// Reproduces the role of the paper's Fig. 2 measurement sweep: the optimizer
+// and the MPP-tracking LUT both consume sampled curves rather than the raw
+// implicit diode equation.
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+#include "harvester/pv_cell.hpp"
+
+namespace hemp {
+
+struct IvPoint {
+  Volts voltage;
+  Amps current;
+  [[nodiscard]] Watts power() const { return voltage * current; }
+};
+
+/// Maximum power point of a PV source at one irradiance level.
+struct MaxPowerPoint {
+  Volts voltage;
+  Amps current;
+  Watts power;
+};
+
+/// A sampled I-V sweep of a cell at a fixed irradiance.
+class IvCurve {
+ public:
+  /// Sweep `cell` from 0 V to its open-circuit voltage with `samples` points.
+  IvCurve(const PvCell& cell, double irradiance, int samples = 256);
+
+  [[nodiscard]] const std::vector<IvPoint>& points() const { return points_; }
+  [[nodiscard]] double irradiance() const { return irradiance_; }
+  [[nodiscard]] Volts open_circuit_voltage() const { return points_.back().voltage; }
+  [[nodiscard]] Amps short_circuit_current() const { return points_.front().current; }
+
+  /// Interpolated current at an arbitrary voltage inside the sweep range.
+  [[nodiscard]] Amps current_at(Volts v) const;
+  [[nodiscard]] Watts power_at(Volts v) const;
+
+ private:
+  double irradiance_;
+  std::vector<IvPoint> points_;
+};
+
+/// Analytic MPP: maximize V * I(V) over [0, Voc] on the continuous model.
+MaxPowerPoint find_mpp(const PvCell& cell, double irradiance);
+
+/// Fraction of the available MPP power captured when operating at voltage `v`.
+/// 1.0 at the MPP, below 1 elsewhere; used to quantify tracking error.
+double mpp_capture_ratio(const PvCell& cell, double irradiance, Volts v);
+
+}  // namespace hemp

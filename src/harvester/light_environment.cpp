@@ -1,0 +1,131 @@
+#include "harvester/light_environment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace hemp {
+
+double irradiance_fraction(LightCondition c) {
+  switch (c) {
+    case LightCondition::kFullSun: return 1.00;
+    case LightCondition::kHalfSun: return 0.50;
+    case LightCondition::kQuarterSun: return 0.25;
+    case LightCondition::kCloudy: return 0.12;
+    case LightCondition::kIndoorBright: return 0.05;
+    case LightCondition::kIndoorDim: return 0.02;
+  }
+  throw ModelError("irradiance_fraction: unknown light condition");
+}
+
+std::string to_string(LightCondition c) {
+  switch (c) {
+    case LightCondition::kFullSun: return "full sun";
+    case LightCondition::kHalfSun: return "half sun";
+    case LightCondition::kQuarterSun: return "quarter sun";
+    case LightCondition::kCloudy: return "cloudy";
+    case LightCondition::kIndoorBright: return "indoor bright";
+    case LightCondition::kIndoorDim: return "indoor dim";
+  }
+  throw ModelError("to_string: unknown light condition");
+}
+
+std::vector<LightCondition> all_light_conditions() {
+  return {LightCondition::kFullSun,      LightCondition::kHalfSun,
+          LightCondition::kQuarterSun,   LightCondition::kCloudy,
+          LightCondition::kIndoorBright, LightCondition::kIndoorDim};
+}
+
+IrradianceTrace::IrradianceTrace(Profile profile, std::string description)
+    : profile_(std::move(profile)), description_(std::move(description)) {
+  HEMP_REQUIRE(static_cast<bool>(profile_), "IrradianceTrace: null profile");
+}
+
+double IrradianceTrace::at(Seconds t) const {
+  const double g = profile_(t);
+  HEMP_CHECK_RANGE(g >= 0.0 && g <= 1.5, "IrradianceTrace: profile out of range");
+  return g;
+}
+
+IrradianceTrace IrradianceTrace::constant(double g) {
+  return IrradianceTrace([g](Seconds) { return g; }, "constant");
+}
+
+IrradianceTrace IrradianceTrace::step(double g_before, double g_after, Seconds at) {
+  return IrradianceTrace(
+      [=](Seconds t) { return t < at ? g_before : g_after; }, "step");
+}
+
+IrradianceTrace IrradianceTrace::ramp(double g_start, double g_end, Seconds start,
+                                      Seconds duration) {
+  HEMP_REQUIRE(duration.value() > 0.0, "IrradianceTrace::ramp: duration must be positive");
+  return IrradianceTrace(
+      [=](Seconds t) {
+        if (t <= start) return g_start;
+        const double frac = (t - start) / duration;
+        if (frac >= 1.0) return g_end;
+        return g_start + frac * (g_end - g_start);
+      },
+      "ramp");
+}
+
+IrradianceTrace IrradianceTrace::clouds(double g_base, std::vector<CloudEvent> events) {
+  for (const auto& e : events) {
+    HEMP_REQUIRE(e.depth >= 0.0 && e.depth <= 1.0,
+                 "IrradianceTrace::clouds: depth must be in [0, 1]");
+    HEMP_REQUIRE(e.duration.value() > 0.0,
+                 "IrradianceTrace::clouds: duration must be positive");
+  }
+  return IrradianceTrace(
+      [g_base, events = std::move(events)](Seconds t) {
+        double g = g_base;
+        for (const auto& e : events) {
+          if (t >= e.start && t < e.start + e.duration) {
+            g = std::min(g, g_base * (1.0 - e.depth));
+          }
+        }
+        return g;
+      },
+      "clouds");
+}
+
+IrradianceTrace IrradianceTrace::diurnal(double g_peak, Seconds sunrise, Seconds sunset) {
+  HEMP_REQUIRE(sunset > sunrise, "IrradianceTrace::diurnal: sunset before sunrise");
+  return IrradianceTrace(
+      [=](Seconds t) {
+        if (t <= sunrise || t >= sunset) return 0.0;
+        const double frac = (t - sunrise) / (sunset - sunrise);
+        const double s = std::sin(std::numbers::pi * frac);
+        return g_peak * s * s;  // raised-cosine-like day shape
+      },
+      "diurnal");
+}
+
+IrradianceTrace IrradianceTrace::piecewise(
+    std::vector<std::pair<Seconds, double>> points) {
+  HEMP_REQUIRE(points.size() >= 2, "IrradianceTrace::piecewise: need >= 2 points");
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    HEMP_REQUIRE(points[i - 1].first < points[i].first,
+                 "IrradianceTrace::piecewise: times must be strictly increasing");
+  }
+  return IrradianceTrace(
+      [points = std::move(points)](Seconds t) {
+        if (t <= points.front().first) return points.front().second;
+        if (t >= points.back().first) return points.back().second;
+        for (std::size_t i = 1; i < points.size(); ++i) {
+          if (t <= points[i].first) {
+            const double frac =
+                (t - points[i - 1].first) / (points[i].first - points[i - 1].first);
+            return points[i - 1].second +
+                   frac * (points[i].second - points[i - 1].second);
+          }
+        }
+        return points.back().second;
+      },
+      "piecewise");
+}
+
+}  // namespace hemp

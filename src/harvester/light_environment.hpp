@@ -1,0 +1,81 @@
+// Light environments and time-varying irradiance traces.
+//
+// The paper's Fig. 2 sweeps the cell through outdoor/indoor conditions, and
+// Secs. VI/VII exercise the control schemes against sudden light changes
+// ("light dimmed due to an obstacle").  This module names the static
+// conditions and builds the dynamic traces driving the transient simulator.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace hemp {
+
+/// Named static light conditions, expressed as a fraction of full outdoor sun.
+enum class LightCondition {
+  kFullSun,     ///< direct outdoor sunlight (G = 1.00)
+  kHalfSun,     ///< light overcast / partial shade (G = 0.50)
+  kQuarterSun,  ///< heavy overcast (G = 0.25)
+  kCloudy,      ///< dark clouds (G = 0.12)
+  kIndoorBright,///< bright indoor lighting near a window (G = 0.05)
+  kIndoorDim,   ///< typical office lighting (G = 0.02)
+};
+
+/// Irradiance fraction for a named condition.
+double irradiance_fraction(LightCondition c);
+
+/// Human-readable name ("full sun", "indoor dim", ...).
+std::string to_string(LightCondition c);
+
+/// All named conditions, brightest first (useful for sweeps).
+std::vector<LightCondition> all_light_conditions();
+
+/// A time-varying irradiance profile G(t).
+class IrradianceTrace {
+ public:
+  using Profile = std::function<double(Seconds)>;
+
+  IrradianceTrace(Profile profile, std::string description);
+
+  [[nodiscard]] double at(Seconds t) const;
+  [[nodiscard]] const std::string& description() const { return description_; }
+
+  // --- Builders --------------------------------------------------------------
+
+  /// Constant irradiance.
+  static IrradianceTrace constant(double g);
+
+  /// Step from `g_before` to `g_after` at time `at`.  Models the paper's
+  /// "light dimmed due to an obstacle" event (Fig. 8).
+  static IrradianceTrace step(double g_before, double g_after, Seconds at);
+
+  /// Linear ramp between two levels over [start, start + duration].
+  static IrradianceTrace ramp(double g_start, double g_end, Seconds start,
+                              Seconds duration);
+
+  /// Full-sun baseline interrupted by rectangular cloud dips.
+  /// Each dip: (start, duration, depth in [0,1] where 1 = total shadow).
+  struct CloudEvent {
+    Seconds start;
+    Seconds duration;
+    double depth;
+  };
+  static IrradianceTrace clouds(double g_base, std::vector<CloudEvent> events);
+
+  /// Smooth diurnal profile: zero before sunrise/after sunset, raised-cosine
+  /// peak at solar noon.  `day_length` maps onto the trace duration so short
+  /// simulations can compress a day.
+  static IrradianceTrace diurnal(double g_peak, Seconds sunrise, Seconds sunset);
+
+  /// Piecewise-linear trace through (time, G) breakpoints.
+  static IrradianceTrace piecewise(std::vector<std::pair<Seconds, double>> points);
+
+ private:
+  Profile profile_;
+  std::string description_;
+};
+
+}  // namespace hemp

@@ -1,0 +1,103 @@
+#include "imgproc/classifier.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace hemp {
+
+LinearClassifier::LinearClassifier(int classes, int dims)
+    : classes_(classes), dims_(dims),
+      weights_(static_cast<std::size_t>(classes) * dims, 0.0f),
+      biases_(static_cast<std::size_t>(classes), 0.0f) {
+  HEMP_REQUIRE(classes >= 2, "LinearClassifier: need >= 2 classes");
+  HEMP_REQUIRE(dims >= 1, "LinearClassifier: need >= 1 feature dim");
+}
+
+float LinearClassifier::weight(int c, int d) const {
+  HEMP_CHECK_RANGE(c >= 0 && c < classes_ && d >= 0 && d < dims_,
+                   "LinearClassifier: weight index out of range");
+  return weights_[static_cast<std::size_t>(c) * dims_ + d];
+}
+
+void LinearClassifier::set_weight(int c, int d, float w) {
+  HEMP_CHECK_RANGE(c >= 0 && c < classes_ && d >= 0 && d < dims_,
+                   "LinearClassifier: weight index out of range");
+  weights_[static_cast<std::size_t>(c) * dims_ + d] = w;
+}
+
+float LinearClassifier::bias(int c) const {
+  HEMP_CHECK_RANGE(c >= 0 && c < classes_, "LinearClassifier: class out of range");
+  return biases_[static_cast<std::size_t>(c)];
+}
+
+void LinearClassifier::set_bias(int c, float b) {
+  HEMP_CHECK_RANGE(c >= 0 && c < classes_, "LinearClassifier: class out of range");
+  biases_[static_cast<std::size_t>(c)] = b;
+}
+
+std::vector<float> LinearClassifier::scores(const std::vector<float>& features,
+                                            CycleCounter& counter) const {
+  HEMP_CHECK_RANGE(static_cast<int>(features.size()) == dims_,
+                   "LinearClassifier: feature dimensionality mismatch");
+  std::vector<float> out(static_cast<std::size_t>(classes_));
+  for (int c = 0; c < classes_; ++c) {
+    const float* w = weights_.data() + static_cast<std::size_t>(c) * dims_;
+    float s = biases_[static_cast<std::size_t>(c)];
+    for (int d = 0; d < dims_; ++d) s += w[d] * features[static_cast<std::size_t>(d)];
+    counter.charge_load(static_cast<std::uint64_t>(dims_) * 2);
+    counter.charge_mac(static_cast<std::uint64_t>(dims_));
+    out[static_cast<std::size_t>(c)] = s;
+  }
+  return out;
+}
+
+int LinearClassifier::classify(const std::vector<float>& features,
+                               CycleCounter& counter) const {
+  const std::vector<float> s = scores(features, counter);
+  counter.charge_alu(static_cast<std::uint64_t>(classes_));  // argmax compares
+  return static_cast<int>(std::max_element(s.begin(), s.end()) - s.begin());
+}
+
+PerceptronTrainer::PerceptronTrainer(const Options& options) : options_(options) {
+  HEMP_REQUIRE(options_.epochs >= 1, "PerceptronTrainer: need >= 1 epoch");
+  HEMP_REQUIRE(options_.learning_rate > 0.0f,
+               "PerceptronTrainer: learning rate must be positive");
+}
+
+PerceptronTrainer::Result PerceptronTrainer::train(const std::vector<Sample>& samples,
+                                                   int classes, int dims) const {
+  HEMP_REQUIRE(!samples.empty(), "PerceptronTrainer: no samples");
+  for (const auto& s : samples) {
+    HEMP_REQUIRE(static_cast<int>(s.features.size()) == dims,
+                 "PerceptronTrainer: sample dimensionality mismatch");
+    HEMP_REQUIRE(s.label >= 0 && s.label < classes,
+                 "PerceptronTrainer: label out of range");
+  }
+  LinearClassifier model(classes, dims);
+  CycleCounter scratch;  // training happens off-chip; cycles not charged
+  int epochs_run = 0;
+  int mistakes = 0;
+  for (int e = 0; e < options_.epochs; ++e) {
+    ++epochs_run;
+    mistakes = 0;
+    for (const auto& s : samples) {
+      const int pred = model.classify(s.features, scratch);
+      if (pred == s.label) continue;
+      ++mistakes;
+      // Standard multi-class perceptron update: promote truth, demote guess.
+      for (int d = 0; d < dims; ++d) {
+        const float x = s.features[static_cast<std::size_t>(d)];
+        model.set_weight(s.label, d,
+                         model.weight(s.label, d) + options_.learning_rate * x);
+        model.set_weight(pred, d, model.weight(pred, d) - options_.learning_rate * x);
+      }
+      model.set_bias(s.label, model.bias(s.label) + options_.learning_rate);
+      model.set_bias(pred, model.bias(pred) - options_.learning_rate);
+    }
+    if (options_.stop_when_separated && mistakes == 0) break;
+  }
+  return {std::move(model), epochs_run, mistakes};
+}
+
+}  // namespace hemp

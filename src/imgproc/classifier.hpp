@@ -1,0 +1,74 @@
+// Linear classifier ("classifier" block of the paper's test chip, Fig. 10)
+// plus a perceptron trainer used by tests and examples to produce weights
+// from synthetic pattern classes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "imgproc/cycle_model.hpp"
+
+namespace hemp {
+
+class LinearClassifier {
+ public:
+  /// `classes` weight vectors of `dims` weights each, plus one bias per class.
+  LinearClassifier(int classes, int dims);
+
+  [[nodiscard]] int classes() const { return classes_; }
+  [[nodiscard]] int dims() const { return dims_; }
+
+  [[nodiscard]] float weight(int c, int d) const;
+  void set_weight(int c, int d, float w);
+  [[nodiscard]] float bias(int c) const;
+  void set_bias(int c, float b);
+
+  /// Per-class scores for one feature vector; charges MACs to `counter`.
+  [[nodiscard]] std::vector<float> scores(const std::vector<float>& features,
+                                          CycleCounter& counter) const;
+
+  /// Argmax class for one feature vector.
+  [[nodiscard]] int classify(const std::vector<float>& features,
+                             CycleCounter& counter) const;
+
+ private:
+  int classes_;
+  int dims_;
+  std::vector<float> weights_;  // [classes][dims]
+  std::vector<float> biases_;   // [classes]
+};
+
+/// Multi-class perceptron trainer.
+class PerceptronTrainer {
+ public:
+  struct Options {
+    int epochs = 50;
+    float learning_rate = 0.1f;
+    /// Stop early once an epoch makes no mistakes.
+    bool stop_when_separated = true;
+  };
+
+  PerceptronTrainer() : PerceptronTrainer(Options{}) {}
+  explicit PerceptronTrainer(const Options& options);
+
+  struct Sample {
+    std::vector<float> features;
+    int label;
+  };
+
+  /// Train a classifier on the samples.  Returns the trained model and the
+  /// number of epochs actually run.
+  struct Result {
+    LinearClassifier model;
+    int epochs_run;
+    int final_epoch_mistakes;
+  };
+  [[nodiscard]] Result train(const std::vector<Sample>& samples, int classes,
+                             int dims) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace hemp

@@ -1,0 +1,18 @@
+#include "imgproc/cycle_model.hpp"
+
+#include "common/error.hpp"
+
+namespace hemp {
+
+void CycleCosts::validate() const {
+  HEMP_REQUIRE(scan_in >= 0.0 && load >= 0.0 && store >= 0.0 && alu >= 0.0 &&
+                   mul >= 0.0 && mac >= 0.0 && div >= 0.0 && sqrt >= 0.0,
+               "CycleCosts: per-op costs must be non-negative");
+  HEMP_REQUIRE(cpi_scale > 0.0, "CycleCosts: cpi scale must be positive");
+}
+
+CycleCounter::CycleCounter(const CycleCosts& costs) : costs_(costs) {
+  costs_.validate();
+}
+
+}  // namespace hemp

@@ -1,0 +1,60 @@
+// Cycle accounting for the image-processor datapath.
+//
+// The paper's chip is a simple non-pipelined scalar core with on-chip SRAM
+// and a serial scan-in interface ("image pixels are externally scanned into
+// chip and stored in on-chip memory", Sec. VII).  Every stage of the pipeline
+// charges abstract operations to a CycleCounter; the per-op costs are
+// calibrated so a 64x64 frame costs ~9.7 M cycles — i.e. ~15 ms at the
+// 0.5 V clock, matching the paper's quoted frame time.
+#pragma once
+
+#include <cstdint>
+
+namespace hemp {
+
+/// Cycles charged per abstract operation.
+struct CycleCosts {
+  double scan_in = 64.0;   ///< serial scan-in per pixel (bit-serial shift)
+  double load = 4.0;       ///< SRAM read
+  double store = 4.0;      ///< SRAM write
+  double alu = 1.0;        ///< add/sub/compare/shift
+  double mul = 9.0;        ///< iterative multiplier
+  double mac = 10.0;       ///< multiply-accumulate
+  double div = 40.0;       ///< iterative divider
+  double sqrt = 60.0;      ///< iterative square root (block normalization)
+  /// Global microarchitecture factor (fetch/decode overhead of the
+  /// non-pipelined core).  Applied to every charge; calibrated so a 64x64
+  /// frame costs ~9.7 M cycles = ~15 ms at the 0.5 V clock (paper Sec. VII).
+  double cpi_scale = 12.7;
+
+  void validate() const;
+};
+
+class CycleCounter {
+ public:
+  explicit CycleCounter(const CycleCosts& costs = {});
+
+  void charge_scan_in(std::uint64_t n = 1) { add(costs_.scan_in, n); }
+  void charge_load(std::uint64_t n = 1) { add(costs_.load, n); }
+  void charge_store(std::uint64_t n = 1) { add(costs_.store, n); }
+  void charge_alu(std::uint64_t n = 1) { add(costs_.alu, n); }
+  void charge_mul(std::uint64_t n = 1) { add(costs_.mul, n); }
+  void charge_mac(std::uint64_t n = 1) { add(costs_.mac, n); }
+  void charge_div(std::uint64_t n = 1) { add(costs_.div, n); }
+  void charge_sqrt(std::uint64_t n = 1) { add(costs_.sqrt, n); }
+
+  [[nodiscard]] double cycles() const { return cycles_; }
+  void reset() { cycles_ = 0.0; }
+
+  [[nodiscard]] const CycleCosts& costs() const { return costs_; }
+
+ private:
+  void add(double per_op, std::uint64_t n) {
+    cycles_ += per_op * costs_.cpi_scale * static_cast<double>(n);
+  }
+
+  CycleCosts costs_;
+  double cycles_ = 0.0;
+};
+
+}  // namespace hemp

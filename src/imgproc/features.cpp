@@ -1,0 +1,106 @@
+#include "imgproc/features.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hemp {
+
+void FeatureExtractorParams::validate() const {
+  HEMP_REQUIRE(cell_size >= 2, "FeatureExtractor: cell size must be >= 2");
+  HEMP_REQUIRE(window_cells >= 1, "FeatureExtractor: window cells must be >= 1");
+  HEMP_REQUIRE(window_stride >= 1, "FeatureExtractor: stride must be >= 1");
+}
+
+FeatureExtractor::FeatureExtractor(const FeatureExtractorParams& params,
+                                   int orientation_bins)
+    : params_(params), bins_(orientation_bins) {
+  params_.validate();
+  HEMP_REQUIRE(orientation_bins >= 2, "FeatureExtractor: need >= 2 orientation bins");
+}
+
+int FeatureExtractor::dims_per_window() const {
+  return params_.window_cells * params_.window_cells * bins_;
+}
+
+FeatureSet FeatureExtractor::extract(const GradientField& grad,
+                                     CycleCounter& counter) const {
+  const int cs = params_.cell_size;
+  const int cells_x = grad.width / cs;
+  const int cells_y = grad.height / cs;
+  HEMP_CHECK_RANGE(cells_x >= params_.window_cells && cells_y >= params_.window_cells,
+                   "FeatureExtractor: frame too small for the window size");
+
+  // --- Stage 1: per-cell orientation histograms weighted by magnitude. ------
+  std::vector<float> hist(static_cast<std::size_t>(cells_x) * cells_y * bins_, 0.0f);
+  for (int y = 0; y < cells_y * cs; ++y) {
+    for (int x = 0; x < cells_x * cs; ++x) {
+      const std::size_t i = grad.index(x, y);
+      const int cx = x / cs, cy = y / cs;
+      const std::size_t h =
+          (static_cast<std::size_t>(cy) * cells_x + cx) * bins_ + grad.orientation[i];
+      hist[h] += static_cast<float>(grad.magnitude[i]);
+      counter.charge_load(2);   // magnitude + orientation
+      counter.charge_mac(1);    // histogram accumulate
+      counter.charge_store(1);
+    }
+  }
+
+  // --- Stage 2: gather windows of window_cells x window_cells cells and
+  //     L2-normalize each window vector. ---------------------------------------
+  const int wc = params_.window_cells;
+  const int stride_cells = params_.window_stride / cs > 0 ? params_.window_stride / cs : 1;
+  FeatureSet out;
+  out.windows_x = (cells_x - wc) / stride_cells + 1;
+  out.windows_y = (cells_y - wc) / stride_cells + 1;
+  out.dims = dims_per_window();
+  out.vectors.resize(out.window_count() * static_cast<std::size_t>(out.dims));
+
+  for (int wy = 0; wy < out.windows_y; ++wy) {
+    for (int wx = 0; wx < out.windows_x; ++wx) {
+      float* vec = out.vectors.data() +
+                   (static_cast<std::size_t>(wy) * out.windows_x + wx) * out.dims;
+      int d = 0;
+      double norm2 = 0.0;
+      for (int cy = 0; cy < wc; ++cy) {
+        for (int cx = 0; cx < wc; ++cx) {
+          const int gx = wx * stride_cells + cx;
+          const int gy = wy * stride_cells + cy;
+          for (int b = 0; b < bins_; ++b) {
+            const float v =
+                hist[(static_cast<std::size_t>(gy) * cells_x + gx) * bins_ + b];
+            vec[d++] = v;
+            norm2 += static_cast<double>(v) * v;
+            counter.charge_load(1);
+            counter.charge_mac(1);
+          }
+        }
+      }
+      const float inv = norm2 > 0.0 ? static_cast<float>(1.0 / std::sqrt(norm2)) : 0.0f;
+      counter.charge_sqrt(1);
+      counter.charge_div(1);
+      for (int i = 0; i < out.dims; ++i) {
+        vec[i] *= inv;
+        counter.charge_mul(1);
+        counter.charge_store(1);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<float> pool_features(const FeatureSet& features) {
+  HEMP_REQUIRE(features.window_count() > 0, "pool_features: empty feature set");
+  std::vector<float> pooled(static_cast<std::size_t>(features.dims), 0.0f);
+  for (int wy = 0; wy < features.windows_y; ++wy) {
+    for (int wx = 0; wx < features.windows_x; ++wx) {
+      const float* v = features.window(wx, wy);
+      for (int d = 0; d < features.dims; ++d) pooled[d] += v[d];
+    }
+  }
+  const float inv = 1.0f / static_cast<float>(features.window_count());
+  for (auto& p : pooled) p *= inv;
+  return pooled;
+}
+
+}  // namespace hemp

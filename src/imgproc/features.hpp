@@ -1,0 +1,59 @@
+// Windowed gradient-feature extraction ("vector formation" block of the
+// paper's test chip, Fig. 10): histogram-of-gradients features over
+// overlapping windows of the frame.
+#pragma once
+
+#include <vector>
+
+#include "imgproc/cycle_model.hpp"
+#include "imgproc/gradient.hpp"
+
+namespace hemp {
+
+struct FeatureExtractorParams {
+  int cell_size = 8;    ///< pixels per histogram cell side
+  int window_cells = 2; ///< cells per window side (window = 2x2 cells)
+  int window_stride = 8;///< pixels between window origins (overlapping)
+
+  void validate() const;
+};
+
+/// One feature vector per window, plus window layout metadata.
+struct FeatureSet {
+  int windows_x = 0;
+  int windows_y = 0;
+  int dims = 0;  ///< feature dimensionality per window
+  /// Row-major [windows_y][windows_x][dims], block-normalized to unit L2.
+  std::vector<float> vectors;
+
+  [[nodiscard]] const float* window(int wx, int wy) const {
+    return vectors.data() + (static_cast<std::size_t>(wy) * windows_x + wx) * dims;
+  }
+  [[nodiscard]] std::size_t window_count() const {
+    return static_cast<std::size_t>(windows_x) * windows_y;
+  }
+};
+
+class FeatureExtractor {
+ public:
+  FeatureExtractor(const FeatureExtractorParams& params, int orientation_bins);
+
+  /// Histogram cells, aggregate to windows, L2-normalize; charges `counter`.
+  [[nodiscard]] FeatureSet extract(const GradientField& grad,
+                                   CycleCounter& counter) const;
+
+  /// Feature dimensionality per window for these parameters.
+  [[nodiscard]] int dims_per_window() const;
+
+  [[nodiscard]] const FeatureExtractorParams& params() const { return params_; }
+
+ private:
+  FeatureExtractorParams params_;
+  int bins_;
+};
+
+/// Pool a whole FeatureSet into one frame-level descriptor by averaging the
+/// window vectors (used by the frame classifier).
+std::vector<float> pool_features(const FeatureSet& features);
+
+}  // namespace hemp

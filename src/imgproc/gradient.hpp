@@ -1,0 +1,46 @@
+// Sobel gradient engine: the "feature extraction ... using gradient feature
+// vectors" front half of the paper's pattern-recognition processor (Sec. VII).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "imgproc/cycle_model.hpp"
+#include "imgproc/image.hpp"
+
+namespace hemp {
+
+/// Per-pixel gradient: signed x/y components, magnitude (L1 approximation as
+/// the hardware would compute it) and quantized orientation bin.
+struct GradientField {
+  int width = 0;
+  int height = 0;
+  std::vector<std::int16_t> gx;
+  std::vector<std::int16_t> gy;
+  std::vector<std::uint16_t> magnitude;
+  std::vector<std::uint8_t> orientation;  ///< bin index in [0, bins)
+
+  [[nodiscard]] std::size_t index(int x, int y) const {
+    return static_cast<std::size_t>(y) * width + x;
+  }
+};
+
+class GradientEngine {
+ public:
+  /// `orientation_bins` quantization levels over [0, pi).
+  explicit GradientEngine(int orientation_bins = 8);
+
+  /// 3x3 Sobel over the whole frame (edge-clamped), charging `counter`.
+  [[nodiscard]] GradientField compute(const Image& img, CycleCounter& counter) const;
+
+  [[nodiscard]] int orientation_bins() const { return bins_; }
+
+ private:
+  /// Hardware-style orientation quantization without trig: compares |gy| vs
+  /// |gx| against fixed-point slope thresholds.
+  [[nodiscard]] std::uint8_t quantize_orientation(int gx, int gy) const;
+
+  int bins_;
+};
+
+}  // namespace hemp

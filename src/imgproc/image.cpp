@@ -1,0 +1,120 @@
+#include "imgproc/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hemp {
+
+namespace {
+// Validate before the pixel vector is sized: a negative dimension must throw
+// ModelError, not overflow into a gigantic allocation.
+std::size_t checked_pixel_count(int width, int height) {
+  HEMP_REQUIRE(width > 0 && height > 0, "Image: dimensions must be positive");
+  return static_cast<std::size_t>(width) * static_cast<std::size_t>(height);
+}
+}  // namespace
+
+Image::Image(int width, int height, std::uint8_t fill)
+    : width_(width), height_(height), pixels_(checked_pixel_count(width, height), fill) {}
+
+std::uint8_t Image::at(int x, int y) const {
+  HEMP_CHECK_RANGE(x >= 0 && x < width_ && y >= 0 && y < height_,
+                   "Image: pixel out of bounds");
+  return pixels_[static_cast<std::size_t>(y) * width_ + x];
+}
+
+void Image::set(int x, int y, std::uint8_t value) {
+  HEMP_CHECK_RANGE(x >= 0 && x < width_ && y >= 0 && y < height_,
+                   "Image: pixel out of bounds");
+  pixels_[static_cast<std::size_t>(y) * width_ + x] = value;
+}
+
+std::uint8_t Image::at_clamped(int x, int y) const {
+  x = std::clamp(x, 0, width_ - 1);
+  y = std::clamp(y, 0, height_ - 1);
+  return pixels_[static_cast<std::size_t>(y) * width_ + x];
+}
+
+Image Image::ramp(int width, int height) {
+  Image img(width, height);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      img.set(x, y, static_cast<std::uint8_t>(255 * x / std::max(width - 1, 1)));
+    }
+  }
+  return img;
+}
+
+Image Image::square(int width, int height, int half_side, std::uint8_t fg,
+                    std::uint8_t bg) {
+  HEMP_REQUIRE(half_side > 0, "Image::square: half side must be positive");
+  Image img(width, height, bg);
+  const int cx = width / 2, cy = height / 2;
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      if (std::abs(x - cx) <= half_side && std::abs(y - cy) <= half_side) {
+        img.set(x, y, fg);
+      }
+    }
+  }
+  return img;
+}
+
+Image Image::disc(int width, int height, int radius, std::uint8_t fg, std::uint8_t bg) {
+  HEMP_REQUIRE(radius > 0, "Image::disc: radius must be positive");
+  Image img(width, height, bg);
+  const int cx = width / 2, cy = height / 2;
+  const int r2 = radius * radius;
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const int dx = x - cx, dy = y - cy;
+      if (dx * dx + dy * dy <= r2) img.set(x, y, fg);
+    }
+  }
+  return img;
+}
+
+Image Image::cross(int width, int height, int thickness, std::uint8_t fg,
+                   std::uint8_t bg) {
+  HEMP_REQUIRE(thickness > 0, "Image::cross: thickness must be positive");
+  Image img(width, height, bg);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      // Two diagonals of the frame.
+      const int d1 = std::abs(x * (height - 1) - y * (width - 1)) / std::max(width, height);
+      const int d2 = std::abs(x * (height - 1) + y * (width - 1) - (width - 1) * (height - 1)) /
+                     std::max(width, height);
+      if (d1 <= thickness || d2 <= thickness) img.set(x, y, fg);
+    }
+  }
+  return img;
+}
+
+Image Image::stripes(int width, int height, int period, std::uint8_t fg, std::uint8_t bg) {
+  HEMP_REQUIRE(period >= 2, "Image::stripes: period must be >= 2");
+  Image img(width, height, bg);
+  for (int y = 0; y < height; ++y) {
+    if ((y / (period / 2)) % 2 == 0) continue;
+    for (int x = 0; x < width; ++x) img.set(x, y, fg);
+  }
+  return img;
+}
+
+Image Image::noise(int width, int height, std::uint32_t seed) {
+  Image img(width, height);
+  // xorshift32: deterministic, no <random> heft needed for test patterns.
+  std::uint32_t s = seed ? seed : 1u;
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      s ^= s << 13;
+      s ^= s >> 17;
+      s ^= s << 5;
+      img.set(x, y, static_cast<std::uint8_t>(s & 0xFF));
+    }
+  }
+  return img;
+}
+
+}  // namespace hemp

@@ -1,0 +1,56 @@
+// 8-bit grayscale image container plus synthetic pattern generators.
+//
+// The paper's test chip processes externally scanned-in low-resolution frames
+// (64x64 pixels, Sec. VII).  Synthetic patterns stand in for the camera: they
+// give the recognition pipeline distinguishable classes to classify and give
+// the cycle model realistic data-dependent work.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hemp {
+
+class Image {
+ public:
+  Image(int width, int height, std::uint8_t fill = 0);
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+  [[nodiscard]] std::size_t pixel_count() const { return pixels_.size(); }
+
+  [[nodiscard]] std::uint8_t at(int x, int y) const;
+  void set(int x, int y, std::uint8_t value);
+
+  /// Clamped access: coordinates outside the frame read the nearest edge
+  /// pixel (border handling for convolution).
+  [[nodiscard]] std::uint8_t at_clamped(int x, int y) const;
+
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const { return pixels_; }
+
+  // --- Synthetic pattern generators ------------------------------------------
+
+  /// Horizontal luminance ramp (strong vertical edges everywhere).
+  static Image ramp(int width, int height);
+  /// Filled square centered in the frame.
+  static Image square(int width, int height, int half_side, std::uint8_t fg = 230,
+                      std::uint8_t bg = 30);
+  /// Filled disc centered in the frame.
+  static Image disc(int width, int height, int radius, std::uint8_t fg = 230,
+                    std::uint8_t bg = 30);
+  /// X-shaped cross of the given arm thickness.
+  static Image cross(int width, int height, int thickness, std::uint8_t fg = 230,
+                     std::uint8_t bg = 30);
+  /// Horizontal stripes with the given period.
+  static Image stripes(int width, int height, int period, std::uint8_t fg = 230,
+                       std::uint8_t bg = 30);
+  /// Uniform pseudo-random noise (deterministic for a given seed).
+  static Image noise(int width, int height, std::uint32_t seed);
+
+ private:
+  int width_;
+  int height_;
+  std::vector<std::uint8_t> pixels_;
+};
+
+}  // namespace hemp

@@ -1,0 +1,62 @@
+#include "imgproc/pipeline.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace hemp {
+
+void PipelineParams::validate() const {
+  HEMP_REQUIRE(orientation_bins >= 2, "Pipeline: need >= 2 orientation bins");
+  extractor.validate();
+  cycle_costs.validate();
+}
+
+RecognitionPipeline::RecognitionPipeline(PipelineParams params,
+                                         LinearClassifier classifier)
+    : params_(std::move(params)),
+      gradients_(params_.orientation_bins),
+      extractor_(params_.extractor, params_.orientation_bins),
+      classifier_(std::move(classifier)) {
+  params_.validate();
+  HEMP_REQUIRE(classifier_.dims() == extractor_.dims_per_window(),
+               "Pipeline: classifier dims must match the pooled feature dims");
+}
+
+RecognitionResult RecognitionPipeline::process(const Image& frame) const {
+  CycleCounter counter(params_.cycle_costs);
+  const GradientField grad = gradients_.compute(frame, counter);
+  const FeatureSet features = extractor_.extract(grad, counter);
+  const std::vector<float> pooled = pool_features(features);
+  // Pooling: one MAC per (window, dim).
+  counter.charge_mac(features.window_count() * static_cast<std::size_t>(features.dims));
+  RecognitionResult out;
+  out.scores = classifier_.scores(pooled, counter);
+  out.predicted_class = classifier_.classify(pooled, counter);
+  out.cycles = counter.cycles();
+  return out;
+}
+
+double RecognitionPipeline::frame_cycles(int width, int height) const {
+  return process(Image::ramp(width, height)).cycles;
+}
+
+std::vector<float> RecognitionPipeline::describe(const Image& frame) const {
+  CycleCounter counter(params_.cycle_costs);
+  const GradientField grad = gradients_.compute(frame, counter);
+  const FeatureSet features = extractor_.extract(grad, counter);
+  return pool_features(features);
+}
+
+RecognitionPipeline RecognitionPipeline::make_test_chip_pipeline(int classes) {
+  PipelineParams params;
+  params.orientation_bins = 8;
+  params.extractor.cell_size = 8;
+  params.extractor.window_cells = 2;
+  params.extractor.window_stride = 8;
+  const int dims = params.extractor.window_cells * params.extractor.window_cells *
+                   params.orientation_bins;
+  return RecognitionPipeline(params, LinearClassifier(classes, dims));
+}
+
+}  // namespace hemp

@@ -1,0 +1,61 @@
+// End-to-end recognition pipeline: scan-in -> Sobel gradients -> windowed
+// gradient features -> pooled frame descriptor -> linear classification.
+// This is the workload ("job") the paper's energy manager schedules; the
+// cycle count it reports drives every timing experiment (Secs. VI-VII).
+#pragma once
+
+#include <vector>
+
+#include "imgproc/classifier.hpp"
+#include "imgproc/cycle_model.hpp"
+#include "imgproc/features.hpp"
+#include "imgproc/gradient.hpp"
+#include "imgproc/image.hpp"
+
+namespace hemp {
+
+struct PipelineParams {
+  int orientation_bins = 8;
+  FeatureExtractorParams extractor{};
+  CycleCosts cycle_costs{};
+
+  void validate() const;
+};
+
+struct RecognitionResult {
+  int predicted_class = -1;
+  std::vector<float> scores;
+  double cycles = 0.0;  ///< total cycles charged for this frame
+};
+
+class RecognitionPipeline {
+ public:
+  RecognitionPipeline(PipelineParams params, LinearClassifier classifier);
+
+  /// Process one frame end to end.
+  [[nodiscard]] RecognitionResult process(const Image& frame) const;
+
+  /// Cycle cost of one frame of the given size (runs the pipeline on a
+  /// synthetic frame; the count is data-independent up to noise in the
+  /// histogram, so this is what the scheduler budgets with).
+  [[nodiscard]] double frame_cycles(int width, int height) const;
+
+  /// Extract the pooled frame descriptor without classifying (training path).
+  [[nodiscard]] std::vector<float> describe(const Image& frame) const;
+
+  [[nodiscard]] int feature_dims() const { return extractor_.dims_per_window(); }
+  [[nodiscard]] const PipelineParams& params() const { return params_; }
+  [[nodiscard]] const LinearClassifier& classifier() const { return classifier_; }
+
+  /// Pipeline with geometry matching the paper's 64x64-frame test chip and an
+  /// untrained placeholder classifier of `classes` classes.
+  static RecognitionPipeline make_test_chip_pipeline(int classes = 4);
+
+ private:
+  PipelineParams params_;
+  GradientEngine gradients_;
+  FeatureExtractor extractor_;
+  LinearClassifier classifier_;
+};
+
+}  // namespace hemp

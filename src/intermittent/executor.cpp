@@ -1,0 +1,163 @@
+#include "intermittent/executor.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace hemp {
+
+std::string to_string(IntermittentStrategy s) {
+  switch (s) {
+    case IntermittentStrategy::kRestart: return "restart";
+    case IntermittentStrategy::kTaskAtomic: return "task-atomic";
+    case IntermittentStrategy::kCheckpoint: return "checkpoint";
+  }
+  throw ModelError("to_string: unknown intermittent strategy");
+}
+
+void IntermittentExecutorParams::validate() const {
+  HEMP_REQUIRE(op.vdd.value() > 0.0 && op.frequency.value() > 0.0,
+               "IntermittentExecutor: bad operating point");
+  HEMP_REQUIRE(checkpoint_threshold.value() > 0.0,
+               "IntermittentExecutor: bad checkpoint threshold");
+  HEMP_REQUIRE(checkpoint_cycles >= 0.0 && restore_cycles >= 0.0,
+               "IntermittentExecutor: negative overhead cycles");
+  HEMP_REQUIRE(reboot_voltage > checkpoint_threshold,
+               "IntermittentExecutor: reboot voltage must exceed the checkpoint threshold");
+}
+
+IntermittentExecutor::IntermittentExecutor(TaskProgram program,
+                                           const IntermittentExecutorParams& params)
+    : program_(std::move(program)), params_(params) {
+  params_.validate();
+}
+
+void IntermittentExecutor::on_start(const SocState& state, SocCommand& cmd) {
+  (void)state;
+  cmd.path = params_.path;
+  cmd.vdd_target = params_.op.vdd;
+  cmd.frequency = params_.op.frequency;
+  cmd.run = true;
+}
+
+void IntermittentExecutor::power_failure() {
+  ++stats_.power_failures;
+  const double progress = program_.cycles_before(task_index_) + task_progress_;
+  switch (params_.strategy) {
+    case IntermittentStrategy::kRestart:
+      stats_.wasted_cycles += progress;
+      task_index_ = 0;
+      task_progress_ = 0.0;
+      break;
+    case IntermittentStrategy::kTaskAtomic:
+      // Completed tasks are committed; only the in-flight task re-executes.
+      stats_.wasted_cycles += task_progress_;
+      task_progress_ = 0.0;
+      break;
+    case IntermittentStrategy::kCheckpoint:
+      if (checkpoint_) {
+        const double kept =
+            program_.cycles_before(checkpoint_->first) + checkpoint_->second;
+        stats_.wasted_cycles += std::max(progress - kept, 0.0);
+        task_index_ = checkpoint_->first;
+        task_progress_ = checkpoint_->second;
+        phase_ = Phase::kRestoring;
+        overhead_progress_ = 0.0;
+      } else {
+        stats_.wasted_cycles += progress;
+        task_index_ = 0;
+        task_progress_ = 0.0;
+        phase_ = Phase::kRunning;
+      }
+      break;
+  }
+  if (params_.strategy != IntermittentStrategy::kCheckpoint) {
+    phase_ = Phase::kRunning;
+  }
+  overhead_progress_ = 0.0;
+}
+
+void IntermittentExecutor::on_tick(const SocState& state, SocCommand& cmd) {
+  const double delta = state.cycles_retired - last_total_cycles_;
+  last_total_cycles_ = state.cycles_retired;
+
+  // --- Apply retired cycles to the active phase. ------------------------------
+  if (delta > 0.0) {
+    switch (phase_) {
+      case Phase::kRunning: {
+        double remaining = delta;
+        while (remaining > 0.0) {
+          const Task& task = program_.tasks()[task_index_];
+          const double need = task.cycles - task_progress_;
+          if (remaining < need) {
+            task_progress_ += remaining;
+            remaining = 0.0;
+          } else {
+            remaining -= need;
+            task_progress_ = 0.0;
+            ++task_index_;
+            if (task_index_ == program_.size()) {
+              ++stats_.programs_completed;
+              stats_.useful_cycles += program_.total_cycles();
+              task_index_ = 0;
+              // Invalidate the old checkpoint: it refers to finished work.
+              checkpoint_.reset();
+            }
+          }
+        }
+        break;
+      }
+      case Phase::kSavingCheckpoint:
+        overhead_progress_ += delta;
+        if (overhead_progress_ >= params_.checkpoint_cycles) {
+          checkpoint_ = {task_index_, task_progress_};
+          ++stats_.checkpoints_written;
+          stats_.wasted_cycles += params_.checkpoint_cycles;
+          overhead_progress_ = 0.0;
+          // Hibernus-style: sleep after saving and wait out the brownout.
+          phase_ = Phase::kRunning;
+          cmd.run = false;
+        }
+        break;
+      case Phase::kRestoring:
+        overhead_progress_ += delta;
+        if (overhead_progress_ >= params_.restore_cycles) {
+          ++stats_.restores;
+          stats_.wasted_cycles += params_.restore_cycles;
+          overhead_progress_ = 0.0;
+          phase_ = Phase::kRunning;
+        }
+        break;
+      case Phase::kDead:
+        break;
+    }
+  }
+
+  // --- Power-failure detection. -----------------------------------------------
+  if (was_running_ && !state.processor_running && cmd.run) {
+    power_failure();
+    cmd.run = false;  // stay down until the rail genuinely recovers
+  }
+  was_running_ = state.processor_running;
+
+  // --- Reboot once the rail recovers. -----------------------------------------
+  if (!cmd.run && state.v_dd >= params_.reboot_voltage) {
+    cmd.run = true;
+  }
+
+  // --- Checkpoint trigger (low-voltage comparator on the rail). ---------------
+  if (params_.strategy == IntermittentStrategy::kCheckpoint &&
+      phase_ == Phase::kRunning && cmd.run && state.processor_running &&
+      state.v_dd < params_.checkpoint_threshold &&
+      state.v_dd >= Volts(0.0)) {
+    // Save only if we have no fresh checkpoint of this exact position.
+    if (!checkpoint_ || checkpoint_->first != task_index_ ||
+        checkpoint_->second != task_progress_) {
+      phase_ = Phase::kSavingCheckpoint;
+      overhead_progress_ = 0.0;
+    }
+  }
+}
+
+}  // namespace hemp

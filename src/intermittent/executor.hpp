@@ -1,0 +1,85 @@
+// Intermittent execution strategies over the transient SoC.
+//
+// Three ways to survive power failures (paper Sec. I, refs [14-16]):
+//   * kRestart   — no persistence: a brownout restarts the program.
+//   * kTaskAtomic — Alpaca-style: completed tasks persist (their outputs are
+//     committed to non-volatile state); a brownout loses only the task in
+//     flight.
+//   * kCheckpoint — Hibernus-style: a low-voltage comparator triggers a
+//     volatile-state checkpoint to NVM before the rail dies; restore resumes
+//     mid-task at checkpoint granularity.
+//
+// The executor is a SocController: it runs the program at a fixed operating
+// point through whatever supply the simulator provides and keeps survival
+// statistics.  The paper's own answer — scheduling so failures don't happen
+// at all — is the EnergyManager; benches compare the two worlds.
+#pragma once
+
+#include <optional>
+
+#include "intermittent/program.hpp"
+#include "processor/processor.hpp"
+#include "sim/soc_system.hpp"
+
+namespace hemp {
+
+enum class IntermittentStrategy { kRestart, kTaskAtomic, kCheckpoint };
+
+std::string to_string(IntermittentStrategy s);
+
+struct IntermittentExecutorParams {
+  IntermittentStrategy strategy = IntermittentStrategy::kTaskAtomic;
+  /// Operating point the program runs at.
+  OperatingPoint op{Volts(0.5), Hertz(500e6)};
+  /// Power path (regulated by default; bypass for PVS-style setups).
+  PowerPath path = PowerPath::kRegulated;
+  /// Rail voltage below which the checkpoint strategy saves state (must sit
+  /// above the processor's minimum operating voltage to leave save energy).
+  Volts checkpoint_threshold{0.34};
+  /// Cost of writing a checkpoint / restoring one (NVM traffic).
+  double checkpoint_cycles = 40e3;
+  double restore_cycles = 25e3;
+  /// Rail voltage at which a powered-down node restarts.
+  Volts reboot_voltage{0.45};
+
+  void validate() const;
+};
+
+class IntermittentExecutor : public SocController {
+ public:
+  IntermittentExecutor(TaskProgram program, const IntermittentExecutorParams& params);
+
+  void on_start(const SocState& state, SocCommand& cmd) override;
+  void on_tick(const SocState& state, SocCommand& cmd) override;
+
+  struct Stats {
+    int programs_completed = 0;
+    int power_failures = 0;
+    int checkpoints_written = 0;
+    int restores = 0;
+    double useful_cycles = 0.0;  ///< cycles that contributed to final progress
+    double wasted_cycles = 0.0;  ///< re-executed or lost to failures
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t current_task() const { return task_index_; }
+
+ private:
+  void power_failure();
+
+  TaskProgram program_;
+  IntermittentExecutorParams params_;
+
+  enum class Phase { kRunning, kSavingCheckpoint, kRestoring, kDead };
+  Phase phase_ = Phase::kRunning;
+
+  std::size_t task_index_ = 0;      ///< next task to complete
+  double task_progress_ = 0.0;      ///< cycles into the current task
+  double overhead_progress_ = 0.0;  ///< cycles into a save/restore
+  /// Checkpointed state: (task index, cycles into that task).
+  std::optional<std::pair<std::size_t, double>> checkpoint_;
+  bool was_running_ = false;
+  double last_total_cycles_ = 0.0;
+  Stats stats_;
+};
+
+}  // namespace hemp

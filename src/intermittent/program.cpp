@@ -1,0 +1,39 @@
+#include "intermittent/program.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "imgproc/pipeline.hpp"
+
+namespace hemp {
+
+TaskProgram::TaskProgram(std::vector<Task> tasks) : tasks_(std::move(tasks)) {
+  HEMP_REQUIRE(!tasks_.empty(), "TaskProgram: need at least one task");
+  for (const Task& t : tasks_) {
+    HEMP_REQUIRE(t.cycles > 0.0, "TaskProgram: task cycles must be positive");
+    total_cycles_ += t.cycles;
+  }
+}
+
+double TaskProgram::cycles_before(std::size_t index) const {
+  HEMP_CHECK_RANGE(index <= tasks_.size(), "TaskProgram: index out of range");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < index; ++i) sum += tasks_[i].cycles;
+  return sum;
+}
+
+TaskProgram TaskProgram::recognition_frame(int width, int height) {
+  // Apportion the calibrated frame cost across the pipeline stages with the
+  // rough split the cycle model produces (scan-in heavy, features next).
+  const double total =
+      RecognitionPipeline::make_test_chip_pipeline().frame_cycles(width, height);
+  return TaskProgram({
+      {"scan_in", total * 0.34},
+      {"gradients", total * 0.38},
+      {"cell_histograms", total * 0.14},
+      {"window_features", total * 0.12},
+      {"classify", total * 0.02},
+  });
+}
+
+}  // namespace hemp

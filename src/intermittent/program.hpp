@@ -1,0 +1,43 @@
+// Task-structured programs for intermittent execution.
+//
+// The paper's introduction situates its scheduling against the intermittent-
+// computing line of work: checkpointing systems (Hibernus++ [14]) and
+// task-based runtimes (Alpaca [16]) preserve forward progress through the
+// power failures that a battery-less supply inflicts.  This module provides
+// the program abstraction those strategies execute over: a linear sequence
+// of atomic tasks with known cycle costs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace hemp {
+
+struct Task {
+  std::string name;
+  double cycles = 0.0;
+};
+
+class TaskProgram {
+ public:
+  explicit TaskProgram(std::vector<Task> tasks);
+
+  [[nodiscard]] const std::vector<Task>& tasks() const { return tasks_; }
+  [[nodiscard]] std::size_t size() const { return tasks_.size(); }
+  [[nodiscard]] double total_cycles() const { return total_cycles_; }
+  /// Cycles of tasks [0, index) — the progress represented by having
+  /// completed `index` tasks.
+  [[nodiscard]] double cycles_before(std::size_t index) const;
+
+  /// The paper's recognition workload split into its pipeline stages
+  /// (scan-in, gradients, features, classify), sized for a WxH frame.
+  static TaskProgram recognition_frame(int width = 64, int height = 64);
+
+ private:
+  std::vector<Task> tasks_;
+  double total_cycles_ = 0.0;
+};
+
+}  // namespace hemp

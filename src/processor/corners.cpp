@@ -1,0 +1,62 @@
+#include "processor/corners.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hemp {
+
+std::string to_string(ProcessCorner corner) {
+  switch (corner) {
+    case ProcessCorner::kSlowSlow: return "SS";
+    case ProcessCorner::kTypical: return "TT";
+    case ProcessCorner::kFastFast: return "FF";
+  }
+  throw ModelError("to_string: unknown process corner");
+}
+
+void OperatingConditions::validate() const {
+  HEMP_REQUIRE(temperature_c >= -55.0 && temperature_c <= 150.0,
+               "OperatingConditions: temperature outside silicon range");
+}
+
+Processor make_test_chip_at(const OperatingConditions& conditions) {
+  conditions.validate();
+
+  SpeedModelParams speed;  // typical-corner defaults
+  PowerModelParams power;
+
+  double vth_shift = 0.0;
+  double drive_scale = 1.0;
+  double leak_scale = 1.0;
+  switch (conditions.corner) {
+    case ProcessCorner::kSlowSlow:
+      vth_shift = +0.04;
+      drive_scale = 0.85;
+      leak_scale = 0.4;
+      break;
+    case ProcessCorner::kTypical:
+      break;
+    case ProcessCorner::kFastFast:
+      vth_shift = -0.04;
+      drive_scale = 1.15;
+      leak_scale = 2.5;
+      break;
+  }
+
+  const double dt = conditions.temperature_c - 25.0;
+  vth_shift -= 1e-3 * dt;                    // Vth drops ~1 mV/K
+  leak_scale *= std::exp2(dt / 30.0);        // leakage doubles every 30 K
+
+  speed.threshold = Volts(speed.threshold.value() + vth_shift);
+  speed.reference_frequency =
+      Hertz(speed.reference_frequency.value() * drive_scale);
+  power.leakage_base = Amps(power.leakage_base.value() * leak_scale);
+
+  const std::string name = "65nm-image-processor-" + to_string(conditions.corner) +
+                           "-" + std::to_string(static_cast<int>(conditions.temperature_c)) +
+                           "C";
+  return Processor(SpeedModel(speed), PowerModel(power), name);
+}
+
+}  // namespace hemp

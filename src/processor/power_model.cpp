@@ -1,0 +1,53 @@
+#include "processor/power_model.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hemp {
+
+void PowerModelParams::validate() const {
+  HEMP_REQUIRE(effective_capacitance.value() > 0.0,
+               "PowerModel: effective capacitance must be positive");
+  HEMP_REQUIRE(leakage_base.value() >= 0.0,
+               "PowerModel: leakage base must be non-negative");
+  HEMP_REQUIRE(dibl_voltage.value() > 0.0, "PowerModel: DIBL voltage must be positive");
+}
+
+PowerModel::PowerModel(const PowerModelParams& params) : params_(params) {
+  params_.validate();
+}
+
+Watts PowerModel::dynamic_power(Volts vdd, Hertz f) const {
+  HEMP_CHECK_RANGE(vdd.value() >= 0.0, "PowerModel: negative supply");
+  HEMP_CHECK_RANGE(f.value() >= 0.0, "PowerModel: negative frequency");
+  const double v = vdd.value();
+  return Watts(params_.effective_capacitance.value() * v * v * f.value());
+}
+
+Watts PowerModel::leakage_power(Volts vdd) const {
+  HEMP_CHECK_RANGE(vdd.value() >= 0.0, "PowerModel: negative supply");
+  const double v = vdd.value();
+  return Watts(v * params_.leakage_base.value() *
+               std::exp(v / params_.dibl_voltage.value()));
+}
+
+Watts PowerModel::total_power(Volts vdd, Hertz f) const {
+  return dynamic_power(vdd, f) + leakage_power(vdd);
+}
+
+Joules PowerModel::dynamic_energy_per_cycle(Volts vdd) const {
+  const double v = vdd.value();
+  return Joules(params_.effective_capacitance.value() * v * v);
+}
+
+Joules PowerModel::leakage_energy_per_cycle(Volts vdd, Hertz f) const {
+  HEMP_CHECK_RANGE(f.value() > 0.0, "PowerModel: leakage per cycle needs f > 0");
+  return leakage_power(vdd) * Seconds(1.0 / f.value());
+}
+
+Joules PowerModel::energy_per_cycle(Volts vdd, Hertz f) const {
+  return dynamic_energy_per_cycle(vdd) + leakage_energy_per_cycle(vdd, f);
+}
+
+}  // namespace hemp

@@ -1,0 +1,50 @@
+// Microprocessor power and energy model.
+//
+//   P_dyn  = Ceff * Vdd^2 * f                         (switched capacitance)
+//   P_leak = Vdd * I_leak0 * exp(Vdd / V_dibl)        (subthreshold + DIBL)
+//   E/cycle = Ceff * Vdd^2 + P_leak / f               (paper Eq. 5 operands)
+//
+// The leakage term is what creates a minimum-energy point: dynamic energy
+// falls quadratically with Vdd while leakage energy per cycle explodes as the
+// clock slows.  Calibrated against the paper's Fig. 11a shape (conventional
+// MEP near 0.33 V for the 65 nm image processor).
+#pragma once
+
+#include "common/units.hpp"
+#include "processor/speed_model.hpp"
+
+namespace hemp {
+
+struct PowerModelParams {
+  /// Effective switched capacitance per cycle (activity-weighted).
+  Farads effective_capacitance{45e-12};
+  /// Leakage current prefactor at Vdd -> 0.
+  Amps leakage_base{0.38e-3};
+  /// DIBL/stack voltage scale for leakage growth with Vdd.
+  Volts dibl_voltage{0.4};
+
+  void validate() const;
+};
+
+class PowerModel {
+ public:
+  explicit PowerModel(const PowerModelParams& params = {});
+
+  [[nodiscard]] Watts dynamic_power(Volts vdd, Hertz f) const;
+  [[nodiscard]] Watts leakage_power(Volts vdd) const;
+  [[nodiscard]] Watts total_power(Volts vdd, Hertz f) const;
+
+  /// Dynamic energy of one clock cycle at `vdd` (frequency-independent).
+  [[nodiscard]] Joules dynamic_energy_per_cycle(Volts vdd) const;
+  /// Leakage energy charged to one cycle when clocking at `f`.
+  [[nodiscard]] Joules leakage_energy_per_cycle(Volts vdd, Hertz f) const;
+  /// Total energy per cycle at `vdd` clocked at `f`.
+  [[nodiscard]] Joules energy_per_cycle(Volts vdd, Hertz f) const;
+
+  [[nodiscard]] const PowerModelParams& params() const { return params_; }
+
+ private:
+  PowerModelParams params_;
+};
+
+}  // namespace hemp

@@ -1,0 +1,53 @@
+#include "regulator/bank.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "common/error.hpp"
+#include "regulator/buck.hpp"
+#include "regulator/bypass.hpp"
+#include "regulator/ldo.hpp"
+#include "regulator/switched_cap.hpp"
+
+namespace hemp {
+
+std::size_t RegulatorBank::add(RegulatorPtr regulator) {
+  HEMP_REQUIRE(regulator != nullptr, "RegulatorBank: null regulator");
+  regulators_.push_back(std::move(regulator));
+  return regulators_.size() - 1;
+}
+
+const Regulator& RegulatorBank::at(std::size_t i) const {
+  HEMP_CHECK_RANGE(i < regulators_.size(), "RegulatorBank: index out of range");
+  return *regulators_[i];
+}
+
+const Regulator* RegulatorBank::find(RegulatorKind kind) const {
+  for (const auto& r : regulators_) {
+    if (r->kind() == kind) return r.get();
+  }
+  return nullptr;
+}
+
+std::optional<RegulatorBank::Selection> RegulatorBank::best_for(Volts vin, Volts vout,
+                                                                Watts pout) const {
+  std::optional<Selection> best;
+  for (const auto& r : regulators_) {
+    if (!r->supports(vin, vout)) continue;
+    if (pout > r->rated_load()) continue;
+    const double eta = r->efficiency(vin, vout, pout);
+    if (!best || eta > best->efficiency) best = Selection{r.get(), eta};
+  }
+  return best;
+}
+
+RegulatorBank RegulatorBank::paper_bank(bool include_bypass) {
+  RegulatorBank bank;
+  bank.add(std::make_unique<Ldo>());
+  bank.add(std::make_unique<SwitchedCapRegulator>());
+  bank.add(std::make_unique<BuckRegulator>());
+  if (include_bypass) bank.add(std::make_unique<BypassSwitch>());
+  return bank;
+}
+
+}  // namespace hemp

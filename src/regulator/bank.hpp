@@ -1,0 +1,43 @@
+// A bank of candidate regulators with selection helpers.
+//
+// The holistic optimizer compares LDO / SC / buck / bypass at each operating
+// point (paper Fig. 6b, Fig. 7); the bank owns the models and answers "which
+// regulator delivers the most output power here".
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "regulator/regulator.hpp"
+
+namespace hemp {
+
+class RegulatorBank {
+ public:
+  RegulatorBank() = default;
+
+  /// Take ownership of a regulator model.  Returns its index in the bank.
+  std::size_t add(RegulatorPtr regulator);
+
+  [[nodiscard]] std::size_t size() const { return regulators_.size(); }
+  [[nodiscard]] const Regulator& at(std::size_t i) const;
+  [[nodiscard]] const Regulator* find(RegulatorKind kind) const;
+
+  struct Selection {
+    const Regulator* regulator = nullptr;
+    double efficiency = 0.0;
+  };
+
+  /// Most efficient regulator able to deliver `pout` at `vout` from `vin`;
+  /// nullopt when none supports the point.
+  [[nodiscard]] std::optional<Selection> best_for(Volts vin, Volts vout,
+                                                  Watts pout) const;
+
+  /// Build the bank studied in the paper: LDO + SC + buck (+ optional bypass).
+  static RegulatorBank paper_bank(bool include_bypass = true);
+
+ private:
+  std::vector<RegulatorPtr> regulators_;
+};
+
+}  // namespace hemp

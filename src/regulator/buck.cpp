@@ -1,0 +1,47 @@
+#include "regulator/buck.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hemp {
+
+void BuckParams::validate() const {
+  HEMP_REQUIRE(conduction_resistance.value() >= 0.0,
+               "Buck: conduction resistance must be non-negative");
+  HEMP_REQUIRE(switching_loss_per_v2 >= 0.0,
+               "Buck: switching loss coefficient must be non-negative");
+  HEMP_REQUIRE(control_power.value() >= 0.0, "Buck: control power must be non-negative");
+  HEMP_REQUIRE(min_output.value() > 0.0 && min_output < max_output,
+               "Buck: invalid output envelope");
+  HEMP_REQUIRE(min_input.value() > 0.0 && min_input < max_input,
+               "Buck: invalid input envelope");
+  HEMP_REQUIRE(max_load.value() > 0.0, "Buck: rated load must be positive");
+}
+
+BuckRegulator::BuckRegulator(const BuckParams& params) : params_(params) {
+  params_.validate();
+}
+
+VoltageRange BuckRegulator::output_range(Volts vin) const {
+  if (vin < params_.min_input || vin > params_.max_input) {
+    // Outside the rated input rail the converter cannot start: empty range.
+    return {Volts(0.0), Volts(0.0)};
+  }
+  const Volts max(std::min(params_.max_output.value(), vin.value() * 0.9));
+  return {params_.min_output, max};
+}
+
+double BuckRegulator::efficiency(Volts vin, Volts vout, Watts pout) const {
+  HEMP_CHECK_RANGE(supports(vin, vout), "Buck: operating point outside envelope");
+  HEMP_CHECK_RANGE(pout.value() >= 0.0, "Buck: negative load power");
+  if (pout.value() == 0.0) return 0.0;
+  const double iload = pout.value() / vout.value();
+  const double p_cond = iload * iload * params_.conduction_resistance.value();
+  const double p_sw = params_.switching_loss_per_v2 * vin.value() * vin.value();
+  const double loss = p_cond + p_sw + params_.control_power.value();
+  return pout.value() / (pout.value() + loss);
+}
+
+}  // namespace hemp

@@ -1,0 +1,45 @@
+#include "regulator/bypass.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hemp {
+
+void BypassParams::validate() const {
+  HEMP_REQUIRE(on_resistance.value() >= 0.0, "Bypass: Ron must be non-negative");
+  HEMP_REQUIRE(tie_tolerance.value() >= 0.0, "Bypass: tolerance must be non-negative");
+  HEMP_REQUIRE(max_load.value() > 0.0, "Bypass: rated load must be positive");
+}
+
+BypassSwitch::BypassSwitch(const BypassParams& params) : params_(params) {
+  params_.validate();
+}
+
+VoltageRange BypassSwitch::output_range(Volts vin) const {
+  const double tol = params_.tie_tolerance.value();
+  const Volts lo(std::max(vin.value() - tol, 0.0));
+  return {lo, vin};
+}
+
+Volts BypassSwitch::dropped_output(Volts vin, Watts pout) const {
+  HEMP_CHECK_RANGE(pout.value() >= 0.0, "Bypass: negative load power");
+  if (pout.value() == 0.0) return vin;
+  // Solve vout = vin - Ron * (pout / vout)  =>  vout^2 - vin*vout + Ron*pout = 0.
+  const double ron = params_.on_resistance.value();
+  const double disc = vin.value() * vin.value() - 4.0 * ron * pout.value();
+  HEMP_CHECK_RANGE(disc >= 0.0, "Bypass: load exceeds what the switch can pass");
+  return Volts(0.5 * (vin.value() + std::sqrt(disc)));
+}
+
+double BypassSwitch::efficiency(Volts vin, Volts vout, Watts pout) const {
+  HEMP_CHECK_RANGE(supports(vin, vout), "Bypass: vout must track vin");
+  HEMP_CHECK_RANGE(pout.value() >= 0.0, "Bypass: negative load power");
+  if (pout.value() == 0.0) return 1.0;  // no standby loss: it's just a switch
+  const double iload = pout.value() / vout.value();
+  const double loss = iload * iload * params_.on_resistance.value();
+  return pout.value() / (pout.value() + loss);
+}
+
+}  // namespace hemp

@@ -1,0 +1,43 @@
+// Regulator bypass path (paper Secs. IV-B, VI-B, VII).
+//
+// Under low light or at the tail of a sprint the SoC shorts the solar node
+// directly to the processor rail through a power switch, eliminating
+// conversion loss at the cost of giving up voltage regulation (Vout follows
+// Vin).  Modelled as a switch with a small on-resistance.
+#pragma once
+
+#include "regulator/regulator.hpp"
+
+namespace hemp {
+
+struct BypassParams {
+  /// On-resistance of the bypass power switch.
+  Ohms on_resistance{1.0};
+  /// Voltage tolerance: the bypass "supports" vout only when it equals vin
+  /// within this tolerance (minus the IR drop, handled by the simulator).
+  Volts tie_tolerance{0.15};
+  Watts max_load{30e-3};
+
+  void validate() const;
+};
+
+class BypassSwitch final : public Regulator {
+ public:
+  explicit BypassSwitch(const BypassParams& params = {});
+
+  [[nodiscard]] RegulatorKind kind() const override { return RegulatorKind::kBypass; }
+  [[nodiscard]] std::string_view name() const override { return "bypass"; }
+  [[nodiscard]] VoltageRange output_range(Volts vin) const override;
+  [[nodiscard]] double efficiency(Volts vin, Volts vout, Watts pout) const override;
+  [[nodiscard]] Watts rated_load() const override { return params_.max_load; }
+
+  /// Output voltage after the IR drop when delivering `pout` from `vin`.
+  [[nodiscard]] Volts dropped_output(Volts vin, Watts pout) const;
+
+  [[nodiscard]] const BypassParams& params() const { return params_; }
+
+ private:
+  BypassParams params_;
+};
+
+}  // namespace hemp

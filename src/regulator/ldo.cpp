@@ -1,0 +1,34 @@
+#include "regulator/ldo.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace hemp {
+
+void LdoParams::validate() const {
+  HEMP_REQUIRE(dropout.value() >= 0.0, "Ldo: dropout must be non-negative");
+  HEMP_REQUIRE(quiescent_current.value() >= 0.0, "Ldo: Iq must be non-negative");
+  HEMP_REQUIRE(min_output.value() > 0.0, "Ldo: min output must be positive");
+  HEMP_REQUIRE(max_load.value() > 0.0, "Ldo: rated load must be positive");
+}
+
+Ldo::Ldo(const LdoParams& params) : params_(params) { params_.validate(); }
+
+VoltageRange Ldo::output_range(Volts vin) const {
+  const Volts max(std::max(vin.value() - params_.dropout.value(), 0.0));
+  return {params_.min_output, max};
+}
+
+double Ldo::efficiency(Volts vin, Volts vout, Watts pout) const {
+  HEMP_CHECK_RANGE(supports(vin, vout), "Ldo: operating point outside envelope");
+  HEMP_CHECK_RANGE(pout.value() >= 0.0, "Ldo: negative load power");
+  if (pout.value() == 0.0) return 0.0;
+  // All load current passes through the series device at Vin, plus Iq:
+  //   Pin = Vin * (Iload + Iq),  eta = Vout*Iload / Pin.
+  const double iload = pout.value() / vout.value();
+  const double iin = iload + params_.quiescent_current.value();
+  return pout.value() / (vin.value() * iin);
+}
+
+}  // namespace hemp

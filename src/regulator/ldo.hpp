@@ -1,0 +1,43 @@
+// Low-dropout linear regulator model (paper Fig. 3).
+//
+// The LDO drops Vin - Vout resistively, so its efficiency is fundamentally
+// bounded by Vout / Vin regardless of load — the property that makes it
+// useless for the paper's holistic gain (Sec. IV-A: "The LDO does not bring
+// any efficiency improvement over raw solar cell").  Calibrated to ~45% at
+// Vout = 0.55 V from a ~1.2 V solar input.
+#pragma once
+
+#include "regulator/regulator.hpp"
+
+namespace hemp {
+
+struct LdoParams {
+  /// Minimum headroom required between input and output (pass-device dropout).
+  Volts dropout{0.05};
+  /// Quiescent current of the error amplifier / reference.
+  Amps quiescent_current{3e-6};
+  /// Smallest output the reference can regulate to.
+  Volts min_output{0.2};
+  /// Rated maximum load.
+  Watts max_load{20e-3};
+
+  void validate() const;
+};
+
+class Ldo final : public Regulator {
+ public:
+  explicit Ldo(const LdoParams& params = {});
+
+  [[nodiscard]] RegulatorKind kind() const override { return RegulatorKind::kLdo; }
+  [[nodiscard]] std::string_view name() const override { return "LDO"; }
+  [[nodiscard]] VoltageRange output_range(Volts vin) const override;
+  [[nodiscard]] double efficiency(Volts vin, Volts vout, Watts pout) const override;
+  [[nodiscard]] Watts rated_load() const override { return params_.max_load; }
+
+  [[nodiscard]] const LdoParams& params() const { return params_; }
+
+ private:
+  LdoParams params_;
+};
+
+}  // namespace hemp

@@ -1,0 +1,55 @@
+#include "regulator/regulator.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/numeric.hpp"
+
+namespace hemp {
+
+std::string to_string(RegulatorKind k) {
+  switch (k) {
+    case RegulatorKind::kLdo: return "LDO";
+    case RegulatorKind::kSwitchedCap: return "SC";
+    case RegulatorKind::kBuck: return "buck";
+    case RegulatorKind::kBypass: return "bypass";
+  }
+  throw ModelError("to_string: unknown regulator kind");
+}
+
+bool Regulator::supports(Volts vin, Volts vout) const {
+  return output_range(vin).contains(vout);
+}
+
+Watts Regulator::input_power(Volts vin, Volts vout, Watts pout) const {
+  HEMP_CHECK_RANGE(pout.value() >= 0.0, "Regulator: negative load power");
+  const double eta = efficiency(vin, vout, pout);
+  if (pout.value() == 0.0) {
+    // Standby draw: probe the loss model with a vanishing load.
+    const Watts probe(1e-9);
+    const double eta_probe = efficiency(vin, vout, probe);
+    if (eta_probe <= 0.0) return Watts(0.0);
+    return Watts(probe.value() / eta_probe - probe.value());
+  }
+  HEMP_CHECK_RANGE(eta > 0.0, "Regulator: zero efficiency at nonzero load");
+  return Watts(pout.value() / eta);
+}
+
+Watts Regulator::output_power(Volts vin, Volts vout, Watts pin) const {
+  HEMP_CHECK_RANGE(pin.value() >= 0.0, "Regulator: negative input power");
+  if (pin.value() == 0.0) return Watts(0.0);
+  // input_power is strictly increasing in pout; bracket and invert.
+  auto f = [&](double pout) {
+    return input_power(vin, vout, Watts(pout)).value() - pin.value();
+  };
+  const double standby = input_power(vin, vout, Watts(0.0)).value();
+  if (pin.value() <= standby) return Watts(0.0);
+  double hi = rated_load().value();
+  if (f(hi) < 0.0) {
+    // Input power exceeds what the rated load would draw; saturate at rating.
+    return rated_load();
+  }
+  return Watts(numeric::brent_root(f, 0.0, hi, {.x_tol = 1e-12}));
+}
+
+}  // namespace hemp

@@ -1,0 +1,61 @@
+// Abstract on-chip voltage regulator interface.
+//
+// The holistic optimizer (paper Secs. IV-V) treats a regulator purely as an
+// efficiency surface eta(Vin, Vout, Pout) plus an operating envelope; the
+// concrete LDO / switched-capacitor / buck models (Figs. 3-5) live behind this
+// interface so optimizers, schedulers and the transient simulator can swap
+// them freely.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/units.hpp"
+
+namespace hemp {
+
+enum class RegulatorKind { kLdo, kSwitchedCap, kBuck, kBypass };
+
+std::string to_string(RegulatorKind k);
+
+/// Inclusive output-voltage envelope at a given input voltage.
+struct VoltageRange {
+  Volts min;
+  Volts max;
+  [[nodiscard]] bool contains(Volts v) const { return v >= min && v <= max; }
+};
+
+class Regulator {
+ public:
+  virtual ~Regulator() = default;
+
+  [[nodiscard]] virtual RegulatorKind kind() const = 0;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Supported output range for input voltage `vin`.
+  [[nodiscard]] virtual VoltageRange output_range(Volts vin) const = 0;
+
+  /// True when the regulator can deliver `vout` from `vin`.
+  [[nodiscard]] virtual bool supports(Volts vin, Volts vout) const;
+
+  /// Conversion efficiency in [0, 1] when delivering `pout` at `vout` from
+  /// `vin`.  Throws RangeError when (vin, vout) is outside the envelope.
+  /// `pout == 0` returns 0 whenever the regulator burns standby power.
+  [[nodiscard]] virtual double efficiency(Volts vin, Volts vout, Watts pout) const = 0;
+
+  /// Power drawn from the input rail to deliver `pout`: pout / eta + standby.
+  [[nodiscard]] virtual Watts input_power(Volts vin, Volts vout, Watts pout) const;
+
+  /// Output power delivered when the input rail supplies `pin`.
+  /// Inverts input_power() numerically; concrete models may override with a
+  /// closed form.
+  [[nodiscard]] virtual Watts output_power(Volts vin, Volts vout, Watts pin) const;
+
+  /// Largest load the regulator is rated for.
+  [[nodiscard]] virtual Watts rated_load() const = 0;
+};
+
+using RegulatorPtr = std::unique_ptr<Regulator>;
+
+}  // namespace hemp

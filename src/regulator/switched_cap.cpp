@@ -1,0 +1,66 @@
+#include "regulator/switched_cap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace hemp {
+
+void SwitchedCapParams::validate() const {
+  HEMP_REQUIRE(!ratios.empty(), "SwitchedCap: need at least one ratio");
+  for (double r : ratios) {
+    HEMP_REQUIRE(r > 0.0 && r <= 1.0, "SwitchedCap: ratios must be in (0, 1]");
+  }
+  HEMP_REQUIRE(std::is_sorted(ratios.rbegin(), ratios.rend()),
+               "SwitchedCap: ratios must be sorted descending");
+  HEMP_REQUIRE(regulation_margin.value() >= 0.0,
+               "SwitchedCap: regulation margin must be non-negative");
+  HEMP_REQUIRE(control_power.value() >= 0.0,
+               "SwitchedCap: control power must be non-negative");
+  HEMP_REQUIRE(switching_loss_factor >= 0.0 && switching_loss_factor < 1.0,
+               "SwitchedCap: switching loss factor must be in [0, 1)");
+  HEMP_REQUIRE(min_output.value() > 0.0, "SwitchedCap: min output must be positive");
+  HEMP_REQUIRE(max_load.value() > 0.0, "SwitchedCap: rated load must be positive");
+}
+
+SwitchedCapRegulator::SwitchedCapRegulator(const SwitchedCapParams& params)
+    : params_(params) {
+  params_.validate();
+}
+
+VoltageRange SwitchedCapRegulator::output_range(Volts vin) const {
+  // Highest reachable output comes from the largest ratio.
+  const double r_max = params_.ratios.front();
+  const Volts max(r_max * vin.value() - params_.regulation_margin.value());
+  return {params_.min_output, max};
+}
+
+double SwitchedCapRegulator::active_ratio(Volts vin, Volts vout) const {
+  HEMP_CHECK_RANGE(vin.value() > 0.0, "SwitchedCap: non-positive input voltage");
+  // Ratios are descending; the best (highest eta_lin) configuration is the
+  // smallest ideal output still able to regulate vout.
+  double best = 0.0;
+  for (double r : params_.ratios) {
+    if (r * vin.value() >= vout.value() + params_.regulation_margin.value()) {
+      best = r;  // keep scanning: later (smaller) ratios are more efficient
+    }
+  }
+  HEMP_CHECK_RANGE(best > 0.0, "SwitchedCap: requested output above all ratio envelopes");
+  return best;
+}
+
+double SwitchedCapRegulator::efficiency(Volts vin, Volts vout, Watts pout) const {
+  HEMP_CHECK_RANGE(supports(vin, vout), "SwitchedCap: operating point outside envelope");
+  HEMP_CHECK_RANGE(pout.value() >= 0.0, "SwitchedCap: negative load power");
+  if (pout.value() == 0.0) return 0.0;
+  const double r = active_ratio(vin, vout);
+  const double eta_lin = vout.value() / (r * vin.value());
+  const double loss = params_.control_power.value() +
+                      params_.switching_loss_factor * pout.value();
+  const double eta_sw = pout.value() / (pout.value() + loss);
+  return eta_lin * eta_sw;
+}
+
+}  // namespace hemp

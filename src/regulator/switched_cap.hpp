@@ -1,0 +1,66 @@
+// Reconfigurable switched-capacitor DC-DC converter model (paper Fig. 4).
+//
+// The implemented chip supports three topology ratios — 2:1, 3:2 and 5:4
+// (Vout/Vin = 1/2, 2/3, 4/5) — and picks the one whose ideal output sits
+// closest above the requested voltage.  Losses:
+//
+//   * intrinsic SC ("linear") loss: regulating below the ideal ratio output is
+//     equivalent to a series resistance, eta_lin = Vout / (r * Vin);
+//   * switching losses (flying-cap bottom plate, switch gate charge) that
+//     scale with delivered power because the modulation loop scales f_sw with
+//     load;
+//   * a fixed control/clock/reference overhead.
+//
+// Calibrated to the paper's quoted 67% (full ~10 mW load) and 64% (half load)
+// at Vout = 0.55 V, which also produces the light-load efficiency collapse
+// that drives the low-light bypass rule (Fig. 7a).
+#pragma once
+
+#include <vector>
+
+#include "regulator/regulator.hpp"
+
+namespace hemp {
+
+struct SwitchedCapParams {
+  /// Available conversion ratios r = Vout_ideal / Vin, descending.
+  std::vector<double> ratios{4.0 / 5.0, 2.0 / 3.0, 1.0 / 2.0};
+  /// Regulation headroom required between r*Vin and Vout.
+  Volts regulation_margin{0.02};
+  /// Fixed control / clocking / reference power.
+  Watts control_power{0.64e-3};
+  /// Switching loss proportional to delivered power (bottom-plate + gate
+  /// charge under load-scaled f_sw).
+  double switching_loss_factor = 0.304;
+  /// Smallest regulated output.
+  Volts min_output{0.25};
+  /// Rated maximum load ("full load" in Fig. 4 is ~10 mW; the converter
+  /// carries ~20% design margin above it).
+  Watts max_load{12e-3};
+
+  void validate() const;
+};
+
+class SwitchedCapRegulator final : public Regulator {
+ public:
+  explicit SwitchedCapRegulator(const SwitchedCapParams& params = {});
+
+  [[nodiscard]] RegulatorKind kind() const override {
+    return RegulatorKind::kSwitchedCap;
+  }
+  [[nodiscard]] std::string_view name() const override { return "SC"; }
+  [[nodiscard]] VoltageRange output_range(Volts vin) const override;
+  [[nodiscard]] double efficiency(Volts vin, Volts vout, Watts pout) const override;
+  [[nodiscard]] Watts rated_load() const override { return params_.max_load; }
+
+  /// Ratio the modulator would select for (vin, vout); throws RangeError when
+  /// no configuration can regulate that point.
+  [[nodiscard]] double active_ratio(Volts vin, Volts vout) const;
+
+  [[nodiscard]] const SwitchedCapParams& params() const { return params_; }
+
+ private:
+  SwitchedCapParams params_;
+};
+
+}  // namespace hemp

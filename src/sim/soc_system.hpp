@@ -1,0 +1,152 @@
+// Transient simulator of the fully integrated battery-less SoC.
+//
+// Topology (paper Fig. 1 / Sec. VII):
+//
+//   PV cell --> solar node (storage cap, comparator bank)
+//                  |--- on-chip regulator ---> Vdd node (rail cap) --> uP
+//                  '--- bypass switch     ---'
+//
+// Fixed-timestep integration of both capacitor nodes.  A SocController (the
+// energy manager, or a simple fixed-point policy) observes the state each
+// tick — plus comparator edges, exactly the observability the real chip has —
+// and commands the power path, the regulator's Vdd target, and DVFS.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/units.hpp"
+#include "harvester/light_environment.hpp"
+#include "harvester/pv_cell.hpp"
+#include "processor/processor.hpp"
+#include "regulator/bypass.hpp"
+#include "regulator/regulator.hpp"
+#include "sim/waveform.hpp"
+#include "storage/capacitor.hpp"
+#include "storage/comparator.hpp"
+
+namespace hemp {
+
+enum class PowerPath {
+  kRegulated,  ///< solar -> regulator -> Vdd rail
+  kBypass,     ///< solar node shorted to the Vdd rail through the switch
+  kOff,        ///< both paths open (rail discharges into the load)
+};
+
+struct SocConfig {
+  PvCellParams pv{};
+  Farads solar_capacitance{47e-6};
+  Farads vdd_capacitance{10e-6};
+  Volts solar_start_voltage{1.2};
+  Volts vdd_start_voltage{0.5};
+  /// Descending comparator thresholds on the solar node (Fig. 8's V0, V1, V2).
+  std::vector<Volts> comparator_thresholds{Volts(1.1), Volts(1.0), Volts(0.9)};
+  BypassParams bypass{};
+  Seconds time_step{2e-6};
+  /// Time constant of the regulator's output-voltage restoration loop.
+  Seconds regulation_time_constant{50e-6};
+  /// Decimation interval for the waveform record.
+  Seconds waveform_interval{50e-6};
+
+  void validate() const;
+};
+
+/// Controller-visible state snapshot.
+struct SocState {
+  Seconds time{0.0};
+  double irradiance = 0.0;
+  Volts v_solar{0.0};
+  Volts v_dd{0.0};
+  Watts p_harvest{0.0};   ///< instantaneous power extracted from the cell
+  Watts p_processor{0.0}; ///< instantaneous processor draw
+  PowerPath path = PowerPath::kRegulated;
+  Hertz frequency{0.0};   ///< effective clock this tick
+  bool processor_running = false;
+  bool regulator_ok = true;  ///< regulator had input headroom this tick
+  double cycles_retired = 0.0;
+};
+
+/// Controller-writable command latch (persists between ticks).
+struct SocCommand {
+  PowerPath path = PowerPath::kRegulated;
+  Volts vdd_target{0.5};
+  Hertz frequency{100e6};
+  bool run = true;  ///< clock enable
+};
+
+class SocController {
+ public:
+  virtual ~SocController() = default;
+  virtual void on_start(const SocState& state, SocCommand& cmd) {
+    (void)state;
+    (void)cmd;
+  }
+  virtual void on_tick(const SocState& state, SocCommand& cmd) {
+    (void)state;
+    (void)cmd;
+  }
+  virtual void on_comparator(const ComparatorEvent& event, const SocState& state,
+                             SocCommand& cmd) {
+    (void)event;
+    (void)state;
+    (void)cmd;
+  }
+  /// Return true to stop the simulation early.
+  virtual bool finished(const SocState& state) {
+    (void)state;
+    return false;
+  }
+};
+
+struct SimTotals {
+  Joules harvested{0.0};          ///< energy actually extracted from the cell
+  Joules delivered_to_processor{0.0};
+  Joules regulator_loss{0.0};
+  Joules bypass_loss{0.0};
+  double cycles = 0.0;
+  int brownouts = 0;       ///< running->halted transitions from undervoltage
+  int timing_faults = 0;   ///< ticks where commanded f exceeded fmax(Vdd)
+  Seconds halted_time{0.0};
+  Seconds simulated_time{0.0};
+};
+
+struct SimResult {
+  Waveform waveform;
+  SimTotals totals;
+  SocState final_state;
+};
+
+class SocSystem {
+ public:
+  SocSystem(SocConfig config, RegulatorPtr regulator, Processor processor);
+
+  /// Simulate under `trace` until `t_end` or until the controller reports
+  /// finished.  The system is reset to the configured start voltages.
+  SimResult run(const IrradianceTrace& trace, SocController& controller,
+                Seconds t_end);
+
+  [[nodiscard]] const SocConfig& config() const { return config_; }
+  [[nodiscard]] const Regulator& regulator() const { return *regulator_; }
+  [[nodiscard]] const Processor& processor() const { return processor_; }
+  [[nodiscard]] const PvCell& cell() const { return cell_; }
+
+ private:
+  SocConfig config_;
+  RegulatorPtr regulator_;
+  Processor processor_;
+  PvCell cell_;
+  BypassSwitch bypass_;
+};
+
+/// Holds the commanded operating point constant (the paper's conventional
+/// fixed-setpoint baseline).
+class FixedPointController : public SocController {
+ public:
+  FixedPointController(PowerPath path, Volts vdd_target, Hertz frequency);
+  void on_start(const SocState& state, SocCommand& cmd) override;
+
+ private:
+  SocCommand fixed_;
+};
+
+}  // namespace hemp

@@ -1,0 +1,54 @@
+// Multi-channel waveform recorder: the simulator's stand-in for the paper's
+// oscilloscope / Cadence transient plots (Figs. 8, 11b).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace hemp {
+
+class Waveform {
+ public:
+  explicit Waveform(std::vector<std::string> channels);
+
+  /// Append one sample; `values` must match the channel count.
+  void sample(Seconds t, const std::vector<double>& values);
+
+  [[nodiscard]] std::size_t channel_count() const { return channels_.size(); }
+  [[nodiscard]] std::size_t sample_count() const { return times_.size(); }
+  [[nodiscard]] const std::vector<std::string>& channels() const { return channels_; }
+  [[nodiscard]] const std::vector<double>& times() const { return times_; }
+
+  /// Index of a channel by name; throws RangeError when absent.
+  [[nodiscard]] std::size_t channel_index(const std::string& name) const;
+  /// Full series of one channel.
+  [[nodiscard]] const std::vector<double>& series(const std::string& name) const;
+
+  /// Linear-interpolated value of `name` at time `t` (clamped to the record).
+  [[nodiscard]] double value_at(const std::string& name, Seconds t) const;
+
+  /// First time the channel crosses `level` going down (or up); NaN if never.
+  [[nodiscard]] double first_crossing(const std::string& name, double level,
+                                      bool falling) const;
+
+  [[nodiscard]] double minimum(const std::string& name) const;
+  [[nodiscard]] double maximum(const std::string& name) const;
+  /// Time-weighted mean of the channel over the record.
+  [[nodiscard]] double mean(const std::string& name) const;
+  /// Trapezoidal integral of the channel over time (e.g. power -> energy).
+  [[nodiscard]] double integral(const std::string& name) const;
+  /// Integral restricted to [t0, t1] (clamped to the record).
+  [[nodiscard]] double integral(const std::string& name, Seconds t0, Seconds t1) const;
+
+  /// Dump the record as CSV (one time column plus one column per channel).
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> channels_;
+  std::vector<double> times_;
+  std::vector<std::vector<double>> data_;  // [channel][sample]
+};
+
+}  // namespace hemp

@@ -1,0 +1,43 @@
+#include "storage/capacitor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hemp {
+
+Capacitor::Capacitor(Farads capacitance, Volts initial_voltage)
+    : capacitance_(capacitance), voltage_(initial_voltage),
+      initial_energy_(capacitor_energy(capacitance, initial_voltage)) {
+  HEMP_REQUIRE(capacitance.value() > 0.0, "Capacitor: capacitance must be positive");
+  HEMP_REQUIRE(initial_voltage.value() >= 0.0, "Capacitor: negative initial voltage");
+}
+
+Volts Capacitor::apply_current(Amps net, Seconds dt) {
+  HEMP_CHECK_RANGE(dt.value() >= 0.0, "Capacitor: negative time step");
+  const Joules before = stored_energy();
+  const double dv = net.value() * dt.value() / capacitance_.value();
+  voltage_ = Volts(std::max(voltage_.value() + dv, 0.0));
+  net_energy_in_ += stored_energy() - before;
+  return voltage_;
+}
+
+Volts Capacitor::apply_power(Watts net, Seconds dt) {
+  HEMP_CHECK_RANGE(dt.value() >= 0.0, "Capacitor: negative time step");
+  const Joules before = stored_energy();
+  const double v2 = voltage_.value() * voltage_.value() +
+                    2.0 * net.value() * dt.value() / capacitance_.value();
+  voltage_ = Volts(std::sqrt(std::max(v2, 0.0)));
+  net_energy_in_ += stored_energy() - before;
+  return voltage_;
+}
+
+void Capacitor::set_voltage(Volts v) {
+  HEMP_CHECK_RANGE(v.value() >= 0.0, "Capacitor: negative voltage");
+  const Joules before = stored_energy();
+  voltage_ = v;
+  net_energy_in_ += stored_energy() - before;
+}
+
+}  // namespace hemp

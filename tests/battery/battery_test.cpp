@@ -1,0 +1,82 @@
+#include "battery/battery.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace hemp {
+namespace {
+
+using namespace hemp::literals;
+
+TEST(Battery, FreshCellStartsAtTopOfOcvCurve) {
+  const Battery bat;
+  EXPECT_DOUBLE_EQ(bat.state_of_charge(), 1.0);
+  EXPECT_NEAR(bat.open_circuit_voltage().value(), 1.40, 1e-9);
+}
+
+TEST(Battery, OcvFallsWithStateOfCharge) {
+  const Battery bat;
+  double prev = bat.open_circuit_voltage(1.0).value();
+  for (double soc = 0.9; soc >= 0.0; soc -= 0.1) {
+    const double v = bat.open_circuit_voltage(soc).value();
+    EXPECT_LE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Battery, TerminalVoltageIncludesIrDrop) {
+  const Battery bat;
+  const double ocv = bat.open_circuit_voltage().value();
+  EXPECT_NEAR(bat.terminal_voltage(10.0_mA).value(),
+              ocv - 0.01 * bat.params().internal_resistance.value(), 1e-12);
+}
+
+TEST(Battery, DischargeRemovesCharge) {
+  Battery bat;
+  const Coulombs q = bat.discharge(10.0_mA, Seconds(36.0));  // 0.36 C
+  EXPECT_NEAR(q.value(), 0.36, 1e-12);
+  EXPECT_NEAR(bat.state_of_charge(), 0.9, 1e-9);
+}
+
+TEST(Battery, DischargeClampsAtEmpty) {
+  Battery bat(BatteryParams{}, 0.01);
+  const Coulombs q = bat.discharge(Amps(1.0), Seconds(10.0));  // wants 10 C
+  EXPECT_NEAR(q.value(), 0.036, 1e-9);
+  EXPECT_DOUBLE_EQ(bat.state_of_charge(), 0.0);
+}
+
+TEST(Battery, EnergyDeliveredAccumulates) {
+  Battery bat;
+  bat.discharge(10.0_mA, Seconds(10.0));
+  EXPECT_GT(bat.energy_delivered().value(), 0.0);
+  // E ~ V * Q with V near the fresh terminal voltage.
+  EXPECT_NEAR(bat.energy_delivered().value(), 1.38 * 0.1, 0.02);
+}
+
+TEST(Battery, CanSupplyRespectsCutoff) {
+  Battery bat;
+  EXPECT_TRUE(bat.can_supply(10.0_mA));
+  // A huge current sags the terminal below cutoff through the 2-ohm IR.
+  EXPECT_FALSE(bat.can_supply(Amps(0.3)));
+  Battery empty(BatteryParams{}, 0.0);
+  EXPECT_FALSE(empty.can_supply(1.0_mA));
+}
+
+TEST(Battery, NoRechargeInThisModel) {
+  Battery bat;
+  EXPECT_THROW(bat.discharge(Amps(-1e-3), Seconds(1.0)), RangeError);
+}
+
+TEST(Battery, Validation) {
+  BatteryParams p;
+  p.capacity = Coulombs(0.0);
+  EXPECT_THROW(Battery{p}, ModelError);
+  p = BatteryParams{};
+  p.ocv_curve = {{0.1, 1.0}, {1.0, 1.4}};  // does not span [0,1]
+  EXPECT_THROW(Battery{p}, ModelError);
+  EXPECT_THROW(Battery(BatteryParams{}, 1.5), ModelError);
+}
+
+}  // namespace
+}  // namespace hemp

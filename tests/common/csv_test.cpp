@@ -1,0 +1,60 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace hemp {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  const std::string path = temp_path("basic.csv");
+  {
+    CsvWriter w(path, {"a", "b"});
+    w.row({1.0, 2.0});
+    w.row({3.5, -4.0});
+    EXPECT_EQ(w.rows_written(), 2u);
+  }
+  const std::string content = slurp(path);
+  EXPECT_EQ(content, "a,b\n1,2\n3.5,-4\n");
+}
+
+TEST(CsvWriter, RejectsRowWidthMismatch) {
+  CsvWriter w(temp_path("width.csv"), {"a", "b", "c"});
+  EXPECT_THROW(w.row({1.0}), ModelError);
+}
+
+TEST(CsvWriter, RejectsEmptyHeader) {
+  EXPECT_THROW(CsvWriter(temp_path("empty.csv"), {}), ModelError);
+}
+
+TEST(CsvWriter, RejectsUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}), ModelError);
+}
+
+TEST(CsvWriter, PreservesPrecision) {
+  const std::string path = temp_path("precision.csv");
+  {
+    CsvWriter w(path, {"v"});
+    w.row({1.23456789e-6});
+  }
+  EXPECT_NE(slurp(path).find("1.23456789e-06"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hemp

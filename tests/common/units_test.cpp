@@ -1,0 +1,127 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hemp {
+namespace {
+
+using namespace hemp::literals;
+
+TEST(Units, LiteralsProduceSiMagnitudes) {
+  EXPECT_DOUBLE_EQ((1.5_V).value(), 1.5);
+  EXPECT_DOUBLE_EQ((550.0_mV).value(), 0.55);
+  EXPECT_DOUBLE_EQ((15.0_mA).value(), 0.015);
+  EXPECT_DOUBLE_EQ((3.0_uA).value(), 3e-6);
+  EXPECT_DOUBLE_EQ((10.0_mW).value(), 0.01);
+  EXPECT_DOUBLE_EQ((47.0_uF).value(), 47e-6);
+  EXPECT_DOUBLE_EQ((1.2_GHz).value(), 1.2e9);
+  EXPECT_DOUBLE_EQ((15.0_ms).value(), 0.015);
+  EXPECT_DOUBLE_EQ((2.5_pJ).value(), 2.5e-12);
+}
+
+TEST(Units, AdditionAndSubtractionPreserveUnit) {
+  const Volts a(0.5), b(0.2);
+  EXPECT_DOUBLE_EQ((a + b).value(), 0.7);
+  EXPECT_DOUBLE_EQ((a - b).value(), 0.3);
+}
+
+TEST(Units, CompoundAssignment) {
+  Volts v(1.0);
+  v += Volts(0.5);
+  EXPECT_DOUBLE_EQ(v.value(), 1.5);
+  v -= Volts(1.0);
+  EXPECT_DOUBLE_EQ(v.value(), 0.5);
+  v *= 4.0;
+  EXPECT_DOUBLE_EQ(v.value(), 2.0);
+  v /= 8.0;
+  EXPECT_DOUBLE_EQ(v.value(), 0.25);
+}
+
+TEST(Units, ScalarMultiplicationIsCommutative) {
+  const Watts p(2e-3);
+  EXPECT_DOUBLE_EQ((p * 3.0).value(), (3.0 * p).value());
+}
+
+TEST(Units, RatioOfLikeQuantitiesIsDimensionless) {
+  const double r = Volts(0.55) / Volts(1.1);
+  EXPECT_DOUBLE_EQ(r, 0.5);
+}
+
+TEST(Units, OhmsLaw) {
+  const Amps i = Volts(1.0) / Ohms(50.0);
+  EXPECT_DOUBLE_EQ(i.value(), 0.02);
+  const Volts v = Amps(0.02) * Ohms(50.0);
+  EXPECT_DOUBLE_EQ(v.value(), 1.0);
+  const Ohms r = Volts(1.0) / Amps(0.02);
+  EXPECT_DOUBLE_EQ(r.value(), 50.0);
+}
+
+TEST(Units, PowerFromVoltageAndCurrent) {
+  const Watts p = Volts(0.55) * Amps(0.01);
+  EXPECT_DOUBLE_EQ(p.value(), 0.0055);
+  EXPECT_DOUBLE_EQ((Amps(0.01) * Volts(0.55)).value(), 0.0055);
+  EXPECT_DOUBLE_EQ((p / Volts(0.55)).value(), 0.01);
+  EXPECT_DOUBLE_EQ((p / Amps(0.01)).value(), 0.55);
+}
+
+TEST(Units, EnergyFromPowerAndTime) {
+  const Joules e = Watts(0.01) * Seconds(15e-3);
+  EXPECT_DOUBLE_EQ(e.value(), 1.5e-4);
+  EXPECT_DOUBLE_EQ((e / Seconds(15e-3)).value(), 0.01);
+  EXPECT_DOUBLE_EQ((e / Watts(0.01)).value(), 15e-3);
+}
+
+TEST(Units, ChargeRelations) {
+  const Coulombs q = Farads(47e-6) * Volts(1.2);
+  EXPECT_DOUBLE_EQ(q.value(), 47e-6 * 1.2);
+  EXPECT_DOUBLE_EQ((q / Farads(47e-6)).value(), 1.2);
+  const Coulombs q2 = Amps(1e-3) * Seconds(2.0);
+  EXPECT_DOUBLE_EQ(q2.value(), 2e-3);
+  EXPECT_DOUBLE_EQ((q2 / Seconds(2.0)).value(), 1e-3);
+  EXPECT_DOUBLE_EQ((q2 / Amps(1e-3)).value(), 2.0);
+}
+
+TEST(Units, CyclesFromFrequencyAndTime) {
+  EXPECT_DOUBLE_EQ(Hertz(100e6) * Seconds(1e-3), 1e5);
+  EXPECT_DOUBLE_EQ(Seconds(1e-3) * Hertz(100e6), 1e5);
+  EXPECT_DOUBLE_EQ((1e5 / Hertz(100e6)).value(), 1e-3);
+}
+
+TEST(Units, CapacitorEnergy) {
+  const Joules e = capacitor_energy(Farads(47e-6), Volts(1.2));
+  EXPECT_DOUBLE_EQ(e.value(), 0.5 * 47e-6 * 1.44);
+}
+
+TEST(Units, ComparisonsAreOrdered) {
+  EXPECT_LT(Volts(0.3), Volts(0.5));
+  EXPECT_GT(Watts(2e-3), Watts(1e-3));
+  EXPECT_EQ(Hertz(1e6), Hertz(1e6));
+  EXPECT_LE(Seconds(1.0), Seconds(1.0));
+}
+
+TEST(Units, UnaryNegation) {
+  EXPECT_DOUBLE_EQ((-Watts(2e-3)).value(), -2e-3);
+}
+
+TEST(Units, StreamFormattingUsesSiPrefixes) {
+  std::ostringstream os;
+  os << Volts(0.55);
+  EXPECT_EQ(os.str(), "550 mV");
+  os.str("");
+  os << Watts(10e-3);
+  EXPECT_EQ(os.str(), "10 mW");
+  os.str("");
+  os << Hertz(1.2e9);
+  EXPECT_EQ(os.str(), "1.2 GHz");
+  os.str("");
+  os << Farads(47e-6);
+  EXPECT_EQ(os.str(), "47 uF");
+  os.str("");
+  os << Joules(0.0);
+  EXPECT_EQ(os.str(), "0 J");
+}
+
+}  // namespace
+}  // namespace hemp

@@ -1,0 +1,142 @@
+#include "core/energy_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.hpp"
+#include "regulator/switched_cap.hpp"
+#include "sim/soc_system.hpp"
+
+namespace hemp {
+namespace {
+
+using namespace hemp::literals;
+
+struct Fixture {
+  PvCell cell = make_ixys_kxob22_cell();
+  SwitchedCapRegulator reg;
+  Processor proc = Processor::make_test_chip();
+  SystemModel model{cell, reg, proc};
+
+  SocSystem make_soc() {
+    SocConfig cfg;
+    return SocSystem(cfg, std::make_unique<SwitchedCapRegulator>(),
+                     Processor::make_test_chip());
+  }
+};
+
+TEST(EnergyManager, TracksMppInSteadyState) {
+  Fixture f;
+  EnergyManager mgr(f.model, {});
+  SocSystem soc = f.make_soc();
+  const SimResult r = soc.run(IrradianceTrace::constant(1.0), mgr, 120.0_ms);
+  const MaxPowerPoint mpp = find_mpp(f.cell, 1.0);
+  EXPECT_NEAR(r.final_state.v_solar.value(), mpp.voltage.value(), 0.1);
+  EXPECT_GT(r.totals.cycles, 0.0);
+  EXPECT_FALSE(mgr.in_bypass());
+}
+
+TEST(EnergyManager, CompletesSubmittedJob) {
+  Fixture f;
+  EnergyManager mgr(f.model, {});
+  mgr.submit({4e6, 12.0_ms});
+  SocSystem soc = f.make_soc();
+  soc.run(IrradianceTrace::constant(1.0), mgr, 100.0_ms);
+  EXPECT_EQ(mgr.jobs_completed(), 1);
+  EXPECT_EQ(mgr.jobs_missed(), 0);
+}
+
+TEST(EnergyManager, CompletesBackToBackJobs) {
+  Fixture f;
+  EnergyManager mgr(f.model, {});
+  mgr.submit({2e6, 8.0_ms});
+  mgr.submit({2e6, 8.0_ms});
+  mgr.submit({2e6, 8.0_ms});
+  SocSystem soc = f.make_soc();
+  soc.run(IrradianceTrace::constant(1.0), mgr, 400.0_ms);
+  EXPECT_EQ(mgr.jobs_completed(), 3);
+}
+
+TEST(EnergyManager, ImpossibleJobIsMissedNotHung) {
+  Fixture f;
+  EnergyManager mgr(f.model, {});
+  mgr.submit({1e12, 1.0_ms});  // needs a THz clock: plan infeasible
+  SocSystem soc = f.make_soc();
+  soc.run(IrradianceTrace::constant(1.0), mgr, 50.0_ms);
+  EXPECT_EQ(mgr.jobs_completed(), 0);
+  EXPECT_EQ(mgr.jobs_missed(), 1);
+}
+
+TEST(EnergyManager, EntersBypassUnderWeakLight) {
+  Fixture f;
+  EnergyManager mgr(f.model, {});
+  SocSystem soc = f.make_soc();
+  // Full sun long enough to settle, then drop to 10%: the manager should
+  // estimate the new input power and switch to the bypass path (Fig. 7a rule).
+  soc.run(IrradianceTrace::step(1.0, 0.10, 100.0_ms), mgr, 400.0_ms);
+  EXPECT_TRUE(mgr.in_bypass());
+}
+
+TEST(EnergyManager, StaysRegulatedUnderStrongLight) {
+  Fixture f;
+  EnergyManager mgr(f.model, {});
+  SocSystem soc = f.make_soc();
+  soc.run(IrradianceTrace::constant(0.8), mgr, 200.0_ms);
+  EXPECT_FALSE(mgr.in_bypass());
+}
+
+TEST(EnergyManager, MinEnergyModeRunsNearHolisticMep) {
+  Fixture f;
+  EnergyManagerParams params;
+  params.mode = ManagerMode::kMinEnergy;
+  EnergyManager mgr(f.model, params);
+  SocSystem soc = f.make_soc();
+  const SimResult r = soc.run(IrradianceTrace::constant(1.0), mgr, 60.0_ms);
+  const MepOptimizer mep(f.model);
+  const MepPoint holistic = mep.holistic(0.5);
+  EXPECT_NEAR(r.final_state.v_dd.value(), holistic.vdd.value(), 0.06);
+}
+
+TEST(EnergyManager, MinEnergyModeUsesLessPowerThanPerfMode) {
+  Fixture f;
+  EnergyManagerParams perf;
+  EnergyManagerParams eco;
+  eco.mode = ManagerMode::kMinEnergy;
+  EnergyManager mgr_perf(f.model, perf);
+  EnergyManager mgr_eco(f.model, eco);
+  SocSystem soc1 = f.make_soc();
+  SocSystem soc2 = f.make_soc();
+  const SimResult r_perf =
+      soc1.run(IrradianceTrace::constant(1.0), mgr_perf, 80.0_ms);
+  const SimResult r_eco = soc2.run(IrradianceTrace::constant(1.0), mgr_eco, 80.0_ms);
+  EXPECT_LT(r_eco.totals.delivered_to_processor.value(),
+            r_perf.totals.delivered_to_processor.value());
+  // But energy per cycle must be better in eco mode.
+  const double epc_perf =
+      r_perf.totals.delivered_to_processor.value() / r_perf.totals.cycles;
+  const double epc_eco =
+      r_eco.totals.delivered_to_processor.value() / r_eco.totals.cycles;
+  EXPECT_LT(epc_eco, epc_perf);
+}
+
+TEST(EnergyManager, SubmitValidation) {
+  Fixture f;
+  EnergyManager mgr(f.model, {});
+  EXPECT_THROW(mgr.submit({0.0, 1.0_ms}), ModelError);
+  EXPECT_THROW(mgr.submit({1e6, Seconds(0.0)}), ModelError);
+}
+
+TEST(EnergyManagerParams, Validation) {
+  Fixture f;
+  EnergyManagerParams p;
+  p.sprint_factor = 0.9;
+  EXPECT_THROW(EnergyManager(f.model, p), ModelError);
+  p = EnergyManagerParams{};
+  p.bypass_enter_ratio = 1.5;  // above exit ratio
+  p.bypass_exit_ratio = 1.2;
+  EXPECT_THROW(EnergyManager(f.model, p), ModelError);
+}
+
+}  // namespace
+}  // namespace hemp

@@ -1,0 +1,117 @@
+#include "core/envelope.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.hpp"
+#include "core/mpp_tracker.hpp"
+#include "regulator/switched_cap.hpp"
+#include "sim/soc_system.hpp"
+
+namespace hemp {
+namespace {
+
+using namespace hemp::literals;
+
+struct Fixture {
+  PvCell cell = make_ixys_kxob22_cell();
+  SwitchedCapRegulator reg;
+  Processor proc = Processor::make_test_chip();
+  SystemModel model{cell, reg, proc};
+  EnvelopeSimulator sim{model};
+};
+
+TEST(Envelope, DarkHorizonRetiresNothing) {
+  Fixture f;
+  const EnvelopeResult r = f.sim.run(IrradianceTrace::constant(0.0), 60.0_s);
+  EXPECT_DOUBLE_EQ(r.cycles, 0.0);
+  EXPECT_DOUBLE_EQ(r.harvested.value(), 0.0);
+  EXPECT_NEAR(r.dark_time.value(), 60.0, 1.0);
+}
+
+TEST(Envelope, BrighterDaysRetireMoreWork) {
+  Fixture f;
+  const EnvelopeResult dim = f.sim.run(IrradianceTrace::constant(0.3), 60.0_s);
+  const EnvelopeResult bright = f.sim.run(IrradianceTrace::constant(1.0), 60.0_s);
+  EXPECT_GT(bright.cycles, dim.cycles);
+  EXPECT_GT(bright.harvested.value(), dim.harvested.value());
+}
+
+TEST(Envelope, MatchesTransientSimulatorRateUnderConstantLight) {
+  // The envelope's quasi-static assumption must agree with the full
+  // transient simulation (which spends milliseconds converging) on the
+  // sustained cycle rate, within a modest tolerance.
+  Fixture f;
+  const EnvelopeResult env = f.sim.run(IrradianceTrace::constant(1.0), 10.0_s);
+  const double env_rate = env.cycles / 10.0;
+
+  MppTrackingController tracker(f.model, MppTrackerParams{});
+  SocSystem soc(SocConfig{}, std::make_unique<SwitchedCapRegulator>(),
+                Processor::make_test_chip());
+  const SimResult tr = soc.run(IrradianceTrace::constant(1.0), tracker, 100.0_ms);
+  // Use the settled second half of the transient run.
+  const double settled_cycles = tr.waveform.value_at("cycles", 100.0_ms) -
+                                tr.waveform.value_at("cycles", 50.0_ms);
+  const double tr_rate = settled_cycles / 50e-3;
+  EXPECT_NEAR(env_rate / tr_rate, 1.0, 0.15);
+}
+
+TEST(Envelope, MinEnergyPolicySpendsLessPower) {
+  Fixture f;
+  EnvelopeParams perf;
+  EnvelopeParams eco;
+  eco.policy = EnvelopePolicy::kMinEnergy;
+  const EnvelopeResult r_perf = f.sim.run(IrradianceTrace::constant(1.0), 60.0_s, perf);
+  const EnvelopeResult r_eco = f.sim.run(IrradianceTrace::constant(1.0), 60.0_s, eco);
+  EXPECT_LT(r_eco.delivered.value(), r_perf.delivered.value());
+  // And its energy per cycle is better.
+  EXPECT_LT(r_eco.delivered.value() / r_eco.cycles,
+            r_perf.delivered.value() / r_perf.cycles);
+}
+
+TEST(Envelope, DiurnalDaySplitsLitAndDarkTime) {
+  Fixture f;
+  // 12 h day compressed: sunrise 6 h, sunset 18 h, in seconds-as-hours.
+  const auto day = IrradianceTrace::diurnal(1.0, Seconds(6 * 3600), Seconds(18 * 3600));
+  EnvelopeParams params;
+  params.step = Seconds(60.0);
+  const EnvelopeResult r = f.sim.run(day, Seconds(24 * 3600), params);
+  EXPECT_GT(r.cycles, 0.0);
+  EXPECT_GT(r.dark_time.value(), 10 * 3600.0);  // night plus twilight
+  EXPECT_GT(r.lit_time.value(), 8 * 3600.0);
+  EXPECT_FALSE(r.trace.empty());
+}
+
+TEST(Envelope, LowLightStepsSwitchToBypass) {
+  Fixture f;
+  EnvelopeParams params;
+  params.step = Seconds(0.1);
+  const EnvelopeResult r =
+      f.sim.run(IrradianceTrace::step(1.0, 0.1, 5.0_s), 10.0_s, params);
+  bool saw_regulated = false, saw_bypass = false;
+  for (const auto& s : r.trace) {
+    if (s.frequency.value() <= 0.0) continue;
+    if (s.bypassed) {
+      saw_bypass = true;
+    } else {
+      saw_regulated = true;
+    }
+  }
+  EXPECT_TRUE(saw_regulated);
+  EXPECT_TRUE(saw_bypass);
+}
+
+TEST(Envelope, Validation) {
+  Fixture f;
+  EnvelopeParams p;
+  p.step = Seconds(0.0);
+  EXPECT_THROW(f.sim.run(IrradianceTrace::constant(1.0), 1.0_s, p), ModelError);
+  p = EnvelopeParams{};
+  p.irradiance_buckets = 2;
+  EXPECT_THROW(f.sim.run(IrradianceTrace::constant(1.0), 1.0_s, p), ModelError);
+  EXPECT_THROW(f.sim.run(IrradianceTrace::constant(1.0), Seconds(0.0)), RangeError);
+}
+
+}  // namespace
+}  // namespace hemp

@@ -1,0 +1,114 @@
+#include "core/mep_optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "regulator/buck.hpp"
+#include "regulator/switched_cap.hpp"
+
+namespace hemp {
+namespace {
+
+using namespace hemp::literals;
+
+struct Fixture {
+  PvCell cell = make_ixys_kxob22_cell();
+  SwitchedCapRegulator reg;
+  Processor proc = Processor::make_test_chip();
+  SystemModel model{cell, reg, proc};
+  MepOptimizer mep{model};
+};
+
+TEST(MepOptimizer, ConventionalMepIsInterior) {
+  Fixture f;
+  const MepPoint p = f.mep.conventional();
+  ASSERT_TRUE(p.feasible);
+  EXPECT_GT(p.vdd.value(), f.proc.min_voltage().value() + 0.01);
+  EXPECT_LT(p.vdd.value(), 0.5);
+}
+
+TEST(MepOptimizer, ConventionalMepNearCalibrationTarget) {
+  // DESIGN.md calibration: conventional MEP ~0.33 V for the 65nm test chip.
+  Fixture f;
+  const MepPoint p = f.mep.conventional();
+  EXPECT_NEAR(p.vdd.value(), 0.33, 0.05);
+}
+
+TEST(MepOptimizer, ConventionalMepIsActuallyMinimal) {
+  Fixture f;
+  const MepPoint p = f.mep.conventional();
+  for (double v = f.proc.min_voltage().value(); v <= 1.0; v += 0.02) {
+    EXPECT_GE(f.mep.rail_energy_per_cycle(Volts(v)).value(),
+              p.energy_per_cycle.value() * (1.0 - 1e-9));
+  }
+}
+
+TEST(MepOptimizer, HolisticMepShiftsUp) {
+  // Paper Fig. 7b: the regulator-aware MEP moves up by ~0.1 V.
+  Fixture f;
+  const auto cmp = f.mep.compare(1.0);
+  ASSERT_TRUE(cmp.holistic.feasible);
+  EXPECT_GT(cmp.voltage_shift.value(), 0.03);
+  EXPECT_LT(cmp.voltage_shift.value(), 0.15);
+}
+
+TEST(MepOptimizer, HolisticSavesEnergyAtSource) {
+  // Paper: up to ~31% saving vs blindly sitting at the conventional MEP.
+  Fixture f;
+  const auto cmp = f.mep.compare(1.0);
+  EXPECT_GT(cmp.energy_saving, 0.10);
+  EXPECT_LT(cmp.energy_saving, 0.50);
+}
+
+TEST(MepOptimizer, SourceEnergyIsRailEnergyOverEfficiency) {
+  Fixture f;
+  const Volts v = 0.45_V;
+  const Joules rail = f.mep.rail_energy_per_cycle(v);
+  const Joules source = f.mep.source_energy_per_cycle(v, 1.0);
+  const MaxPowerPoint mpp = f.model.mpp(1.0);
+  const double eta = f.reg.efficiency(mpp.voltage, v, f.proc.max_power(v));
+  EXPECT_NEAR(source.value(), rail.value() / eta, 1e-18);
+}
+
+TEST(MepOptimizer, SourceEnergyInfiniteOutsideRegulatorEnvelope) {
+  Fixture f;
+  EXPECT_TRUE(std::isinf(f.mep.source_energy_per_cycle(1.1_V, 1.0).value()));
+}
+
+TEST(MepOptimizer, HolisticMepIsMinimalOverFeasibleRange) {
+  Fixture f;
+  const MepPoint p = f.mep.holistic(1.0);
+  for (double v = 0.25; v <= 0.9; v += 0.02) {
+    EXPECT_GE(f.mep.source_energy_per_cycle(Volts(v), 1.0).value(),
+              p.energy_per_cycle.value() * (1.0 - 1e-9));
+  }
+}
+
+TEST(MepOptimizer, BuckAlsoShiftsMepUp) {
+  PvCell cell = make_ixys_kxob22_cell();
+  BuckRegulator buck;
+  Processor proc = Processor::make_test_chip();
+  SystemModel model(cell, buck, proc);
+  const auto cmp = MepOptimizer(model).compare(1.0);
+  ASSERT_TRUE(cmp.holistic.feasible);
+  EXPECT_GT(cmp.voltage_shift.value(), 0.0);
+}
+
+// Property: the holistic MEP voltage never falls below the conventional one,
+// regardless of light level (regulator losses only ever penalize low V).
+class ShiftDirection : public ::testing::TestWithParam<double> {};
+
+TEST_P(ShiftDirection, HolisticAtOrAboveConventional) {
+  Fixture f;
+  const auto cmp = f.mep.compare(GetParam());
+  if (cmp.holistic.feasible) {
+    EXPECT_GE(cmp.voltage_shift.value(), -1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lights, ShiftDirection,
+                         ::testing::Values(0.1, 0.25, 0.5, 1.0));
+
+}  // namespace
+}  // namespace hemp

@@ -1,0 +1,155 @@
+#include "core/mpp_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.hpp"
+#include "regulator/switched_cap.hpp"
+#include "sim/soc_system.hpp"
+
+namespace hemp {
+namespace {
+
+using namespace hemp::literals;
+
+TEST(EstimateInputPower, BalancesCapacitorDischarge) {
+  // Draw 5 mW; node falls 1.0 -> 0.9 V on 47 uF in 10 ms.
+  // Discharge power = C (V1^2 - V2^2) / (2 t) = 47e-6 * 0.19 / 0.02 = 0.4465 mW
+  // => Pin = 5 - 0.4465 = 4.5535 mW.
+  const Watts p_in =
+      estimate_input_power(5.0_mW, 47.0_uF, 1.0_V, 0.9_V, 10.0_ms);
+  EXPECT_NEAR(p_in.value(), 5e-3 - 47e-6 * (1.0 - 0.81) / (2 * 10e-3), 1e-9);
+}
+
+TEST(EstimateInputPower, FastFallMeansLittleInput) {
+  // The faster the node falls under the same load, the less is coming in.
+  const Watts slow = estimate_input_power(5.0_mW, 47.0_uF, 1.0_V, 0.9_V, 20.0_ms);
+  const Watts fast = estimate_input_power(5.0_mW, 47.0_uF, 1.0_V, 0.9_V, 2.0_ms);
+  EXPECT_GT(slow.value(), fast.value());
+}
+
+TEST(EstimateInputPower, ClampsAtZero) {
+  // Node crashing faster than the load explains: estimate floors at zero.
+  const Watts p = estimate_input_power(0.1_mW, 47.0_uF, 1.0_V, 0.5_V, 0.1_ms);
+  EXPECT_DOUBLE_EQ(p.value(), 0.0);
+}
+
+TEST(EstimateInputPower, Validation) {
+  EXPECT_THROW(estimate_input_power(1.0_mW, 47.0_uF, 0.9_V, 1.0_V, 1.0_ms),
+               RangeError);
+  EXPECT_THROW(estimate_input_power(1.0_mW, 47.0_uF, 1.0_V, 0.9_V, Seconds(0.0)),
+               RangeError);
+  EXPECT_THROW(estimate_input_power(1.0_mW, Farads(0.0), 1.0_V, 0.9_V, 1.0_ms),
+               RangeError);
+}
+
+TEST(MppLut, RoundTripsKnownIrradiances) {
+  const PvCell cell = make_ixys_kxob22_cell();
+  const MppLut lut(cell, 0.95_V);
+  for (double g : {0.1, 0.3, 0.6, 0.9}) {
+    const Watts measured = cell.power(0.95_V, g);
+    EXPECT_NEAR(lut.irradiance_for(measured), g, 0.02);
+    EXPECT_NEAR(lut.mpp_voltage_for(measured).value(),
+                find_mpp(cell, g).voltage.value(), 0.02);
+    EXPECT_NEAR(lut.mpp_power_for(measured).value(),
+                find_mpp(cell, g).power.value(), 0.3e-3);
+  }
+}
+
+TEST(MppLut, ClampsOutOfRangePower) {
+  const PvCell cell = make_ixys_kxob22_cell();
+  const MppLut lut(cell, 0.95_V);
+  EXPECT_NO_THROW((void)lut.mpp_voltage_for(Watts(1.0)));
+  EXPECT_NO_THROW((void)lut.mpp_voltage_for(Watts(0.0)));
+}
+
+TEST(MppLut, MppVoltageMonotoneInPower) {
+  const PvCell cell = make_ixys_kxob22_cell();
+  const MppLut lut(cell, 0.95_V);
+  double prev = 0.0;
+  for (double p = 0.5e-3; p <= 14e-3; p += 0.5e-3) {
+    const double v = lut.mpp_voltage_for(Watts(p)).value();
+    EXPECT_GE(v, prev - 1e-9);
+    prev = v;
+  }
+}
+
+struct TrackerFixture {
+  PvCell cell = make_ixys_kxob22_cell();
+  SwitchedCapRegulator reg;
+  Processor proc = Processor::make_test_chip();
+  SystemModel model{cell, reg, proc};
+
+  SocSystem make_soc() {
+    SocConfig cfg;
+    return SocSystem(cfg, std::make_unique<SwitchedCapRegulator>(),
+                     Processor::make_test_chip());
+  }
+};
+
+TEST(MppTrackingController, ConvergesToFullSunMpp) {
+  TrackerFixture f;
+  MppTrackerParams params;
+  MppTrackingController ctrl(f.model, params);
+  SocSystem soc = f.make_soc();
+  const SimResult r = soc.run(IrradianceTrace::constant(1.0), ctrl, 120.0_ms);
+  const MaxPowerPoint mpp = find_mpp(f.cell, 1.0);
+  // Solar node should hover near the MPP voltage.
+  EXPECT_NEAR(r.final_state.v_solar.value(), mpp.voltage.value(), 0.08);
+  // And the harvest rate should be close to the MPP power.
+  const double p_end = r.waveform.value_at("p_harvest_w", 119.0_ms);
+  EXPECT_GT(p_end, 0.85 * mpp.power.value());
+}
+
+TEST(MppTrackingController, RetargetsAfterLightStep) {
+  TrackerFixture f;
+  MppTrackerParams params;
+  MppTrackingController ctrl(f.model, params);
+  SocSystem soc = f.make_soc();
+  const SimResult r =
+      soc.run(IrradianceTrace::step(1.0, 0.3, 80.0_ms), ctrl, 200.0_ms);
+  EXPECT_GE(ctrl.retarget_count(), 1);
+  ASSERT_TRUE(ctrl.last_power_estimate().has_value());
+  // The Eq. 7 estimate should land near the real post-step input power.
+  const double p_true = f.cell.power(Volts(0.95), 0.3).value();
+  EXPECT_NEAR(ctrl.last_power_estimate()->value(), p_true, 0.5 * p_true);
+  // Final target should approximate the new MPP voltage.
+  const MaxPowerPoint mpp = find_mpp(f.cell, 0.3);
+  EXPECT_NEAR(ctrl.target_voltage().value(), mpp.voltage.value(), 0.08);
+}
+
+TEST(MppTrackingController, HarvestsMoreThanFixedConservativePoint) {
+  TrackerFixture f;
+  MppTrackerParams params;
+  MppTrackingController tracking(f.model, params);
+  SocSystem soc1 = f.make_soc();
+  const SimResult tracked =
+      soc1.run(IrradianceTrace::constant(1.0), tracking, 100.0_ms);
+
+  FixedPointController fixed(PowerPath::kRegulated, 0.35_V, 150.0_MHz);
+  SocSystem soc2 = f.make_soc();
+  const SimResult conservative =
+      soc2.run(IrradianceTrace::constant(1.0), fixed, 100.0_ms);
+
+  EXPECT_GT(tracked.totals.cycles, 2.0 * conservative.totals.cycles);
+  EXPECT_GT(tracked.totals.harvested.value(),
+            1.5 * conservative.totals.harvested.value());
+}
+
+TEST(MppTrackerParams, Validation) {
+  TrackerFixture f;
+  MppTrackerParams p;
+  p.v_high = 0.8_V;  // below v_low
+  p.v_low = 0.9_V;
+  EXPECT_THROW(MppTrackingController(f.model, p), ModelError);
+  p = MppTrackerParams{};
+  p.dvfs_steps = 2;
+  EXPECT_THROW(MppTrackingController(f.model, p), ModelError);
+  p = MppTrackerParams{};
+  p.control_period = Seconds(0.0);
+  EXPECT_THROW(MppTrackingController(f.model, p), ModelError);
+}
+
+}  // namespace
+}  // namespace hemp

@@ -1,0 +1,141 @@
+#include "core/perf_optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "regulator/buck.hpp"
+#include "regulator/ldo.hpp"
+#include "regulator/switched_cap.hpp"
+
+namespace hemp {
+namespace {
+
+using namespace hemp::literals;
+
+struct ScFixture {
+  PvCell cell = make_ixys_kxob22_cell();
+  SwitchedCapRegulator reg;
+  Processor proc = Processor::make_test_chip();
+  SystemModel model{cell, reg, proc};
+  PerformanceOptimizer opt{model};
+};
+
+TEST(PerfOptimizer, UnregulatedPointBalancesSupplyAndDemand) {
+  ScFixture f;
+  const PerfPoint p = f.opt.unregulated(1.0);
+  ASSERT_TRUE(p.feasible);
+  // At the intersection, solar output equals processor draw.
+  EXPECT_NEAR(p.harvested_power.value(), p.processor_power.value(),
+              p.processor_power.value() * 1e-4);
+  EXPECT_NEAR(p.frequency.value(), f.proc.max_frequency(p.vdd).value(), 1.0);
+  EXPECT_DOUBLE_EQ(p.efficiency, 1.0);
+}
+
+TEST(PerfOptimizer, UnregulatedHarvestsWellBelowMpp) {
+  // The Fig. 6a observation: the shared node forces the cell far from MPP.
+  ScFixture f;
+  const PerfPoint p = f.opt.unregulated(1.0);
+  const MaxPowerPoint mpp = f.model.mpp(1.0);
+  EXPECT_LT(p.harvested_power.value(), 0.7 * mpp.power.value());
+  EXPECT_LT(p.vdd.value(), 0.7 * mpp.voltage.value());
+}
+
+TEST(PerfOptimizer, RegulatedPointSatisfiesBudget) {
+  ScFixture f;
+  const PerfPoint p = f.opt.regulated(1.0);
+  ASSERT_TRUE(p.feasible);
+  const Watts budget = f.model.delivered_power(p.vdd, 1.0);
+  EXPECT_LE(p.processor_power.value(), budget.value() * (1.0 + 1e-4));
+}
+
+TEST(PerfOptimizer, RegulatedPointIsMaximal) {
+  // A slightly higher voltage must violate the budget.
+  ScFixture f;
+  const PerfPoint p = f.opt.regulated(1.0);
+  const Volts v_up(p.vdd.value() + 0.01);
+  const Watts budget_up = f.model.delivered_power(v_up, 1.0);
+  const Watts need_up = f.proc.max_power(v_up);
+  EXPECT_GT(need_up.value(), budget_up.value());
+}
+
+TEST(PerfOptimizer, ScRegulatorBeatsUnregulated) {
+  // Paper Fig. 6b: ~31% more power, ~18% speedup with the SC regulator.
+  ScFixture f;
+  const auto cmp = f.opt.compare(1.0);
+  EXPECT_GT(cmp.power_gain, 0.25);
+  EXPECT_LT(cmp.power_gain, 0.70);
+  EXPECT_GT(cmp.speed_gain, 0.10);
+  EXPECT_LT(cmp.speed_gain, 0.35);
+}
+
+TEST(PerfOptimizer, LdoProvidesNoBenefit) {
+  // Paper Sec. IV-A: "The LDO does not bring any efficiency improvement over
+  // raw solar cell" — in fact it delivers less.
+  PvCell cell = make_ixys_kxob22_cell();
+  Ldo ldo;
+  Processor proc = Processor::make_test_chip();
+  SystemModel model(cell, ldo, proc);
+  const auto cmp = PerformanceOptimizer(model).compare(1.0);
+  EXPECT_LE(cmp.power_gain, 0.0);
+  EXPECT_LE(cmp.speed_gain, 0.0);
+}
+
+TEST(PerfOptimizer, ScBeatsBuckWhichBeatsLdo) {
+  // Paper Fig. 6b ranking.
+  PvCell cell = make_ixys_kxob22_cell();
+  Processor proc = Processor::make_test_chip();
+  SwitchedCapRegulator sc;
+  BuckRegulator buck;
+  Ldo ldo;
+  const SystemModel m_sc(cell, sc, proc);
+  const SystemModel m_buck(cell, buck, proc);
+  const SystemModel m_ldo(cell, ldo, proc);
+  const double g_sc = PerformanceOptimizer(m_sc).compare(1.0).power_gain;
+  const double g_buck = PerformanceOptimizer(m_buck).compare(1.0).power_gain;
+  const double g_ldo = PerformanceOptimizer(m_ldo).compare(1.0).power_gain;
+  EXPECT_GT(g_sc, g_buck);
+  EXPECT_GT(g_buck, g_ldo);
+}
+
+TEST(PerfOptimizer, ZeroLightIsInfeasible) {
+  ScFixture f;
+  EXPECT_FALSE(f.opt.unregulated(0.0).feasible);
+  EXPECT_FALSE(f.opt.regulated(0.0).feasible);
+}
+
+TEST(PerfOptimizer, VeryLowLightUnregulatedStillRuns) {
+  // Even dim light can feed the core at its minimum operating point.
+  ScFixture f;
+  const PerfPoint p = f.opt.unregulated(0.05);
+  EXPECT_TRUE(p.feasible);
+  EXPECT_LT(p.vdd.value(), 0.45);
+}
+
+// Property: regulated and unregulated solutions are feasible and the
+// operating point voltage rises with light.
+class LightSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LightSweep, SolutionsWellFormed) {
+  ScFixture f;
+  const double g = GetParam();
+  const PerfPoint u = f.opt.unregulated(g);
+  ASSERT_TRUE(u.feasible);
+  EXPECT_GT(u.frequency.value(), 0.0);
+  EXPECT_GE(u.vdd.value(), f.proc.min_voltage().value());
+  EXPECT_LE(u.vdd.value(), f.proc.max_voltage().value());
+  // Under very dim light the regulated path can be infeasible outright (the
+  // converter's fixed losses swallow the harvest) — that is the physics
+  // behind the Fig. 7a bypass rule, not an optimizer defect.
+  const PerfPoint r = f.opt.regulated(g);
+  if (g >= 0.25) { ASSERT_TRUE(r.feasible); }
+  if (r.feasible) {
+    EXPECT_GT(r.frequency.value(), 0.0);
+    EXPECT_GT(r.efficiency, 0.0);
+    EXPECT_LT(r.efficiency, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lights, LightSweep,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.75, 1.0));
+
+}  // namespace
+}  // namespace hemp

@@ -1,0 +1,70 @@
+#include "core/regulator_selector.hpp"
+
+#include "common/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include "regulator/switched_cap.hpp"
+
+namespace hemp {
+namespace {
+
+struct Fixture {
+  PvCell cell = make_ixys_kxob22_cell();
+  SwitchedCapRegulator reg;
+  Processor proc = Processor::make_test_chip();
+  SystemModel model{cell, reg, proc};
+  RegulatorSelector selector{model};
+};
+
+TEST(RegulatorSelector, RegulatesUnderStrongLight) {
+  // Paper Fig. 7a: 30-40% more power at 100% and 50% light.
+  Fixture f;
+  EXPECT_TRUE(f.selector.decide(1.0).use_regulator);
+  EXPECT_TRUE(f.selector.decide(0.5).use_regulator);
+  EXPECT_GT(f.selector.decide(1.0).regulator_advantage, 0.25);
+  EXPECT_GT(f.selector.decide(0.5).regulator_advantage, 0.15);
+}
+
+TEST(RegulatorSelector, BypassesUnderWeakLight) {
+  // Paper Fig. 7a: at ~25% light the regulator output drops below raw solar.
+  Fixture f;
+  EXPECT_FALSE(f.selector.decide(0.25).use_regulator);
+  EXPECT_LT(f.selector.decide(0.25).regulator_advantage, 0.0);
+  EXPECT_FALSE(f.selector.decide(0.10).use_regulator);
+}
+
+TEST(RegulatorSelector, CrossoverNearQuarterSun) {
+  Fixture f;
+  const auto cross = f.selector.crossover_irradiance();
+  ASSERT_TRUE(cross.has_value());
+  EXPECT_GT(*cross, 0.15);
+  EXPECT_LT(*cross, 0.45);
+}
+
+TEST(RegulatorSelector, AdvantageIsMonotoneAcrossCrossover) {
+  Fixture f;
+  const auto cross = f.selector.crossover_irradiance();
+  ASSERT_TRUE(cross.has_value());
+  EXPECT_LT(f.selector.decide(*cross - 0.05).regulator_advantage, 0.0);
+  EXPECT_GT(f.selector.decide(*cross + 0.05).regulator_advantage, 0.0);
+  EXPECT_NEAR(f.selector.decide(*cross).regulator_advantage, 0.0, 0.02);
+}
+
+TEST(RegulatorSelector, DecisionCarriesBothOperatingPoints) {
+  Fixture f;
+  const PathDecision d = f.selector.decide(0.5);
+  EXPECT_TRUE(d.regulated.feasible);
+  EXPECT_TRUE(d.unregulated.feasible);
+  EXPECT_GT(d.regulated.frequency.value(), 0.0);
+  EXPECT_GT(d.unregulated.frequency.value(), 0.0);
+}
+
+TEST(RegulatorSelector, BadSearchRangeThrows) {
+  Fixture f;
+  EXPECT_THROW((void)f.selector.crossover_irradiance(0.5, 0.1), ModelError);
+  EXPECT_THROW((void)f.selector.crossover_irradiance(0.0, 1.0), ModelError);
+}
+
+}  // namespace
+}  // namespace hemp

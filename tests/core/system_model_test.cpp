@@ -1,0 +1,92 @@
+#include "core/system_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "regulator/bypass.hpp"
+#include "regulator/ldo.hpp"
+#include "regulator/switched_cap.hpp"
+
+namespace hemp {
+namespace {
+
+using namespace hemp::literals;
+
+struct Fixture {
+  PvCell cell = make_ixys_kxob22_cell();
+  SwitchedCapRegulator sc;
+  Processor proc = Processor::make_test_chip();
+  SystemModel model{cell, sc, proc};
+};
+
+TEST(SystemModel, MppMatchesHarvesterSolver) {
+  Fixture f;
+  const MaxPowerPoint a = f.model.mpp(1.0);
+  const MaxPowerPoint b = find_mpp(f.cell, 1.0);
+  EXPECT_NEAR(a.voltage.value(), b.voltage.value(), 1e-9);
+  EXPECT_NEAR(a.power.value(), b.power.value(), 1e-12);
+}
+
+TEST(SystemModel, DeliveredPowerIsSelfConsistent) {
+  Fixture f;
+  const Volts vdd = 0.5_V;
+  const Watts pout = f.model.delivered_power(vdd, 1.0);
+  ASSERT_GT(pout.value(), 0.0);
+  const MaxPowerPoint mpp = f.model.mpp(1.0);
+  if (pout < f.sc.rated_load()) {
+    const double eta = f.sc.efficiency(mpp.voltage, vdd, pout);
+    EXPECT_NEAR(pout.value(), eta * mpp.power.value(), 1e-9);
+  }
+}
+
+TEST(SystemModel, DeliveredPowerCapsAtRatedLoad) {
+  Fixture f;
+  // At the SC sweet spot under full sun the uncapped solution would exceed
+  // the rating; the model must clamp.
+  const Watts pout = f.model.delivered_power(0.55_V, 1.0);
+  EXPECT_LE(pout.value(), f.sc.rated_load().value() + 1e-12);
+}
+
+TEST(SystemModel, DeliveredPowerZeroOutsideEnvelope) {
+  Fixture f;
+  // 0.95 V from a ~1.19 V MPP input: above every SC ratio envelope.
+  EXPECT_DOUBLE_EQ(f.model.delivered_power(1.1_V, 1.0).value(), 0.0);
+  EXPECT_DOUBLE_EQ(f.model.delivered_power(0.5_V, 0.0).value(), 0.0);
+}
+
+TEST(SystemModel, DeliveredPowerGrowsWithIrradiance) {
+  Fixture f;
+  double prev = 0.0;
+  for (double g : {0.1, 0.25, 0.5, 0.75, 1.0}) {
+    const double p = f.model.delivered_power(0.5_V, g).value();
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(SystemModel, UnregulatedPowerIsRawCellOutput) {
+  Fixture f;
+  EXPECT_NEAR(f.model.unregulated_power(0.5_V, 1.0).value(),
+              f.cell.power(0.5_V, 1.0).value(), 1e-15);
+}
+
+TEST(SystemModel, EfficiencyAtMatchesDeliveredPower) {
+  Fixture f;
+  const Volts vdd = 0.45_V;
+  const double eta = f.model.efficiency_at(vdd, 1.0);
+  const Watts pout = f.model.delivered_power(vdd, 1.0);
+  const MaxPowerPoint mpp = f.model.mpp(1.0);
+  EXPECT_NEAR(eta, f.sc.efficiency(mpp.voltage, vdd, pout), 1e-12);
+}
+
+TEST(SystemModel, LdoDeliveredPowerIsVoltageRatioBound) {
+  PvCell cell = make_ixys_kxob22_cell();
+  Ldo ldo;
+  Processor proc = Processor::make_test_chip();
+  SystemModel model(cell, ldo, proc);
+  const MaxPowerPoint mpp = model.mpp(1.0);
+  const Watts pout = model.delivered_power(0.5_V, 1.0);
+  EXPECT_LT(pout.value(), mpp.power.value() * 0.5 / mpp.voltage.value() + 1e-6);
+}
+
+}  // namespace
+}  // namespace hemp

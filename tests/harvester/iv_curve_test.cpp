@@ -1,0 +1,93 @@
+#include "harvester/iv_curve.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace hemp {
+namespace {
+
+TEST(IvCurve, SpansZeroToVoc) {
+  const PvCell cell = make_ixys_kxob22_cell();
+  const IvCurve curve(cell, 1.0);
+  EXPECT_DOUBLE_EQ(curve.points().front().voltage.value(), 0.0);
+  EXPECT_NEAR(curve.open_circuit_voltage().value(),
+              cell.open_circuit_voltage(1.0).value(), 1e-9);
+  EXPECT_NEAR(curve.short_circuit_current().value(),
+              cell.short_circuit_current(1.0).value(), 1e-9);
+}
+
+TEST(IvCurve, InterpolationMatchesModel) {
+  const PvCell cell = make_ixys_kxob22_cell();
+  const IvCurve curve(cell, 1.0, 512);
+  for (double v : {0.3, 0.7, 1.1, 1.3}) {
+    EXPECT_NEAR(curve.current_at(Volts(v)).value(), cell.current(Volts(v), 1.0).value(),
+                2e-4);
+  }
+}
+
+TEST(IvCurve, ClampsOutsideSweep) {
+  const PvCell cell = make_ixys_kxob22_cell();
+  const IvCurve curve(cell, 0.5);
+  EXPECT_DOUBLE_EQ(curve.current_at(Volts(5.0)).value(),
+                   curve.points().back().current.value());
+}
+
+TEST(IvCurve, RejectsTooFewSamples) {
+  const PvCell cell = make_ixys_kxob22_cell();
+  EXPECT_THROW(IvCurve(cell, 1.0, 4), ModelError);
+}
+
+TEST(FindMpp, FullSunMppMatchesCalibration) {
+  const PvCell cell = make_ixys_kxob22_cell();
+  const MaxPowerPoint mpp = find_mpp(cell, 1.0);
+  // Calibration targets from DESIGN.md: ~1.19 V, ~16 mW.
+  EXPECT_NEAR(mpp.voltage.value(), 1.19, 0.05);
+  EXPECT_NEAR(mpp.power.value(), 16e-3, 1.5e-3);
+  EXPECT_NEAR(mpp.power.value(), (mpp.voltage * mpp.current).value(), 1e-9);
+}
+
+TEST(FindMpp, ZeroIrradianceDegenerates) {
+  const PvCell cell = make_ixys_kxob22_cell();
+  const MaxPowerPoint mpp = find_mpp(cell, 0.0);
+  EXPECT_DOUBLE_EQ(mpp.power.value(), 0.0);
+}
+
+TEST(FindMpp, MppPowerScalesRoughlyWithIrradiance) {
+  const PvCell cell = make_ixys_kxob22_cell();
+  const double p_full = find_mpp(cell, 1.0).power.value();
+  const double p_half = find_mpp(cell, 0.5).power.value();
+  // Slightly less than half (Voc drops too).
+  EXPECT_LT(p_half, 0.5 * p_full);
+  EXPECT_GT(p_half, 0.42 * p_full);
+}
+
+TEST(MppCaptureRatio, OneAtMppAndBelowOneElsewhere) {
+  const PvCell cell = make_ixys_kxob22_cell();
+  const MaxPowerPoint mpp = find_mpp(cell, 1.0);
+  EXPECT_NEAR(mpp_capture_ratio(cell, 1.0, mpp.voltage), 1.0, 1e-4);
+  EXPECT_LT(mpp_capture_ratio(cell, 1.0, Volts(0.5)), 0.6);
+  EXPECT_LT(mpp_capture_ratio(cell, 1.0, Volts(1.45)), 0.5);
+}
+
+// Property: MPP voltage sits strictly inside (0, Voc) and its power dominates
+// a sampling of other operating voltages, across light levels.
+class MppDominance : public ::testing::TestWithParam<double> {};
+
+TEST_P(MppDominance, MppDominatesSweep) {
+  const PvCell cell = make_ixys_kxob22_cell();
+  const double g = GetParam();
+  const MaxPowerPoint mpp = find_mpp(cell, g);
+  const double voc = cell.open_circuit_voltage(g).value();
+  EXPECT_GT(mpp.voltage.value(), 0.0);
+  EXPECT_LT(mpp.voltage.value(), voc);
+  for (double v = 0.05; v < voc; v += 0.05) {
+    EXPECT_LE(cell.power(Volts(v), g).value(), mpp.power.value() * (1.0 + 1e-6));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(IrradianceSweep, MppDominance,
+                         ::testing::Values(0.05, 0.12, 0.25, 0.5, 0.75, 1.0));
+
+}  // namespace
+}  // namespace hemp

@@ -1,0 +1,122 @@
+#include "harvester/light_environment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace hemp {
+namespace {
+
+using namespace hemp::literals;
+
+TEST(LightCondition, FractionsAreOrderedBrightestFirst) {
+  const auto all = all_light_conditions();
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_GT(irradiance_fraction(all[i - 1]), irradiance_fraction(all[i]));
+  }
+}
+
+TEST(LightCondition, NamedFractionsMatchPaperConditions) {
+  EXPECT_DOUBLE_EQ(irradiance_fraction(LightCondition::kFullSun), 1.0);
+  EXPECT_DOUBLE_EQ(irradiance_fraction(LightCondition::kHalfSun), 0.5);
+  EXPECT_DOUBLE_EQ(irradiance_fraction(LightCondition::kQuarterSun), 0.25);
+}
+
+TEST(LightCondition, NamesAreNonEmptyAndDistinct) {
+  std::vector<std::string> names;
+  for (auto c : all_light_conditions()) names.push_back(to_string(c));
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_FALSE(names[i].empty());
+    for (std::size_t j = i + 1; j < names.size(); ++j) {
+      EXPECT_NE(names[i], names[j]);
+    }
+  }
+}
+
+TEST(IrradianceTrace, ConstantHoldsValue) {
+  const auto t = IrradianceTrace::constant(0.4);
+  EXPECT_DOUBLE_EQ(t.at(0.0_s), 0.4);
+  EXPECT_DOUBLE_EQ(t.at(100.0_s), 0.4);
+}
+
+TEST(IrradianceTrace, StepSwitchesAtBoundary) {
+  const auto t = IrradianceTrace::step(1.0, 0.2, 5.0_ms);
+  EXPECT_DOUBLE_EQ(t.at(4.9_ms), 1.0);
+  EXPECT_DOUBLE_EQ(t.at(5.0_ms), 0.2);
+  EXPECT_DOUBLE_EQ(t.at(20.0_ms), 0.2);
+}
+
+TEST(IrradianceTrace, RampInterpolatesLinearly) {
+  const auto t = IrradianceTrace::ramp(0.0, 1.0, 1.0_s, 2.0_s);
+  EXPECT_DOUBLE_EQ(t.at(0.5_s), 0.0);
+  EXPECT_DOUBLE_EQ(t.at(2.0_s), 0.5);
+  EXPECT_DOUBLE_EQ(t.at(3.0_s), 1.0);
+  EXPECT_DOUBLE_EQ(t.at(10.0_s), 1.0);
+}
+
+TEST(IrradianceTrace, RampRejectsZeroDuration) {
+  EXPECT_THROW(IrradianceTrace::ramp(0.0, 1.0, 0.0_s, 0.0_s), ModelError);
+}
+
+TEST(IrradianceTrace, CloudsDipDuringEvents) {
+  const auto t = IrradianceTrace::clouds(
+      1.0, {{Seconds(1.0), Seconds(2.0), 0.7}, {Seconds(5.0), Seconds(1.0), 1.0}});
+  EXPECT_DOUBLE_EQ(t.at(0.5_s), 1.0);
+  EXPECT_NEAR(t.at(2.0_s), 0.3, 1e-12);
+  EXPECT_DOUBLE_EQ(t.at(5.5_s), 0.0);
+  EXPECT_DOUBLE_EQ(t.at(7.0_s), 1.0);
+}
+
+TEST(IrradianceTrace, OverlappingCloudsTakeDeepest) {
+  const auto t = IrradianceTrace::clouds(
+      1.0, {{Seconds(0.0), Seconds(10.0), 0.5}, {Seconds(2.0), Seconds(2.0), 0.9}});
+  EXPECT_NEAR(t.at(3.0_s), 0.1, 1e-12);
+  EXPECT_NEAR(t.at(6.0_s), 0.5, 1e-12);
+}
+
+TEST(IrradianceTrace, CloudsValidateDepth) {
+  EXPECT_THROW(IrradianceTrace::clouds(1.0, {{Seconds(0.0), Seconds(1.0), 1.5}}),
+               ModelError);
+  EXPECT_THROW(IrradianceTrace::clouds(1.0, {{Seconds(0.0), Seconds(0.0), 0.5}}),
+               ModelError);
+}
+
+TEST(IrradianceTrace, DiurnalPeaksAtNoonAndDarkAtNight) {
+  const auto t = IrradianceTrace::diurnal(1.0, 6.0_s, 18.0_s);
+  EXPECT_DOUBLE_EQ(t.at(0.0_s), 0.0);
+  EXPECT_DOUBLE_EQ(t.at(6.0_s), 0.0);
+  EXPECT_NEAR(t.at(12.0_s), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(t.at(18.0_s), 0.0);
+  EXPECT_GT(t.at(9.0_s), 0.0);
+  EXPECT_LT(t.at(9.0_s), 1.0);
+}
+
+TEST(IrradianceTrace, DiurnalRejectsInvertedDay) {
+  EXPECT_THROW(IrradianceTrace::diurnal(1.0, 10.0_s, 5.0_s), ModelError);
+}
+
+TEST(IrradianceTrace, PiecewiseInterpolatesAndClamps) {
+  const auto t = IrradianceTrace::piecewise(
+      {{Seconds(0.0), 0.2}, {Seconds(1.0), 0.8}, {Seconds(2.0), 0.4}});
+  EXPECT_DOUBLE_EQ(t.at(0.5_s), 0.5);
+  EXPECT_DOUBLE_EQ(t.at(1.5_s), 0.6);
+  EXPECT_DOUBLE_EQ(t.at(-1.0_s), 0.2);
+  EXPECT_DOUBLE_EQ(t.at(5.0_s), 0.4);
+}
+
+TEST(IrradianceTrace, PiecewiseValidatesOrdering) {
+  EXPECT_THROW(
+      IrradianceTrace::piecewise({{Seconds(1.0), 0.2}, {Seconds(1.0), 0.8}}),
+      ModelError);
+  EXPECT_THROW(IrradianceTrace::piecewise({{Seconds(0.0), 0.2}}), ModelError);
+}
+
+TEST(IrradianceTrace, RejectsOutOfRangeProfileValues) {
+  const auto t = IrradianceTrace::constant(0.5);
+  EXPECT_NO_THROW((void)t.at(0.0_s));
+  const IrradianceTrace bad([](Seconds) { return 3.0; }, "bad");
+  EXPECT_THROW((void)bad.at(0.0_s), RangeError);
+}
+
+}  // namespace
+}  // namespace hemp

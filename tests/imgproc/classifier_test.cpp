@@ -1,0 +1,120 @@
+#include "imgproc/classifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace hemp {
+namespace {
+
+TEST(LinearClassifier, ScoresAreAffine) {
+  LinearClassifier c(2, 3);
+  c.set_weight(0, 0, 1.0f);
+  c.set_weight(0, 1, 2.0f);
+  c.set_weight(0, 2, -1.0f);
+  c.set_bias(0, 0.5f);
+  c.set_weight(1, 0, -1.0f);
+  CycleCounter counter;
+  const auto s = c.scores({1.0f, 1.0f, 1.0f}, counter);
+  EXPECT_FLOAT_EQ(s[0], 2.5f);
+  EXPECT_FLOAT_EQ(s[1], -1.0f);
+}
+
+TEST(LinearClassifier, ClassifyPicksArgmax) {
+  LinearClassifier c(3, 1);
+  c.set_weight(0, 0, 1.0f);
+  c.set_weight(1, 0, 3.0f);
+  c.set_weight(2, 0, 2.0f);
+  CycleCounter counter;
+  EXPECT_EQ(c.classify({1.0f}, counter), 1);
+  EXPECT_EQ(c.classify({-1.0f}, counter), 0);
+}
+
+TEST(LinearClassifier, ChargesMacsPerClassAndDim) {
+  LinearClassifier c(4, 16);
+  CycleCounter counter;
+  (void)c.scores(std::vector<float>(16, 0.0f), counter);
+  const double scoring = counter.cycles();
+  EXPECT_GT(scoring, 0.0);
+  // Doubling the classes doubles the work.
+  LinearClassifier c2(8, 16);
+  CycleCounter counter2;
+  (void)c2.scores(std::vector<float>(16, 0.0f), counter2);
+  EXPECT_NEAR(counter2.cycles() / scoring, 2.0, 1e-9);
+}
+
+TEST(LinearClassifier, RejectsDimensionMismatch) {
+  LinearClassifier c(2, 4);
+  CycleCounter counter;
+  EXPECT_THROW(c.scores({1.0f}, counter), RangeError);
+}
+
+TEST(LinearClassifier, RejectsBadIndices) {
+  LinearClassifier c(2, 4);
+  EXPECT_THROW((void)c.weight(2, 0), RangeError);
+  EXPECT_THROW((void)c.weight(0, 4), RangeError);
+  EXPECT_THROW(c.set_bias(5, 0.0f), RangeError);
+}
+
+TEST(LinearClassifier, RejectsDegenerateShape) {
+  EXPECT_THROW(LinearClassifier(1, 4), ModelError);
+  EXPECT_THROW(LinearClassifier(2, 0), ModelError);
+}
+
+TEST(PerceptronTrainer, SeparatesLinearlySeparableData) {
+  // Two classes on either side of x0 = 0.
+  std::vector<PerceptronTrainer::Sample> samples;
+  for (int i = 1; i <= 10; ++i) {
+    samples.push_back({{static_cast<float>(i) * 0.1f, 1.0f}, 0});
+    samples.push_back({{static_cast<float>(-i) * 0.1f, 1.0f}, 1});
+  }
+  const auto result = PerceptronTrainer().train(samples, 2, 2);
+  EXPECT_EQ(result.final_epoch_mistakes, 0);
+  CycleCounter counter;
+  for (const auto& s : samples) {
+    EXPECT_EQ(result.model.classify(s.features, counter), s.label);
+  }
+}
+
+TEST(PerceptronTrainer, StopsEarlyWhenSeparated) {
+  std::vector<PerceptronTrainer::Sample> samples = {
+      {{1.0f}, 0}, {{1.0f}, 0}, {{-1.0f}, 1}};
+  PerceptronTrainer::Options opt;
+  opt.epochs = 1000;
+  const auto result = PerceptronTrainer(opt).train(samples, 2, 1);
+  EXPECT_LT(result.epochs_run, 1000);
+}
+
+TEST(PerceptronTrainer, HandlesThreeClasses) {
+  std::vector<PerceptronTrainer::Sample> samples;
+  for (int i = 0; i < 10; ++i) {
+    const float t = static_cast<float>(i) * 0.1f;
+    samples.push_back({{1.0f + t, 0.0f, 1.0f}, 0});
+    samples.push_back({{0.0f, 1.0f + t, 1.0f}, 1});
+    samples.push_back({{-1.0f - t, -1.0f - t, 1.0f}, 2});
+  }
+  const auto result = PerceptronTrainer().train(samples, 3, 3);
+  CycleCounter counter;
+  int correct = 0;
+  for (const auto& s : samples) {
+    if (result.model.classify(s.features, counter) == s.label) ++correct;
+  }
+  EXPECT_GE(correct, 28);  // near-perfect on separable data
+}
+
+TEST(PerceptronTrainer, ValidatesInputs) {
+  EXPECT_THROW(PerceptronTrainer().train({}, 2, 1), ModelError);
+  std::vector<PerceptronTrainer::Sample> bad_dim = {{{1.0f, 2.0f}, 0}};
+  EXPECT_THROW(PerceptronTrainer().train(bad_dim, 2, 1), ModelError);
+  std::vector<PerceptronTrainer::Sample> bad_label = {{{1.0f}, 7}};
+  EXPECT_THROW(PerceptronTrainer().train(bad_label, 2, 1), ModelError);
+  PerceptronTrainer::Options opt;
+  opt.epochs = 0;
+  EXPECT_THROW(PerceptronTrainer{opt}, ModelError);
+  opt = PerceptronTrainer::Options{};
+  opt.learning_rate = 0.0f;
+  EXPECT_THROW(PerceptronTrainer{opt}, ModelError);
+}
+
+}  // namespace
+}  // namespace hemp

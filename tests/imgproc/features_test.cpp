@@ -1,0 +1,122 @@
+#include "imgproc/features.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hemp {
+namespace {
+
+FeatureSet extract(const Image& img, CycleCounter& counter,
+                   FeatureExtractorParams params = {}) {
+  const GradientEngine engine(8);
+  const GradientField grad = engine.compute(img, counter);
+  return FeatureExtractor(params, 8).extract(grad, counter);
+}
+
+TEST(FeatureExtractor, WindowLayoutFor64x64Defaults) {
+  // 64x64 frame, 8x8 cells -> 8x8 cells; 2x2-cell windows, stride 1 cell ->
+  // 7x7 windows of 32 dims each.
+  CycleCounter counter;
+  const FeatureSet f = extract(Image::ramp(64, 64), counter);
+  EXPECT_EQ(f.windows_x, 7);
+  EXPECT_EQ(f.windows_y, 7);
+  EXPECT_EQ(f.dims, 32);
+  EXPECT_EQ(f.vectors.size(), 49u * 32u);
+}
+
+TEST(FeatureExtractor, WindowVectorsAreL2Normalized) {
+  CycleCounter counter;
+  const FeatureSet f = extract(Image::noise(64, 64, 5), counter);
+  for (int wy = 0; wy < f.windows_y; ++wy) {
+    for (int wx = 0; wx < f.windows_x; ++wx) {
+      const float* v = f.window(wx, wy);
+      double norm2 = 0.0;
+      for (int d = 0; d < f.dims; ++d) norm2 += static_cast<double>(v[d]) * v[d];
+      EXPECT_NEAR(norm2, 1.0, 1e-4) << "window " << wx << "," << wy;
+    }
+  }
+}
+
+TEST(FeatureExtractor, FlatImageYieldsZeroVectors) {
+  CycleCounter counter;
+  const FeatureSet f = extract(Image(64, 64, 100), counter);
+  for (float v : f.vectors) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(FeatureExtractor, RampConcentratesEnergyInVerticalEdgeBin) {
+  CycleCounter counter;
+  const FeatureSet f = extract(Image::ramp(64, 64), counter);
+  // All gradient energy is at orientation bin 0 (vertical edges).
+  const float* v = f.window(3, 3);
+  float bin0 = 0.0f, others = 0.0f;
+  for (int d = 0; d < f.dims; ++d) {
+    if (d % 8 == 0) {
+      bin0 += v[d];
+    } else {
+      others += v[d];
+    }
+  }
+  EXPECT_GT(bin0, 0.0f);
+  EXPECT_FLOAT_EQ(others, 0.0f);
+}
+
+TEST(FeatureExtractor, DistinguishesPatternClasses) {
+  CycleCounter counter;
+  const auto pooled_of = [&](const Image& img) {
+    const GradientEngine engine(8);
+    const GradientField grad = engine.compute(img, counter);
+    const FeatureSet f = FeatureExtractor({}, 8).extract(grad, counter);
+    return pool_features(f);
+  };
+  const auto a = pooled_of(Image::square(64, 64, 12));
+  const auto b = pooled_of(Image::disc(64, 64, 12));
+  double dist = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dist += (a[i] - b[i]) * (a[i] - b[i]);
+  }
+  EXPECT_GT(std::sqrt(dist), 0.05);  // clearly separable descriptors
+}
+
+TEST(FeatureExtractor, RejectsFrameSmallerThanWindow) {
+  CycleCounter counter;
+  const GradientField grad = GradientEngine(8).compute(Image(8, 8), counter);
+  EXPECT_THROW(FeatureExtractor({}, 8).extract(grad, counter), RangeError);
+}
+
+TEST(FeatureExtractor, DimsPerWindow) {
+  FeatureExtractorParams p;
+  p.window_cells = 3;
+  EXPECT_EQ(FeatureExtractor(p, 9).dims_per_window(), 81);
+}
+
+TEST(FeatureExtractor, ParamsValidation) {
+  FeatureExtractorParams p;
+  p.cell_size = 1;
+  EXPECT_THROW(FeatureExtractor(p, 8), ModelError);
+  p = FeatureExtractorParams{};
+  p.window_cells = 0;
+  EXPECT_THROW(FeatureExtractor(p, 8), ModelError);
+  EXPECT_THROW(FeatureExtractor({}, 1), ModelError);
+}
+
+TEST(PoolFeatures, AveragesWindows) {
+  FeatureSet f;
+  f.windows_x = 2;
+  f.windows_y = 1;
+  f.dims = 2;
+  f.vectors = {1.0f, 0.0f, 0.0f, 1.0f};
+  const auto pooled = pool_features(f);
+  EXPECT_FLOAT_EQ(pooled[0], 0.5f);
+  EXPECT_FLOAT_EQ(pooled[1], 0.5f);
+}
+
+TEST(PoolFeatures, RejectsEmptySet) {
+  FeatureSet f;
+  EXPECT_THROW(pool_features(f), ModelError);
+}
+
+}  // namespace
+}  // namespace hemp

@@ -1,0 +1,106 @@
+#include "imgproc/gradient.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace hemp {
+namespace {
+
+TEST(GradientEngine, FlatImageHasZeroGradients) {
+  const Image img(16, 16, 128);
+  CycleCounter counter;
+  const GradientField g = GradientEngine().compute(img, counter);
+  for (std::size_t i = 0; i < img.pixel_count(); ++i) {
+    EXPECT_EQ(g.gx[i], 0);
+    EXPECT_EQ(g.gy[i], 0);
+    EXPECT_EQ(g.magnitude[i], 0);
+  }
+}
+
+TEST(GradientEngine, HorizontalRampHasPureXGradient) {
+  const Image img = Image::ramp(32, 8);
+  CycleCounter counter;
+  const GradientField g = GradientEngine().compute(img, counter);
+  // Interior pixels: gx > 0, gy == 0.
+  for (int y = 1; y < 7; ++y) {
+    for (int x = 1; x < 31; ++x) {
+      const std::size_t i = g.index(x, y);
+      EXPECT_GT(g.gx[i], 0) << x << "," << y;
+      EXPECT_EQ(g.gy[i], 0) << x << "," << y;
+    }
+  }
+}
+
+TEST(GradientEngine, VerticalEdgeOrientationBinIsVertical) {
+  // A vertical edge has a horizontal gradient (gy=0) -> angle 0 -> bin 0.
+  const Image img = Image::ramp(32, 8);
+  CycleCounter counter;
+  const GradientField g = GradientEngine(8).compute(img, counter);
+  EXPECT_EQ(static_cast<int>(g.orientation[g.index(16, 4)]), 0);
+}
+
+TEST(GradientEngine, HorizontalStripesGiveVerticalGradient) {
+  const Image img = Image::stripes(32, 32, 8);
+  CycleCounter counter;
+  const GradientField g = GradientEngine(8).compute(img, counter);
+  // Find a pixel on a stripe boundary; its gradient must be pure y.
+  bool found = false;
+  for (int y = 1; y < 31 && !found; ++y) {
+    for (int x = 8; x < 24 && !found; ++x) {
+      const std::size_t i = g.index(x, y);
+      if (g.magnitude[i] > 0) {
+        EXPECT_EQ(g.gx[i], 0);
+        EXPECT_NE(g.gy[i], 0);
+        // Pure-y gradient -> angle pi/2 -> middle bin of 8.
+        EXPECT_EQ(static_cast<int>(g.orientation[i]), 4);
+        found = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(GradientEngine, MagnitudeIsL1OfComponents) {
+  const Image img = Image::square(32, 32, 8);
+  CycleCounter counter;
+  const GradientField g = GradientEngine().compute(img, counter);
+  for (std::size_t i = 0; i < img.pixel_count(); ++i) {
+    EXPECT_EQ(g.magnitude[i], std::abs(g.gx[i]) + std::abs(g.gy[i]));
+  }
+}
+
+TEST(GradientEngine, OrientationBinsWithinRange) {
+  const Image img = Image::noise(32, 32, 3);
+  CycleCounter counter;
+  const int bins = 8;
+  const GradientField g = GradientEngine(bins).compute(img, counter);
+  for (std::size_t i = 0; i < img.pixel_count(); ++i) {
+    EXPECT_LT(static_cast<int>(g.orientation[i]), bins);
+  }
+}
+
+TEST(GradientEngine, ChargesCyclesProportionalToPixels) {
+  CycleCounter c1, c2;
+  GradientEngine engine;
+  (void)engine.compute(Image::ramp(16, 16), c1);
+  (void)engine.compute(Image::ramp(32, 32), c2);
+  EXPECT_NEAR(c2.cycles() / c1.cycles(), 4.0, 0.01);
+}
+
+TEST(GradientEngine, RejectsBadBinCount) {
+  EXPECT_THROW(GradientEngine(1), ModelError);
+  EXPECT_THROW(GradientEngine(100), ModelError);
+}
+
+TEST(GradientEngine, FieldDimensionsMatchImage) {
+  CycleCounter counter;
+  const GradientField g = GradientEngine().compute(Image(20, 10), counter);
+  EXPECT_EQ(g.width, 20);
+  EXPECT_EQ(g.height, 10);
+  EXPECT_EQ(g.gx.size(), 200u);
+  EXPECT_EQ(g.orientation.size(), 200u);
+}
+
+}  // namespace
+}  // namespace hemp

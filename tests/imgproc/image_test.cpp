@@ -1,0 +1,114 @@
+#include "imgproc/image.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace hemp {
+namespace {
+
+TEST(Image, ConstructionAndFill) {
+  const Image img(8, 4, 42);
+  EXPECT_EQ(img.width(), 8);
+  EXPECT_EQ(img.height(), 4);
+  EXPECT_EQ(img.pixel_count(), 32u);
+  EXPECT_EQ(img.at(0, 0), 42);
+  EXPECT_EQ(img.at(7, 3), 42);
+}
+
+TEST(Image, SetAndGet) {
+  Image img(4, 4);
+  img.set(2, 3, 200);
+  EXPECT_EQ(img.at(2, 3), 200);
+  EXPECT_EQ(img.at(3, 2), 0);
+}
+
+TEST(Image, BoundsChecking) {
+  Image img(4, 4);
+  EXPECT_THROW((void)img.at(4, 0), RangeError);
+  EXPECT_THROW((void)img.at(0, 4), RangeError);
+  EXPECT_THROW((void)img.at(-1, 0), RangeError);
+  EXPECT_THROW(img.set(0, -1, 1), RangeError);
+}
+
+TEST(Image, ClampedAccessExtendsEdges) {
+  Image img(3, 3);
+  img.set(0, 0, 10);
+  img.set(2, 2, 20);
+  EXPECT_EQ(img.at_clamped(-5, -5), 10);
+  EXPECT_EQ(img.at_clamped(10, 10), 20);
+}
+
+TEST(Image, RejectsNonPositiveDimensions) {
+  EXPECT_THROW(Image(0, 4), ModelError);
+  EXPECT_THROW(Image(4, -1), ModelError);
+}
+
+TEST(Image, RampIsMonotoneAcrossColumns) {
+  const Image img = Image::ramp(64, 8);
+  for (int x = 1; x < 64; ++x) {
+    EXPECT_GE(img.at(x, 3), img.at(x - 1, 3));
+  }
+  EXPECT_EQ(img.at(0, 0), 0);
+  EXPECT_EQ(img.at(63, 0), 255);
+}
+
+TEST(Image, SquarePlacesForegroundCentered) {
+  const Image img = Image::square(64, 64, 10);
+  EXPECT_EQ(img.at(32, 32), 230);
+  EXPECT_EQ(img.at(32, 32 - 10), 230);
+  EXPECT_EQ(img.at(32, 32 - 11), 30);
+  EXPECT_EQ(img.at(0, 0), 30);
+}
+
+TEST(Image, DiscRespectsRadius) {
+  const Image img = Image::disc(64, 64, 8);
+  EXPECT_EQ(img.at(32, 32), 230);
+  EXPECT_EQ(img.at(32 + 8, 32), 230);
+  EXPECT_EQ(img.at(32 + 9, 32), 30);
+}
+
+TEST(Image, CrossCoversDiagonals) {
+  const Image img = Image::cross(64, 64, 2);
+  EXPECT_EQ(img.at(32, 32), 230);  // center where diagonals meet
+  EXPECT_EQ(img.at(1, 1), 230);    // on the main diagonal
+  EXPECT_EQ(img.at(62, 1), 230);   // on the anti-diagonal
+  EXPECT_EQ(img.at(32, 5), 30);    // off both diagonals
+}
+
+TEST(Image, StripesAlternate) {
+  const Image img = Image::stripes(16, 16, 4);
+  // Period 4: rows 0-1 bg, rows 2-3 fg, ...
+  EXPECT_EQ(img.at(0, 0), 30);
+  EXPECT_EQ(img.at(0, 2), 230);
+  EXPECT_EQ(img.at(0, 4), 30);
+  EXPECT_EQ(img.at(0, 6), 230);
+}
+
+TEST(Image, NoiseIsDeterministicPerSeed) {
+  const Image a = Image::noise(16, 16, 7);
+  const Image b = Image::noise(16, 16, 7);
+  const Image c = Image::noise(16, 16, 8);
+  EXPECT_EQ(a.data(), b.data());
+  EXPECT_NE(a.data(), c.data());
+}
+
+TEST(Image, NoiseZeroSeedStillWorks) {
+  const Image img = Image::noise(8, 8, 0);
+  // Not all pixels identical.
+  bool varied = false;
+  for (std::size_t i = 1; i < img.data().size(); ++i) {
+    if (img.data()[i] != img.data()[0]) varied = true;
+  }
+  EXPECT_TRUE(varied);
+}
+
+TEST(Image, GeneratorsValidateParameters) {
+  EXPECT_THROW(Image::square(64, 64, 0), ModelError);
+  EXPECT_THROW(Image::disc(64, 64, -1), ModelError);
+  EXPECT_THROW(Image::cross(64, 64, 0), ModelError);
+  EXPECT_THROW(Image::stripes(64, 64, 1), ModelError);
+}
+
+}  // namespace
+}  // namespace hemp

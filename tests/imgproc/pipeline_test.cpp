@@ -1,0 +1,114 @@
+#include "imgproc/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace hemp {
+namespace {
+
+TEST(Pipeline, FrameCyclesMatchesPaperCalibration) {
+  // 64x64 frame ~ 9.7 M cycles (15 ms at the 644 MHz 0.5 V clock).
+  const auto p = RecognitionPipeline::make_test_chip_pipeline();
+  EXPECT_NEAR(p.frame_cycles(64, 64), 9.7e6, 0.3e6);
+}
+
+TEST(Pipeline, CyclesScaleWithFrameArea) {
+  const auto p = RecognitionPipeline::make_test_chip_pipeline();
+  const double c64 = p.frame_cycles(64, 64);
+  const double c128 = p.frame_cycles(128, 128);
+  EXPECT_NEAR(c128 / c64, 4.0, 0.3);
+}
+
+TEST(Pipeline, CyclesAreNearlyDataIndependent) {
+  const auto p = RecognitionPipeline::make_test_chip_pipeline();
+  const double a = p.process(Image::ramp(64, 64)).cycles;
+  const double b = p.process(Image::noise(64, 64, 11)).cycles;
+  EXPECT_NEAR(a / b, 1.0, 0.02);
+}
+
+TEST(Pipeline, ProcessReportsScoresForEveryClass) {
+  const auto p = RecognitionPipeline::make_test_chip_pipeline(5);
+  const RecognitionResult r = p.process(Image::disc(64, 64, 10));
+  EXPECT_EQ(r.scores.size(), 5u);
+  EXPECT_GE(r.predicted_class, 0);
+  EXPECT_LT(r.predicted_class, 5);
+}
+
+TEST(Pipeline, TrainedPipelineClassifiesSyntheticShapes) {
+  // End-to-end: train a perceptron on pooled descriptors of 4 shape classes,
+  // then verify the full pipeline recognizes unseen size variants.
+  auto pipeline = RecognitionPipeline::make_test_chip_pipeline(4);
+  std::vector<PerceptronTrainer::Sample> samples;
+  for (int size = 8; size <= 20; size += 2) {
+    samples.push_back({pipeline.describe(Image::square(64, 64, size)), 0});
+    samples.push_back({pipeline.describe(Image::disc(64, 64, size)), 1});
+    samples.push_back({pipeline.describe(Image::cross(64, 64, size / 4 + 1)), 2});
+    samples.push_back({pipeline.describe(Image::stripes(64, 64, size)), 3});
+  }
+  PerceptronTrainer::Options opt;
+  opt.epochs = 200;
+  const auto trained =
+      PerceptronTrainer(opt).train(samples, 4, pipeline.feature_dims());
+
+  const RecognitionPipeline final_pipeline(pipeline.params(), trained.model);
+  int correct = 0;
+  int total = 0;
+  for (int size : {9, 13, 17}) {
+    const struct {
+      Image img;
+      int label;
+    } cases[] = {
+        {Image::square(64, 64, size), 0},
+        {Image::disc(64, 64, size), 1},
+        {Image::cross(64, 64, size / 4 + 1), 2},
+        {Image::stripes(64, 64, size), 3},
+    };
+    for (const auto& c : cases) {
+      ++total;
+      if (final_pipeline.process(c.img).predicted_class == c.label) ++correct;
+    }
+  }
+  EXPECT_GE(correct, total - 2) << correct << "/" << total;
+}
+
+TEST(Pipeline, DescribeMatchesFeatureDims) {
+  const auto p = RecognitionPipeline::make_test_chip_pipeline();
+  const auto d = p.describe(Image::ramp(64, 64));
+  EXPECT_EQ(static_cast<int>(d.size()), p.feature_dims());
+}
+
+TEST(Pipeline, RejectsClassifierDimensionMismatch) {
+  PipelineParams params;  // dims = 2*2*8 = 32
+  EXPECT_THROW(RecognitionPipeline(params, LinearClassifier(4, 16)), ModelError);
+}
+
+TEST(Pipeline, ScanInDominatesSmallFrames) {
+  // The serial scan-in interface charges per pixel; check it is accounted.
+  const auto p = RecognitionPipeline::make_test_chip_pipeline();
+  const CycleCosts& costs = p.params().cycle_costs;
+  const double scan_cycles = costs.scan_in * costs.cpi_scale * 64.0 * 64.0;
+  EXPECT_LT(scan_cycles, p.frame_cycles(64, 64));
+  EXPECT_GT(scan_cycles, 0.25 * p.frame_cycles(64, 64));
+}
+
+TEST(CycleCosts, Validation) {
+  CycleCosts c;
+  c.cpi_scale = 0.0;
+  EXPECT_THROW(CycleCounter{c}, ModelError);
+  c = CycleCosts{};
+  c.mac = -1.0;
+  EXPECT_THROW(CycleCounter{c}, ModelError);
+}
+
+TEST(CycleCounter, AccumulatesAndResets) {
+  CycleCounter c(CycleCosts{});
+  c.charge_alu(10);
+  c.charge_mac(2);
+  EXPECT_GT(c.cycles(), 0.0);
+  c.reset();
+  EXPECT_DOUBLE_EQ(c.cycles(), 0.0);
+}
+
+}  // namespace
+}  // namespace hemp

@@ -1,0 +1,121 @@
+#include "intermittent/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.hpp"
+#include "regulator/switched_cap.hpp"
+
+namespace hemp {
+namespace {
+
+using namespace hemp::literals;
+
+SocSystem make_soc() {
+  return SocSystem(SocConfig{}, std::make_unique<SwitchedCapRegulator>(),
+                   Processor::make_test_chip());
+}
+
+TaskProgram small_program() {
+  return TaskProgram({{"t0", 2e5}, {"t1", 2e5}, {"t2", 2e5}, {"t3", 2e5}});
+}
+
+IntermittentExecutorParams params_for(IntermittentStrategy s) {
+  IntermittentExecutorParams p;
+  p.strategy = s;
+  p.op = {0.5_V, 400.0_MHz};
+  return p;
+}
+
+// Light that blinks: enough energy while on, total darkness while off.
+IrradianceTrace blinking() {
+  return IrradianceTrace::clouds(
+      1.0, {{Seconds(0.02), Seconds(0.025), 1.0},
+            {Seconds(0.07), Seconds(0.025), 1.0},
+            {Seconds(0.12), Seconds(0.025), 1.0}});
+}
+
+TEST(IntermittentExecutor, SteadyLightCompletesProgramsWithoutFailures) {
+  IntermittentExecutor exec(small_program(),
+                            params_for(IntermittentStrategy::kTaskAtomic));
+  SocSystem soc = make_soc();
+  soc.run(IrradianceTrace::constant(1.0), exec, 50.0_ms);
+  EXPECT_GT(exec.stats().programs_completed, 5);
+  EXPECT_EQ(exec.stats().power_failures, 0);
+  EXPECT_DOUBLE_EQ(exec.stats().wasted_cycles, 0.0);
+}
+
+TEST(IntermittentExecutor, BlinkingLightCausesFailures) {
+  IntermittentExecutor exec(small_program(),
+                            params_for(IntermittentStrategy::kTaskAtomic));
+  SocSystem soc = make_soc();
+  soc.run(blinking(), exec, 150.0_ms);
+  EXPECT_GT(exec.stats().power_failures, 0);
+  EXPECT_GT(exec.stats().programs_completed, 0);  // it still makes progress
+}
+
+TEST(IntermittentExecutor, TaskAtomicWastesLessThanRestart) {
+  // The Alpaca argument: committing per task bounds re-execution to one task.
+  IntermittentExecutor atomic(small_program(),
+                              params_for(IntermittentStrategy::kTaskAtomic));
+  IntermittentExecutor restart(small_program(),
+                               params_for(IntermittentStrategy::kRestart));
+  SocSystem s1 = make_soc();
+  SocSystem s2 = make_soc();
+  s1.run(blinking(), atomic, 150.0_ms);
+  s2.run(blinking(), restart, 150.0_ms);
+  ASSERT_GT(restart.stats().power_failures, 0);
+  EXPECT_GE(restart.stats().wasted_cycles, atomic.stats().wasted_cycles);
+  EXPECT_GE(atomic.stats().programs_completed,
+            restart.stats().programs_completed);
+}
+
+TEST(IntermittentExecutor, RestartCanLiveLockOnLongPrograms) {
+  // One long program that cannot finish within a light window: restart makes
+  // zero forward progress, task atomicity still finishes eventually.
+  const TaskProgram long_program({{"a", 3e6}, {"b", 3e6}, {"c", 3e6}});
+  IntermittentExecutor restart(long_program,
+                               params_for(IntermittentStrategy::kRestart));
+  IntermittentExecutor atomic(long_program,
+                              params_for(IntermittentStrategy::kTaskAtomic));
+  // Blink fast enough that ~3e6-cycle windows fit but 9e6 never does.
+  std::vector<IrradianceTrace::CloudEvent> blinks;
+  for (int i = 0; i < 20; ++i) {
+    blinks.push_back({Seconds(0.012 + i * 0.024), Seconds(0.012), 1.0});
+  }
+  const auto strobe = IrradianceTrace::clouds(1.0, std::move(blinks));
+  SocSystem s1 = make_soc();
+  SocSystem s2 = make_soc();
+  s1.run(strobe, restart, 480.0_ms);
+  s2.run(strobe, atomic, 480.0_ms);
+  EXPECT_EQ(restart.stats().programs_completed, 0);
+  EXPECT_GT(atomic.stats().programs_completed, 0);
+}
+
+TEST(IntermittentExecutor, CheckpointStrategySavesAndRestores) {
+  IntermittentExecutor exec(small_program(),
+                            params_for(IntermittentStrategy::kCheckpoint));
+  SocSystem soc = make_soc();
+  soc.run(blinking(), exec, 150.0_ms);
+  EXPECT_GT(exec.stats().checkpoints_written, 0);
+  EXPECT_GT(exec.stats().programs_completed, 0);
+}
+
+TEST(IntermittentExecutor, StrategyNames) {
+  EXPECT_EQ(to_string(IntermittentStrategy::kRestart), "restart");
+  EXPECT_EQ(to_string(IntermittentStrategy::kTaskAtomic), "task-atomic");
+  EXPECT_EQ(to_string(IntermittentStrategy::kCheckpoint), "checkpoint");
+}
+
+TEST(IntermittentExecutorParams, Validation) {
+  IntermittentExecutorParams p;
+  p.reboot_voltage = 0.3_V;  // below checkpoint threshold
+  EXPECT_THROW(IntermittentExecutor(small_program(), p), ModelError);
+  p = IntermittentExecutorParams{};
+  p.checkpoint_cycles = -1.0;
+  EXPECT_THROW(IntermittentExecutor(small_program(), p), ModelError);
+}
+
+}  // namespace
+}  // namespace hemp

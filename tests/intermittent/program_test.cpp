@@ -1,0 +1,39 @@
+#include "intermittent/program.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace hemp {
+namespace {
+
+TEST(TaskProgram, TotalsAndPrefixSums) {
+  const TaskProgram p({{"a", 100.0}, {"b", 200.0}, {"c", 300.0}});
+  EXPECT_EQ(p.size(), 3u);
+  EXPECT_DOUBLE_EQ(p.total_cycles(), 600.0);
+  EXPECT_DOUBLE_EQ(p.cycles_before(0), 0.0);
+  EXPECT_DOUBLE_EQ(p.cycles_before(1), 100.0);
+  EXPECT_DOUBLE_EQ(p.cycles_before(3), 600.0);
+}
+
+TEST(TaskProgram, Validation) {
+  EXPECT_THROW(TaskProgram({}), ModelError);
+  EXPECT_THROW(TaskProgram({{"a", 0.0}}), ModelError);
+  const TaskProgram p({{"a", 1.0}});
+  EXPECT_THROW((void)p.cycles_before(2), RangeError);
+}
+
+TEST(TaskProgram, RecognitionFrameMatchesPipelineCost) {
+  const TaskProgram p = TaskProgram::recognition_frame(64, 64);
+  EXPECT_EQ(p.size(), 5u);
+  EXPECT_NEAR(p.total_cycles(), 9.65e6, 0.3e6);
+}
+
+TEST(TaskProgram, RecognitionFrameScalesWithFrameSize) {
+  const TaskProgram small = TaskProgram::recognition_frame(32, 32);
+  const TaskProgram big = TaskProgram::recognition_frame(64, 64);
+  EXPECT_GT(big.total_cycles(), 3.0 * small.total_cycles());
+}
+
+}  // namespace
+}  // namespace hemp

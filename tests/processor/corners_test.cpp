@@ -1,0 +1,106 @@
+#include "processor/corners.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace hemp {
+namespace {
+
+using namespace hemp::literals;
+
+TEST(Corners, TypicalAtRoomMatchesDefaultChip) {
+  const Processor tt = make_test_chip_at({ProcessCorner::kTypical, 25.0});
+  const Processor def = Processor::make_test_chip();
+  EXPECT_NEAR(tt.max_frequency(0.6_V).value(), def.max_frequency(0.6_V).value(),
+              1.0);
+  EXPECT_NEAR(tt.power_model().leakage_power(0.5_V).value(),
+              def.power_model().leakage_power(0.5_V).value(), 1e-12);
+}
+
+TEST(Corners, FastCornerIsFasterAndLeakier) {
+  const Processor ff = make_test_chip_at({ProcessCorner::kFastFast, 25.0});
+  const Processor tt = make_test_chip_at({ProcessCorner::kTypical, 25.0});
+  EXPECT_GT(ff.max_frequency(0.5_V).value(), tt.max_frequency(0.5_V).value());
+  EXPECT_GT(ff.power_model().leakage_power(0.5_V).value(),
+            tt.power_model().leakage_power(0.5_V).value());
+}
+
+TEST(Corners, SlowCornerIsSlowerAndStingier) {
+  const Processor ss = make_test_chip_at({ProcessCorner::kSlowSlow, 25.0});
+  const Processor tt = make_test_chip_at({ProcessCorner::kTypical, 25.0});
+  EXPECT_LT(ss.max_frequency(0.5_V).value(), tt.max_frequency(0.5_V).value());
+  EXPECT_LT(ss.power_model().leakage_power(0.5_V).value(),
+            tt.power_model().leakage_power(0.5_V).value());
+}
+
+TEST(Corners, HeatSpeedsUpNearThresholdButLeaksMore) {
+  const Processor hot = make_test_chip_at({ProcessCorner::kTypical, 85.0});
+  const Processor cold = make_test_chip_at({ProcessCorner::kTypical, 25.0});
+  // Lower Vth at heat: faster in the near-threshold region.
+  EXPECT_GT(hot.max_frequency(0.4_V).value(), cold.max_frequency(0.4_V).value());
+  // Leakage doubles every 30 K: 60 K -> x4.
+  EXPECT_NEAR(hot.power_model().leakage_power(0.5_V).value() /
+                  cold.power_model().leakage_power(0.5_V).value(),
+              4.0, 0.05);
+}
+
+TEST(Corners, ExtraLeakageAloneRaisesConventionalMep) {
+  // More leakage at unchanged speed pushes the minimum-energy point up — the
+  // same mechanism as the paper's regulator-driven shift, from a different
+  // loss source.  (Heating does NOT show this cleanly because temperature
+  // inversion also drops Vth and speeds up the subthreshold region.)
+  PowerModelParams leaky;
+  leaky.leakage_base = Amps(leaky.leakage_base.value() * 4.0);
+  const Processor stingy(SpeedModel(), PowerModel(), "tt");
+  const Processor greedy(SpeedModel(), PowerModel(leaky), "leaky");
+  auto mep_of = [](const Processor& p) {
+    double best_v = 0.0;
+    double best_e = 1e9;
+    for (double v = p.min_voltage().value(); v <= 0.8; v += 0.005) {
+      const double e = p.energy_per_cycle(Volts(v)).value();
+      if (e < best_e) {
+        best_e = e;
+        best_v = v;
+      }
+    }
+    return best_v;
+  };
+  EXPECT_GT(mep_of(greedy), mep_of(stingy));
+}
+
+TEST(Corners, NamesAndValidation) {
+  EXPECT_EQ(to_string(ProcessCorner::kSlowSlow), "SS");
+  EXPECT_EQ(to_string(ProcessCorner::kTypical), "TT");
+  EXPECT_EQ(to_string(ProcessCorner::kFastFast), "FF");
+  EXPECT_THROW(make_test_chip_at({ProcessCorner::kTypical, 300.0}), ModelError);
+  const Processor named = make_test_chip_at({ProcessCorner::kFastFast, 85.0});
+  EXPECT_NE(named.name().find("FF"), std::string::npos);
+}
+
+// Property: across all corners and a temperature sweep, the chip still has an
+// interior MEP and a monotone f(V).
+class CornerSweep
+    : public ::testing::TestWithParam<std::tuple<ProcessCorner, double>> {};
+
+TEST_P(CornerSweep, WellFormedModels) {
+  const auto [corner, temp] = GetParam();
+  const Processor p = make_test_chip_at({corner, temp});
+  double prev_f = 0.0;
+  for (double v = p.min_voltage().value(); v <= 1.0; v += 0.02) {
+    const double f = p.max_frequency(Volts(v)).value();
+    EXPECT_GT(f, prev_f);
+    prev_f = f;
+    EXPECT_GT(p.energy_per_cycle(Volts(v)).value(), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corners, CornerSweep,
+    ::testing::Combine(::testing::Values(ProcessCorner::kSlowSlow,
+                                         ProcessCorner::kTypical,
+                                         ProcessCorner::kFastFast),
+                       ::testing::Values(-20.0, 25.0, 85.0)));
+
+}  // namespace
+}  // namespace hemp

@@ -1,0 +1,101 @@
+#include "processor/power_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace hemp {
+namespace {
+
+using namespace hemp::literals;
+
+TEST(PowerModel, DynamicPowerIsCV2F) {
+  const PowerModel m;
+  const double c = m.params().effective_capacitance.value();
+  EXPECT_NEAR(m.dynamic_power(0.5_V, 100.0_MHz).value(), c * 0.25 * 1e8, 1e-15);
+}
+
+TEST(PowerModel, DynamicPowerScalesLinearlyWithFrequency) {
+  const PowerModel m;
+  const double p1 = m.dynamic_power(0.6_V, 100.0_MHz).value();
+  const double p2 = m.dynamic_power(0.6_V, 200.0_MHz).value();
+  EXPECT_NEAR(p2 / p1, 2.0, 1e-12);
+}
+
+TEST(PowerModel, DynamicPowerScalesQuadraticallyWithVoltage) {
+  const PowerModel m;
+  const double p1 = m.dynamic_power(0.4_V, 100.0_MHz).value();
+  const double p2 = m.dynamic_power(0.8_V, 100.0_MHz).value();
+  EXPECT_NEAR(p2 / p1, 4.0, 1e-12);
+}
+
+TEST(PowerModel, LeakageGrowsSuperLinearlyWithVoltage) {
+  const PowerModel m;
+  const double p1 = m.leakage_power(0.4_V).value();
+  const double p2 = m.leakage_power(0.8_V).value();
+  // V * exp(V/Vd): doubling V more than doubles leakage.
+  EXPECT_GT(p2 / p1, 2.0);
+}
+
+TEST(PowerModel, LeakageAtZeroVoltageIsZero) {
+  const PowerModel m;
+  EXPECT_DOUBLE_EQ(m.leakage_power(0.0_V).value(), 0.0);
+}
+
+TEST(PowerModel, TotalIsSumOfParts) {
+  const PowerModel m;
+  const Volts v = 0.55_V;
+  const Hertz f = 500.0_MHz;
+  EXPECT_NEAR(m.total_power(v, f).value(),
+              m.dynamic_power(v, f).value() + m.leakage_power(v).value(), 1e-15);
+}
+
+TEST(PowerModel, EnergyPerCycleDecomposition) {
+  const PowerModel m;
+  const Volts v = 0.5_V;
+  const Hertz f = 400.0_MHz;
+  EXPECT_NEAR(m.energy_per_cycle(v, f).value(),
+              m.dynamic_energy_per_cycle(v).value() +
+                  m.leakage_energy_per_cycle(v, f).value(),
+              1e-21);
+}
+
+TEST(PowerModel, DynamicEnergyIsFrequencyIndependent) {
+  const PowerModel m;
+  EXPECT_DOUBLE_EQ(m.dynamic_energy_per_cycle(0.5_V).value(),
+                   m.params().effective_capacitance.value() * 0.25);
+}
+
+TEST(PowerModel, LeakageEnergyPerCycleFallsWithFrequency) {
+  const PowerModel m;
+  const double slow = m.leakage_energy_per_cycle(0.4_V, 10.0_MHz).value();
+  const double fast = m.leakage_energy_per_cycle(0.4_V, 100.0_MHz).value();
+  EXPECT_NEAR(slow / fast, 10.0, 1e-9);
+}
+
+TEST(PowerModel, LeakagePerCycleRejectsZeroFrequency) {
+  const PowerModel m;
+  EXPECT_THROW((void)m.leakage_energy_per_cycle(0.4_V, Hertz(0.0)), RangeError);
+}
+
+TEST(PowerModel, RejectsNegativeInputs) {
+  const PowerModel m;
+  EXPECT_THROW((void)m.dynamic_power(Volts(-0.1), 1.0_MHz), RangeError);
+  EXPECT_THROW((void)m.dynamic_power(0.5_V, Hertz(-1.0)), RangeError);
+  EXPECT_THROW((void)m.leakage_power(Volts(-0.1)), RangeError);
+}
+
+TEST(PowerModelParams, Validation) {
+  PowerModelParams p;
+  p.effective_capacitance = Farads(0.0);
+  EXPECT_THROW(PowerModel{p}, ModelError);
+  p = PowerModelParams{};
+  p.dibl_voltage = Volts(0.0);
+  EXPECT_THROW(PowerModel{p}, ModelError);
+  p = PowerModelParams{};
+  p.leakage_base = Amps(-1.0);
+  EXPECT_THROW(PowerModel{p}, ModelError);
+}
+
+}  // namespace
+}  // namespace hemp

@@ -1,0 +1,120 @@
+#include "processor/speed_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace hemp {
+namespace {
+
+using namespace hemp::literals;
+
+TEST(SpeedModel, CalibrationPointIsExact) {
+  const SpeedModel m;
+  EXPECT_NEAR(m.max_frequency(1.0_V).value(), 1.2e9, 1.0);
+}
+
+TEST(SpeedModel, FrequencyIsStrictlyIncreasingInVoltage) {
+  const SpeedModel m;
+  double prev = 0.0;
+  for (double v = 0.20; v <= 1.2; v += 0.01) {
+    const double f = m.max_frequency(Volts(v)).value();
+    EXPECT_GT(f, prev) << "at " << v << " V";
+    prev = f;
+  }
+}
+
+TEST(SpeedModel, SubthresholdRollOffIsExponential) {
+  const SpeedModel m;
+  const SpeedModelParams& p = m.params();
+  const double onset = p.threshold.value() + p.near_threshold_margin.value();
+  const double slope = p.subthreshold_slope.value();
+  const double f0 = m.max_frequency(Volts(onset)).value();
+  const double f1 = m.max_frequency(Volts(onset - slope)).value();
+  const double f2 = m.max_frequency(Volts(onset - 2 * slope)).value();
+  // One slope unit = one e-fold.
+  EXPECT_NEAR(f0 / f1, std::exp(1.0), 1e-6);
+  EXPECT_NEAR(f1 / f2, std::exp(1.0), 1e-6);
+}
+
+TEST(SpeedModel, ContinuousAcrossRegionBoundary) {
+  const SpeedModel m;
+  const SpeedModelParams& p = m.params();
+  const double onset = p.threshold.value() + p.near_threshold_margin.value();
+  const double below = m.max_frequency(Volts(onset - 1e-9)).value();
+  const double above = m.max_frequency(Volts(onset + 1e-9)).value();
+  EXPECT_NEAR(below / above, 1.0, 1e-4);
+}
+
+TEST(SpeedModel, DeepSubthresholdIsOrdersOfMagnitudeSlower) {
+  const SpeedModel m;
+  const double f_min = m.max_frequency(m.min_voltage()).value();
+  const double f_half = m.max_frequency(0.5_V).value();
+  EXPECT_LT(f_min, f_half / 20.0);
+}
+
+TEST(SpeedModel, RejectsVoltageOutsideEnvelope) {
+  const SpeedModel m;
+  EXPECT_THROW((void)m.max_frequency(0.1_V), RangeError);
+  EXPECT_THROW((void)m.max_frequency(1.5_V), RangeError);
+}
+
+TEST(SpeedModel, ToleratesFloatRoundOffAtEdges) {
+  const SpeedModel m;
+  EXPECT_NO_THROW((void)m.max_frequency(Volts(m.max_voltage().value() + 1e-12)));
+  EXPECT_NO_THROW((void)m.max_frequency(Volts(m.min_voltage().value() - 1e-12)));
+}
+
+TEST(SpeedModel, VoltageForFrequencyInvertsMaxFrequency) {
+  const SpeedModel m;
+  for (double v : {0.3, 0.4, 0.55, 0.8, 1.0}) {
+    const Hertz f = m.max_frequency(Volts(v));
+    EXPECT_NEAR(m.voltage_for_frequency(f).value(), v, 1e-6);
+  }
+}
+
+TEST(SpeedModel, VoltageForFrequencyClampsSlowClocks) {
+  const SpeedModel m;
+  const Hertz crawl(1.0);  // 1 Hz: any supply sustains it
+  EXPECT_DOUBLE_EQ(m.voltage_for_frequency(crawl).value(), m.min_voltage().value());
+}
+
+TEST(SpeedModel, VoltageForFrequencyRejectsImpossibleClocks) {
+  const SpeedModel m;
+  const Hertz too_fast(m.max_frequency(m.max_voltage()).value() * 1.01);
+  EXPECT_THROW((void)m.voltage_for_frequency(too_fast), RangeError);
+  EXPECT_THROW((void)m.voltage_for_frequency(Hertz(0.0)), RangeError);
+}
+
+TEST(SpeedModelParams, Validation) {
+  SpeedModelParams p;
+  p.alpha = 3.0;
+  EXPECT_THROW(SpeedModel{p}, ModelError);
+  p = SpeedModelParams{};
+  p.reference_voltage = 0.1_V;  // below threshold
+  EXPECT_THROW(SpeedModel{p}, ModelError);
+  p = SpeedModelParams{};
+  p.min_operating_voltage = 1.3_V;  // above max
+  EXPECT_THROW(SpeedModel{p}, ModelError);
+  p = SpeedModelParams{};
+  p.subthreshold_slope = 0.0_V;
+  EXPECT_THROW(SpeedModel{p}, ModelError);
+}
+
+// Property: round-trip voltage_for_frequency(max_frequency(v)) == v across a
+// fine sweep.
+class Inversion : public ::testing::TestWithParam<double> {};
+
+TEST_P(Inversion, RoundTrips) {
+  const SpeedModel m;
+  const double v = GetParam();
+  const Hertz f = m.max_frequency(Volts(v));
+  EXPECT_NEAR(m.voltage_for_frequency(f).value(), v, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(VoltageSweep, Inversion,
+                         ::testing::Values(0.25, 0.3, 0.36, 0.45, 0.6, 0.75, 0.9,
+                                           1.05, 1.2));
+
+}  // namespace
+}  // namespace hemp

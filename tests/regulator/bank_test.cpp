@@ -1,0 +1,81 @@
+#include "regulator/bank.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.hpp"
+#include "regulator/buck.hpp"
+#include "regulator/bypass.hpp"
+#include "regulator/ldo.hpp"
+#include "regulator/switched_cap.hpp"
+
+namespace hemp {
+namespace {
+
+using namespace hemp::literals;
+
+TEST(RegulatorBank, PaperBankContainsAllFourKinds) {
+  const RegulatorBank bank = RegulatorBank::paper_bank();
+  EXPECT_EQ(bank.size(), 4u);
+  EXPECT_NE(bank.find(RegulatorKind::kLdo), nullptr);
+  EXPECT_NE(bank.find(RegulatorKind::kSwitchedCap), nullptr);
+  EXPECT_NE(bank.find(RegulatorKind::kBuck), nullptr);
+  EXPECT_NE(bank.find(RegulatorKind::kBypass), nullptr);
+}
+
+TEST(RegulatorBank, PaperBankWithoutBypass) {
+  const RegulatorBank bank = RegulatorBank::paper_bank(false);
+  EXPECT_EQ(bank.size(), 3u);
+  EXPECT_EQ(bank.find(RegulatorKind::kBypass), nullptr);
+}
+
+TEST(RegulatorBank, BestForPicksScAtItsSweetSpot) {
+  const RegulatorBank bank = RegulatorBank::paper_bank(false);
+  const auto sel = bank.best_for(1.2_V, 0.55_V, 10.0_mW);
+  ASSERT_TRUE(sel.has_value());
+  EXPECT_EQ(sel->regulator->kind(), RegulatorKind::kSwitchedCap);
+  EXPECT_NEAR(sel->efficiency, 0.67, 0.01);
+}
+
+TEST(RegulatorBank, BestForSkipsUnsupportedPoints) {
+  const RegulatorBank bank = RegulatorBank::paper_bank(false);
+  // 0.9 V out of 1.2 V: only the LDO and SC reach (buck caps at 0.8 V).
+  const auto sel = bank.best_for(1.2_V, 0.9_V, 2.0_mW);
+  ASSERT_TRUE(sel.has_value());
+  EXPECT_NE(sel->regulator->kind(), RegulatorKind::kBuck);
+}
+
+TEST(RegulatorBank, BestForRespectsRatedLoad) {
+  const RegulatorBank bank = RegulatorBank::paper_bank(false);
+  // 15 mW exceeds the SC rating; the buck (20 mW rating) must win.
+  const auto sel = bank.best_for(1.2_V, 0.55_V, 15.0_mW);
+  ASSERT_TRUE(sel.has_value());
+  EXPECT_EQ(sel->regulator->kind(), RegulatorKind::kBuck);
+}
+
+TEST(RegulatorBank, BestForReturnsNulloptWhenNothingFits) {
+  RegulatorBank bank;
+  bank.add(std::make_unique<BuckRegulator>());
+  EXPECT_FALSE(bank.best_for(0.5_V, 0.4_V, 1.0_mW).has_value());
+}
+
+TEST(RegulatorBank, AddRejectsNull) {
+  RegulatorBank bank;
+  EXPECT_THROW(bank.add(nullptr), ModelError);
+}
+
+TEST(RegulatorBank, AtThrowsOutOfRange) {
+  const RegulatorBank bank = RegulatorBank::paper_bank();
+  EXPECT_THROW((void)bank.at(99), RangeError);
+}
+
+TEST(RegulatorKind, Names) {
+  EXPECT_EQ(to_string(RegulatorKind::kLdo), "LDO");
+  EXPECT_EQ(to_string(RegulatorKind::kSwitchedCap), "SC");
+  EXPECT_EQ(to_string(RegulatorKind::kBuck), "buck");
+  EXPECT_EQ(to_string(RegulatorKind::kBypass), "bypass");
+}
+
+}  // namespace
+}  // namespace hemp

@@ -1,0 +1,75 @@
+#include "regulator/bypass.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace hemp {
+namespace {
+
+using namespace hemp::literals;
+
+TEST(Bypass, NoStandbyLoss) {
+  const BypassSwitch sw;
+  EXPECT_DOUBLE_EQ(sw.efficiency(1.0_V, 1.0_V, 0.0_mW), 1.0);
+  EXPECT_NEAR(sw.input_power(1.0_V, 1.0_V, 0.0_mW).value(), 0.0, 1e-12);
+}
+
+TEST(Bypass, NearUnityEfficiencyAtModestLoad) {
+  const BypassSwitch sw;
+  const double eta = sw.efficiency(0.6_V, 0.6_V, 5.0_mW);
+  EXPECT_GT(eta, 0.97);
+  EXPECT_LT(eta, 1.0);
+}
+
+TEST(Bypass, EfficiencyDropsWithCurrentSquared) {
+  const BypassSwitch sw;
+  const double loss1 =
+      2e-3 / sw.efficiency(0.5_V, 0.5_V, 2.0_mW) - 2e-3;  // I = 4 mA
+  const double loss2 =
+      4e-3 / sw.efficiency(0.5_V, 0.5_V, 4.0_mW) - 4e-3;  // I = 8 mA
+  EXPECT_NEAR(loss2 / loss1, 4.0, 1e-9);
+}
+
+TEST(Bypass, DroppedOutputSolvesIrDrop) {
+  BypassParams p;
+  p.on_resistance = Ohms(10.0);
+  const BypassSwitch sw(p);
+  const Volts vout = sw.dropped_output(1.0_V, 5.0_mW);
+  // Check vout satisfies vout = vin - Ron * (P / vout).
+  EXPECT_NEAR(vout.value(), 1.0 - 10.0 * (5e-3 / vout.value()), 1e-9);
+  EXPECT_LT(vout.value(), 1.0);
+}
+
+TEST(Bypass, DroppedOutputEqualsInputAtZeroLoad) {
+  const BypassSwitch sw;
+  EXPECT_DOUBLE_EQ(sw.dropped_output(0.8_V, 0.0_mW).value(), 0.8);
+}
+
+TEST(Bypass, DroppedOutputRejectsExcessiveLoad) {
+  BypassParams p;
+  p.on_resistance = Ohms(100.0);
+  const BypassSwitch sw(p);
+  // Discriminant vin^2 - 4 R P < 0: the switch cannot pass that power.
+  EXPECT_THROW((void)sw.dropped_output(0.5_V, 10.0_mW), RangeError);
+}
+
+TEST(Bypass, SupportsOnlyVoutTrackingVin) {
+  const BypassSwitch sw;
+  EXPECT_TRUE(sw.supports(1.0_V, 1.0_V));
+  EXPECT_TRUE(sw.supports(1.0_V, 0.9_V));  // within the IR-drop tolerance
+  EXPECT_FALSE(sw.supports(1.0_V, 0.5_V));
+  EXPECT_FALSE(sw.supports(1.0_V, 1.1_V));
+}
+
+TEST(Bypass, ParamsValidation) {
+  BypassParams p;
+  p.on_resistance = Ohms(-1.0);
+  EXPECT_THROW(BypassSwitch{p}, ModelError);
+  p = BypassParams{};
+  p.max_load = Watts(0.0);
+  EXPECT_THROW(BypassSwitch{p}, ModelError);
+}
+
+}  // namespace
+}  // namespace hemp

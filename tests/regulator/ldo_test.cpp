@@ -1,0 +1,104 @@
+#include "regulator/ldo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace hemp {
+namespace {
+
+using namespace hemp::literals;
+
+TEST(Ldo, MatchesPaperCalibrationPoint) {
+  // Paper Fig. 3: ~45% at Vout = 0.55 V from the ~1.2 V solar rail.
+  const Ldo ldo;
+  const double eta = ldo.efficiency(1.2_V, 0.55_V, 5.0_mW);
+  EXPECT_NEAR(eta, 0.45, 0.02);
+}
+
+TEST(Ldo, EfficiencyIsBoundedByVoltageRatio) {
+  const Ldo ldo;
+  for (double vout = 0.25; vout <= 1.0; vout += 0.05) {
+    const double eta = ldo.efficiency(1.2_V, Volts(vout), 5.0_mW);
+    EXPECT_LE(eta, vout / 1.2 + 1e-12);
+    EXPECT_GT(eta, 0.0);
+  }
+}
+
+TEST(Ldo, EfficiencyScalesLinearlyWithOutputVoltage) {
+  const Ldo ldo;
+  const double e1 = ldo.efficiency(1.2_V, 0.3_V, 5.0_mW);
+  const double e2 = ldo.efficiency(1.2_V, 0.6_V, 5.0_mW);
+  EXPECT_NEAR(e2 / e1, 2.0, 0.01);
+}
+
+TEST(Ldo, QuiescentCurrentHurtsLightLoads) {
+  LdoParams p;
+  p.quiescent_current = Amps(50e-6);
+  const Ldo ldo(p);
+  const double heavy = ldo.efficiency(1.2_V, 0.55_V, 10.0_mW);
+  const double light = ldo.efficiency(1.2_V, 0.55_V, 0.05_mW);
+  EXPECT_GT(heavy, light);
+}
+
+TEST(Ldo, ZeroLoadHasZeroEfficiency) {
+  const Ldo ldo;
+  EXPECT_DOUBLE_EQ(ldo.efficiency(1.2_V, 0.55_V, 0.0_mW), 0.0);
+}
+
+TEST(Ldo, OutputRangeRespectsDropout) {
+  LdoParams p;
+  p.dropout = 0.1_V;
+  const Ldo ldo(p);
+  const VoltageRange r = ldo.output_range(1.2_V);
+  EXPECT_NEAR(r.max.value(), 1.1, 1e-12);
+  EXPECT_TRUE(ldo.supports(1.2_V, 1.05_V));
+  EXPECT_FALSE(ldo.supports(1.2_V, 1.15_V));
+}
+
+TEST(Ldo, RejectsOutputAboveInput) {
+  const Ldo ldo;
+  EXPECT_THROW((void)ldo.efficiency(0.5_V, 0.9_V, 1.0_mW), RangeError);
+}
+
+TEST(Ldo, RejectsOutputBelowMinimum) {
+  const Ldo ldo;
+  EXPECT_FALSE(ldo.supports(1.2_V, 0.1_V));
+  EXPECT_THROW((void)ldo.efficiency(1.2_V, 0.1_V, 1.0_mW), RangeError);
+}
+
+TEST(Ldo, RejectsNegativeLoad) {
+  const Ldo ldo;
+  EXPECT_THROW((void)ldo.efficiency(1.2_V, 0.55_V, Watts(-1e-3)), RangeError);
+}
+
+TEST(Ldo, InputPowerInvertsEfficiency) {
+  const Ldo ldo;
+  const Watts pout = 5.0_mW;
+  const Watts pin = ldo.input_power(1.2_V, 0.55_V, pout);
+  EXPECT_NEAR(pout.value() / pin.value(),
+              ldo.efficiency(1.2_V, 0.55_V, pout), 1e-12);
+}
+
+TEST(Ldo, OutputPowerRoundTripsInputPower) {
+  const Ldo ldo;
+  const Watts pout = 4.0_mW;
+  const Watts pin = ldo.input_power(1.2_V, 0.55_V, pout);
+  const Watts back = ldo.output_power(1.2_V, 0.55_V, pin);
+  EXPECT_NEAR(back.value(), pout.value(), 1e-9);
+}
+
+TEST(Ldo, ParamsValidation) {
+  LdoParams p;
+  p.dropout = Volts(-0.1);
+  EXPECT_THROW(Ldo{p}, ModelError);
+  p = LdoParams{};
+  p.min_output = Volts(0.0);
+  EXPECT_THROW(Ldo{p}, ModelError);
+  p = LdoParams{};
+  p.max_load = Watts(0.0);
+  EXPECT_THROW(Ldo{p}, ModelError);
+}
+
+}  // namespace
+}  // namespace hemp

@@ -1,0 +1,122 @@
+#include "regulator/switched_cap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace hemp {
+namespace {
+
+using namespace hemp::literals;
+
+TEST(SwitchedCap, MatchesPaperFullLoadPoint) {
+  // Paper Fig. 4: 67% at Vout = 0.55 V, full load (~10 mW), Vin = 1.2 V.
+  const SwitchedCapRegulator sc;
+  EXPECT_NEAR(sc.efficiency(1.2_V, 0.55_V, 10.0_mW), 0.67, 0.01);
+}
+
+TEST(SwitchedCap, MatchesPaperHalfLoadPoint) {
+  // Paper Fig. 4: 64% at Vout = 0.55 V, half load (~5 mW).
+  const SwitchedCapRegulator sc;
+  EXPECT_NEAR(sc.efficiency(1.2_V, 0.55_V, 5.0_mW), 0.64, 0.01);
+}
+
+TEST(SwitchedCap, EfficiencyCollapsesAtLightLoad) {
+  // The light-load collapse drives the paper's Fig. 7a bypass rule.
+  const SwitchedCapRegulator sc;
+  EXPECT_LT(sc.efficiency(1.2_V, 0.55_V, 0.5_mW), 0.45);
+}
+
+TEST(SwitchedCap, RatioSelectionPrefersTightestFit) {
+  const SwitchedCapRegulator sc;
+  // 0.55 V from 1.2 V: ratio 1/2 (ideal 0.6) fits tighter than 2/3 or 4/5.
+  EXPECT_DOUBLE_EQ(sc.active_ratio(1.2_V, 0.55_V), 0.5);
+  // 0.70 V needs ratio 2/3 (ideal 0.8).
+  EXPECT_DOUBLE_EQ(sc.active_ratio(1.2_V, 0.70_V), 2.0 / 3.0);
+  // 0.90 V needs ratio 4/5 (ideal 0.96).
+  EXPECT_DOUBLE_EQ(sc.active_ratio(1.2_V, 0.90_V), 4.0 / 5.0);
+}
+
+TEST(SwitchedCap, EfficiencyIsSawtoothedAcrossRatioBoundaries) {
+  const SwitchedCapRegulator sc;
+  // Just below the ratio-1/2 ceiling the linear efficiency is excellent...
+  const double below = sc.efficiency(1.2_V, 0.575_V, 10.0_mW);
+  // ...just above it the modulator must switch to ratio 2/3 and eta drops.
+  const double above = sc.efficiency(1.2_V, 0.60_V, 10.0_mW);
+  EXPECT_GT(below, above);
+}
+
+TEST(SwitchedCap, EfficiencyDropsLinearlyBelowIdealOutput) {
+  const SwitchedCapRegulator sc;
+  const double at_low = sc.efficiency(1.2_V, 0.30_V, 10.0_mW);
+  const double at_sweet = sc.efficiency(1.2_V, 0.55_V, 10.0_mW);
+  EXPECT_LT(at_low, at_sweet);
+  EXPECT_NEAR(at_low / at_sweet, 0.30 / 0.55, 0.02);
+}
+
+TEST(SwitchedCap, OutputRangeBoundedByLargestRatio) {
+  const SwitchedCapRegulator sc;
+  const VoltageRange r = sc.output_range(1.2_V);
+  EXPECT_NEAR(r.max.value(), 0.8 * 1.2 - 0.02, 1e-12);
+  EXPECT_DOUBLE_EQ(r.min.value(), 0.25);
+}
+
+TEST(SwitchedCap, RejectsOutputAboveEnvelope) {
+  const SwitchedCapRegulator sc;
+  EXPECT_THROW((void)sc.efficiency(1.2_V, 1.0_V, 5.0_mW), RangeError);
+  EXPECT_THROW((void)sc.active_ratio(1.2_V, 1.0_V), RangeError);
+}
+
+TEST(SwitchedCap, ZeroLoadHasZeroEfficiency) {
+  const SwitchedCapRegulator sc;
+  EXPECT_DOUBLE_EQ(sc.efficiency(1.2_V, 0.55_V, 0.0_mW), 0.0);
+}
+
+TEST(SwitchedCap, InputOutputPowerRoundTrip) {
+  const SwitchedCapRegulator sc;
+  const Watts pout = 6.0_mW;
+  const Watts pin = sc.input_power(1.2_V, 0.5_V, pout);
+  EXPECT_NEAR(sc.output_power(1.2_V, 0.5_V, pin).value(), pout.value(), 1e-9);
+}
+
+TEST(SwitchedCap, OutputPowerSaturatesAtRating) {
+  const SwitchedCapRegulator sc;
+  const Watts huge = sc.output_power(1.2_V, 0.55_V, Watts(1.0));
+  EXPECT_DOUBLE_EQ(huge.value(), sc.rated_load().value());
+}
+
+TEST(SwitchedCap, ParamsValidation) {
+  SwitchedCapParams p;
+  p.ratios = {};
+  EXPECT_THROW(SwitchedCapRegulator{p}, ModelError);
+  p = SwitchedCapParams{};
+  p.ratios = {0.5, 0.8};  // ascending: invalid
+  EXPECT_THROW(SwitchedCapRegulator{p}, ModelError);
+  p = SwitchedCapParams{};
+  p.ratios = {1.5};
+  EXPECT_THROW(SwitchedCapRegulator{p}, ModelError);
+  p = SwitchedCapParams{};
+  p.switching_loss_factor = 1.0;
+  EXPECT_THROW(SwitchedCapRegulator{p}, ModelError);
+}
+
+// Property: efficiency is monotonically non-decreasing in load up to rating
+// (fixed losses amortize) for every output voltage in the envelope.
+class LoadMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(LoadMonotonicity, EfficiencyRisesWithLoad) {
+  const SwitchedCapRegulator sc;
+  const Volts vout(GetParam());
+  double prev = 0.0;
+  for (double p = 0.5e-3; p <= sc.rated_load().value(); p += 0.5e-3) {
+    const double eta = sc.efficiency(1.2_V, vout, Watts(p));
+    EXPECT_GE(eta, prev - 1e-12);
+    prev = eta;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(VoutSweep, LoadMonotonicity,
+                         ::testing::Values(0.3, 0.4, 0.5, 0.55, 0.7, 0.9));
+
+}  // namespace
+}  // namespace hemp

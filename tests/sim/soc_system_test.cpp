@@ -1,0 +1,188 @@
+#include "sim/soc_system.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.hpp"
+#include "regulator/buck.hpp"
+#include "regulator/switched_cap.hpp"
+
+namespace hemp {
+namespace {
+
+using namespace hemp::literals;
+
+SocSystem make_soc(SocConfig cfg = {}) {
+  return SocSystem(cfg, std::make_unique<SwitchedCapRegulator>(),
+                   Processor::make_test_chip());
+}
+
+TEST(SocSystem, RegulatedSteadyStateHoldsVddTarget) {
+  SocSystem soc = make_soc();
+  FixedPointController ctrl(PowerPath::kRegulated, 0.5_V, 300.0_MHz);
+  const SimResult r = soc.run(IrradianceTrace::constant(1.0), ctrl, 20.0_ms);
+  // After the startup transient the rail sits at the target.
+  EXPECT_NEAR(r.final_state.v_dd.value(), 0.5, 0.01);
+  EXPECT_EQ(r.totals.brownouts, 0);
+  EXPECT_GT(r.totals.cycles, 0.0);
+}
+
+TEST(SocSystem, CyclesMatchFrequencyTimesTime) {
+  SocSystem soc = make_soc();
+  FixedPointController ctrl(PowerPath::kRegulated, 0.5_V, 200.0_MHz);
+  const SimResult r = soc.run(IrradianceTrace::constant(1.0), ctrl, 10.0_ms);
+  EXPECT_NEAR(r.totals.cycles, 200e6 * 10e-3, 200e6 * 10e-3 * 0.02);
+}
+
+TEST(SocSystem, EnergyConservationInvariant) {
+  // harvested + initial cap energy = final cap energy + processor energy +
+  // regulator loss + bypass loss (within integration tolerance).
+  SocConfig cfg;
+  SocSystem soc(cfg, std::make_unique<SwitchedCapRegulator>(),
+                Processor::make_test_chip());
+  FixedPointController ctrl(PowerPath::kRegulated, 0.5_V, 400.0_MHz);
+  const SimResult r = soc.run(IrradianceTrace::constant(0.8), ctrl, 25.0_ms);
+
+  const double e_caps_initial =
+      capacitor_energy(cfg.solar_capacitance, cfg.solar_start_voltage).value() +
+      capacitor_energy(cfg.vdd_capacitance, cfg.vdd_start_voltage).value();
+  const double e_caps_final =
+      capacitor_energy(cfg.solar_capacitance, r.final_state.v_solar).value() +
+      capacitor_energy(cfg.vdd_capacitance, r.final_state.v_dd).value();
+
+  const double in = r.totals.harvested.value() + e_caps_initial;
+  const double out = e_caps_final + r.totals.delivered_to_processor.value() +
+                     r.totals.regulator_loss.value() + r.totals.bypass_loss.value();
+  EXPECT_NEAR(out / in, 1.0, 2e-3);
+}
+
+TEST(SocSystem, EnergyConservationUnderBypass) {
+  SocConfig cfg;
+  cfg.vdd_start_voltage = 0.4_V;
+  SocSystem soc(cfg, std::make_unique<SwitchedCapRegulator>(),
+                Processor::make_test_chip());
+  FixedPointController ctrl(PowerPath::kBypass, 0.5_V, 100.0_MHz);
+  const SimResult r = soc.run(IrradianceTrace::constant(0.5), ctrl, 10.0_ms);
+
+  const double e_caps_initial =
+      capacitor_energy(cfg.solar_capacitance, cfg.solar_start_voltage).value() +
+      capacitor_energy(cfg.vdd_capacitance, cfg.vdd_start_voltage).value();
+  const double e_caps_final =
+      capacitor_energy(cfg.solar_capacitance, r.final_state.v_solar).value() +
+      capacitor_energy(cfg.vdd_capacitance, r.final_state.v_dd).value();
+  const double in = r.totals.harvested.value() + e_caps_initial;
+  const double out = e_caps_final + r.totals.delivered_to_processor.value() +
+                     r.totals.regulator_loss.value() + r.totals.bypass_loss.value();
+  EXPECT_NEAR(out / in, 1.0, 5e-3);
+}
+
+TEST(SocSystem, BypassEqualizesNodes) {
+  SocConfig cfg;
+  cfg.vdd_start_voltage = 0.3_V;
+  SocSystem soc(cfg, std::make_unique<SwitchedCapRegulator>(),
+                Processor::make_test_chip());
+  // No load (run=false via zero frequency is not possible; use a controller).
+  class IdleBypass : public SocController {
+   public:
+    void on_start(const SocState&, SocCommand& cmd) override {
+      cmd.path = PowerPath::kBypass;
+      cmd.run = false;
+    }
+  } ctrl;
+  const SimResult r = soc.run(IrradianceTrace::constant(0.0), ctrl, 5.0_ms);
+  // With no harvest and no load, the two nodes converge through the switch.
+  EXPECT_NEAR(r.final_state.v_solar.value(), r.final_state.v_dd.value(), 5e-3);
+}
+
+TEST(SocSystem, DarknessCausesBrownout) {
+  SocConfig cfg;
+  cfg.solar_start_voltage = 1.0_V;
+  SocSystem soc(cfg, std::make_unique<SwitchedCapRegulator>(),
+                Processor::make_test_chip());
+  FixedPointController ctrl(PowerPath::kRegulated, 0.5_V, 500.0_MHz);
+  const SimResult r = soc.run(IrradianceTrace::constant(0.0), ctrl, 60.0_ms);
+  EXPECT_GE(r.totals.brownouts, 1);
+  EXPECT_GT(r.totals.halted_time.value(), 0.0);
+  EXPECT_LT(r.final_state.v_dd.value(), 0.3);
+}
+
+TEST(SocSystem, OverclockCommandIsClampedAndCounted) {
+  SocSystem soc = make_soc();
+  // 2 GHz at a 0.5 V rail is far above f_max: the simulator must clamp.
+  FixedPointController ctrl(PowerPath::kRegulated, 0.5_V, 2.0_GHz);
+  const SimResult r = soc.run(IrradianceTrace::constant(1.0), ctrl, 5.0_ms);
+  EXPECT_GT(r.totals.timing_faults, 0);
+  const Hertz f_max = soc.processor().max_frequency(Volts(r.final_state.v_dd));
+  EXPECT_LE(r.final_state.frequency.value(), f_max.value() * 1.01);
+}
+
+TEST(SocSystem, OffPathDrainsRailOnly) {
+  SocSystem soc = make_soc();
+  FixedPointController ctrl(PowerPath::kOff, 0.5_V, 100.0_MHz);
+  const SimResult r = soc.run(IrradianceTrace::constant(1.0), ctrl, 20.0_ms);
+  // Solar node charges toward Voc; rail drains until brownout.
+  EXPECT_GT(r.final_state.v_solar.value(), 1.3);
+  EXPECT_LT(r.final_state.v_dd.value(), 0.25);
+}
+
+TEST(SocSystem, WaveformRecordsExpectedChannels) {
+  SocSystem soc = make_soc();
+  FixedPointController ctrl(PowerPath::kRegulated, 0.5_V, 300.0_MHz);
+  const SimResult r = soc.run(IrradianceTrace::constant(1.0), ctrl, 5.0_ms);
+  EXPECT_GT(r.waveform.sample_count(), 50u);
+  EXPECT_NO_THROW((void)r.waveform.series("v_solar"));
+  EXPECT_NO_THROW((void)r.waveform.series("v_dd"));
+  EXPECT_NO_THROW((void)r.waveform.series("p_harvest_w"));
+  EXPECT_NO_THROW((void)r.waveform.series("cycles"));
+}
+
+TEST(SocSystem, ControllerFinishedStopsEarly) {
+  class StopAtCycles : public SocController {
+   public:
+    void on_start(const SocState&, SocCommand& cmd) override {
+      cmd.path = PowerPath::kRegulated;
+      cmd.vdd_target = Volts(0.5);
+      cmd.frequency = Hertz(200e6);
+    }
+    bool finished(const SocState& s) override { return s.cycles_retired >= 1e5; }
+  } ctrl;
+  SocSystem soc = make_soc();
+  const SimResult r = soc.run(IrradianceTrace::constant(1.0), ctrl, 1.0_s);
+  EXPECT_LT(r.totals.simulated_time.value(), 0.01);
+  EXPECT_GE(r.totals.cycles, 1e5);
+}
+
+TEST(SocSystem, LightStepShowsInSolarNode) {
+  SocSystem soc = make_soc();
+  FixedPointController ctrl(PowerPath::kRegulated, 0.5_V, 500.0_MHz);
+  const SimResult r =
+      soc.run(IrradianceTrace::step(1.0, 0.1, 10.0_ms), ctrl, 30.0_ms);
+  const double v_before = r.waveform.value_at("v_solar", 9.0_ms);
+  const double v_after = r.waveform.value_at("v_solar", 29.0_ms);
+  EXPECT_LT(v_after, v_before - 0.05);
+}
+
+TEST(SocSystem, ConfigValidation) {
+  SocConfig cfg;
+  cfg.time_step = Seconds(0.0);
+  EXPECT_THROW(make_soc(cfg), ModelError);
+  cfg = SocConfig{};
+  cfg.regulation_time_constant = Seconds(1e-7);  // faster than time step
+  EXPECT_THROW(make_soc(cfg), ModelError);
+  cfg = SocConfig{};
+  cfg.solar_capacitance = Farads(0.0);
+  EXPECT_THROW(make_soc(cfg), ModelError);
+  EXPECT_THROW(SocSystem(SocConfig{}, nullptr, Processor::make_test_chip()),
+               ModelError);
+}
+
+TEST(SocSystem, RunRejectsNonPositiveEndTime) {
+  SocSystem soc = make_soc();
+  FixedPointController ctrl(PowerPath::kRegulated, 0.5_V, 100.0_MHz);
+  EXPECT_THROW(soc.run(IrradianceTrace::constant(1.0), ctrl, Seconds(0.0)),
+               ModelError);
+}
+
+}  // namespace
+}  // namespace hemp

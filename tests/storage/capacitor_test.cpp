@@ -1,0 +1,101 @@
+#include "storage/capacitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace hemp {
+namespace {
+
+using namespace hemp::literals;
+
+TEST(Capacitor, InitialStateAndEnergy) {
+  const Capacitor cap(47.0_uF, 1.2_V);
+  EXPECT_DOUBLE_EQ(cap.voltage().value(), 1.2);
+  EXPECT_DOUBLE_EQ(cap.stored_energy().value(), 0.5 * 47e-6 * 1.44);
+  EXPECT_DOUBLE_EQ(cap.initial_energy().value(), cap.stored_energy().value());
+  EXPECT_DOUBLE_EQ(cap.net_energy_in().value(), 0.0);
+}
+
+TEST(Capacitor, CurrentIntegration) {
+  Capacitor cap(10.0_uF, 1.0_V);
+  cap.apply_current(1.0_mA, 10.0_us);  // dV = I dt / C = 1 mV
+  EXPECT_NEAR(cap.voltage().value(), 1.001, 1e-9);
+}
+
+TEST(Capacitor, DischargeCurrentLowersVoltage) {
+  Capacitor cap(10.0_uF, 1.0_V);
+  cap.apply_current(Amps(-1e-3), 10.0_us);
+  EXPECT_NEAR(cap.voltage().value(), 0.999, 1e-9);
+}
+
+TEST(Capacitor, VoltageClampsAtZero) {
+  Capacitor cap(1.0_uF, 0.01_V);
+  cap.apply_current(Amps(-1.0), 1.0_ms);  // would drive far negative
+  EXPECT_DOUBLE_EQ(cap.voltage().value(), 0.0);
+}
+
+TEST(Capacitor, PowerUpdateConservesEnergyExactly) {
+  Capacitor cap(47.0_uF, 1.2_V);
+  const double e0 = cap.stored_energy().value();
+  cap.apply_power(Watts(5e-3), 1.0_ms);  // inject 5 uJ
+  EXPECT_NEAR(cap.stored_energy().value() - e0, 5e-6, 1e-15);
+}
+
+TEST(Capacitor, PowerDrainConservesEnergyExactly) {
+  Capacitor cap(47.0_uF, 1.2_V);
+  const double e0 = cap.stored_energy().value();
+  cap.apply_power(Watts(-5e-3), 1.0_ms);
+  EXPECT_NEAR(e0 - cap.stored_energy().value(), 5e-6, 1e-15);
+}
+
+TEST(Capacitor, PowerDrainBelowEmptyClampsAtZero) {
+  Capacitor cap(1.0_uF, 0.1_V);  // 5 nJ stored
+  cap.apply_power(Watts(-1.0), 1.0_ms);  // ask for 1 mJ
+  EXPECT_DOUBLE_EQ(cap.voltage().value(), 0.0);
+  EXPECT_DOUBLE_EQ(cap.stored_energy().value(), 0.0);
+}
+
+TEST(Capacitor, NetEnergyBookkeepingBalances) {
+  Capacitor cap(47.0_uF, 1.0_V);
+  cap.apply_power(Watts(2e-3), 1.0_ms);
+  cap.apply_power(Watts(-1e-3), 2.0_ms);
+  cap.apply_current(0.5_mA, 1.0_ms);
+  const double expected =
+      cap.stored_energy().value() - cap.initial_energy().value();
+  EXPECT_NEAR(cap.net_energy_in().value(), expected, 1e-15);
+}
+
+TEST(Capacitor, SetVoltageTracksBookkeeping) {
+  Capacitor cap(10.0_uF, 1.0_V);
+  cap.set_voltage(0.5_V);
+  EXPECT_DOUBLE_EQ(cap.voltage().value(), 0.5);
+  EXPECT_NEAR(cap.net_energy_in().value(),
+              cap.stored_energy().value() - cap.initial_energy().value(), 1e-15);
+}
+
+TEST(Capacitor, Validation) {
+  EXPECT_THROW(Capacitor(Farads(0.0), 1.0_V), ModelError);
+  EXPECT_THROW(Capacitor(10.0_uF, Volts(-1.0)), ModelError);
+  Capacitor cap(10.0_uF, 1.0_V);
+  EXPECT_THROW(cap.apply_current(1.0_mA, Seconds(-1.0)), RangeError);
+  EXPECT_THROW(cap.set_voltage(Volts(-0.1)), RangeError);
+}
+
+// Property: charging with power P for time T then discharging with -P for T
+// returns to the initial voltage (the sqrt update is exactly reversible).
+class Reversibility : public ::testing::TestWithParam<double> {};
+
+TEST_P(Reversibility, ChargeDischargeRoundTrip) {
+  const double p = GetParam();
+  Capacitor cap(47.0_uF, 1.0_V);
+  cap.apply_power(Watts(p), 1.0_ms);
+  cap.apply_power(Watts(-p), 1.0_ms);
+  EXPECT_NEAR(cap.voltage().value(), 1.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(PowerSweep, Reversibility,
+                         ::testing::Values(1e-3, 5e-3, 10e-3, 20e-3));
+
+}  // namespace
+}  // namespace hemp
