@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_battery_baseline.dir/ablation_battery_baseline.cpp.o"
+  "CMakeFiles/ablation_battery_baseline.dir/ablation_battery_baseline.cpp.o.d"
+  "ablation_battery_baseline"
+  "ablation_battery_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_battery_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

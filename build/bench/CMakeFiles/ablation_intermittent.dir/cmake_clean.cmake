@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_intermittent.dir/ablation_intermittent.cpp.o"
+  "CMakeFiles/ablation_intermittent.dir/ablation_intermittent.cpp.o.d"
+  "ablation_intermittent"
+  "ablation_intermittent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_intermittent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mppt_comparison.dir/ablation_mppt_comparison.cpp.o"
+  "CMakeFiles/ablation_mppt_comparison.dir/ablation_mppt_comparison.cpp.o.d"
+  "ablation_mppt_comparison"
+  "ablation_mppt_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mppt_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

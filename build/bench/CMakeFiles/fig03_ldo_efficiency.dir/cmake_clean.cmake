@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_ldo_efficiency.dir/fig03_ldo_efficiency.cpp.o"
+  "CMakeFiles/fig03_ldo_efficiency.dir/fig03_ldo_efficiency.cpp.o.d"
+  "fig03_ldo_efficiency"
+  "fig03_ldo_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_ldo_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

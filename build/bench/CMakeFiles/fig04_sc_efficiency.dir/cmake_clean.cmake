@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_sc_efficiency.dir/fig04_sc_efficiency.cpp.o"
+  "CMakeFiles/fig04_sc_efficiency.dir/fig04_sc_efficiency.cpp.o.d"
+  "fig04_sc_efficiency"
+  "fig04_sc_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_sc_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

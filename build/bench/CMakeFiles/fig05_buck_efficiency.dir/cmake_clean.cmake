@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_buck_efficiency.dir/fig05_buck_efficiency.cpp.o"
+  "CMakeFiles/fig05_buck_efficiency.dir/fig05_buck_efficiency.cpp.o.d"
+  "fig05_buck_efficiency"
+  "fig05_buck_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_buck_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

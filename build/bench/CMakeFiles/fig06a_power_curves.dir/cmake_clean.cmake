@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06a_power_curves.dir/fig06a_power_curves.cpp.o"
+  "CMakeFiles/fig06a_power_curves.dir/fig06a_power_curves.cpp.o.d"
+  "fig06a_power_curves"
+  "fig06a_power_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06a_power_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

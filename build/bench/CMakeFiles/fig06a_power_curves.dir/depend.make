@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06a_power_curves.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06b_regulated_output.dir/fig06b_regulated_output.cpp.o"
+  "CMakeFiles/fig06b_regulated_output.dir/fig06b_regulated_output.cpp.o.d"
+  "fig06b_regulated_output"
+  "fig06b_regulated_output.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06b_regulated_output.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

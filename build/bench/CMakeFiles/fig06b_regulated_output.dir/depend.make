@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06b_regulated_output.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07a_light_sweep.dir/fig07a_light_sweep.cpp.o"
+  "CMakeFiles/fig07a_light_sweep.dir/fig07a_light_sweep.cpp.o.d"
+  "fig07a_light_sweep"
+  "fig07a_light_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07a_light_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07b_mep_shift.dir/fig07b_mep_shift.cpp.o"
+  "CMakeFiles/fig07b_mep_shift.dir/fig07b_mep_shift.cpp.o.d"
+  "fig07b_mep_shift"
+  "fig07b_mep_shift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07b_mep_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_mpp_tracking.dir/fig08_mpp_tracking.cpp.o"
+  "CMakeFiles/fig08_mpp_tracking.dir/fig08_mpp_tracking.cpp.o.d"
+  "fig08_mpp_tracking"
+  "fig08_mpp_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_mpp_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09a_completion_energy.dir/fig09a_completion_energy.cpp.o"
+  "CMakeFiles/fig09a_completion_energy.dir/fig09a_completion_energy.cpp.o.d"
+  "fig09a_completion_energy"
+  "fig09a_completion_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09a_completion_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

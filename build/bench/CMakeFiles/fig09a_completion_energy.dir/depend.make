@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09a_completion_energy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09b_sprinting.dir/fig09b_sprinting.cpp.o"
+  "CMakeFiles/fig09b_sprinting.dir/fig09b_sprinting.cpp.o.d"
+  "fig09b_sprinting"
+  "fig09b_sprinting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09b_sprinting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11a_chip_characteristics.dir/fig11a_chip_characteristics.cpp.o"
+  "CMakeFiles/fig11a_chip_characteristics.dir/fig11a_chip_characteristics.cpp.o.d"
+  "fig11a_chip_characteristics"
+  "fig11a_chip_characteristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11a_chip_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

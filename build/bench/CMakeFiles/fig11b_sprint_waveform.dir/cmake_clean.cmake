@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11b_sprint_waveform.dir/fig11b_sprint_waveform.cpp.o"
+  "CMakeFiles/fig11b_sprint_waveform.dir/fig11b_sprint_waveform.cpp.o.d"
+  "fig11b_sprint_waveform"
+  "fig11b_sprint_waveform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11b_sprint_waveform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

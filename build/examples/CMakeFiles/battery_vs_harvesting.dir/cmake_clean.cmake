@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/battery_vs_harvesting.dir/battery_vs_harvesting.cpp.o"
+  "CMakeFiles/battery_vs_harvesting.dir/battery_vs_harvesting.cpp.o.d"
+  "battery_vs_harvesting"
+  "battery_vs_harvesting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/battery_vs_harvesting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadline_sprinting.dir/deadline_sprinting.cpp.o"
+  "CMakeFiles/deadline_sprinting.dir/deadline_sprinting.cpp.o.d"
+  "deadline_sprinting"
+  "deadline_sprinting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadline_sprinting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_recognition_node.dir/image_recognition_node.cpp.o"
+  "CMakeFiles/image_recognition_node.dir/image_recognition_node.cpp.o.d"
+  "image_recognition_node"
+  "image_recognition_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_recognition_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solar_day.dir/solar_day.cpp.o"
+  "CMakeFiles/solar_day.dir/solar_day.cpp.o.d"
+  "solar_day"
+  "solar_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solar_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/battery/battery.cpp" "src/battery/CMakeFiles/hemp_battery.dir/battery.cpp.o" "gcc" "src/battery/CMakeFiles/hemp_battery.dir/battery.cpp.o.d"
+  "/root/repo/src/battery/dp_scheduler.cpp" "src/battery/CMakeFiles/hemp_battery.dir/dp_scheduler.cpp.o" "gcc" "src/battery/CMakeFiles/hemp_battery.dir/dp_scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hemp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/regulator/CMakeFiles/hemp_regulator.dir/DependInfo.cmake"
+  "/root/repo/build/src/processor/CMakeFiles/hemp_processor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemp_battery.dir/battery.cpp.o"
+  "CMakeFiles/hemp_battery.dir/battery.cpp.o.d"
+  "CMakeFiles/hemp_battery.dir/dp_scheduler.cpp.o"
+  "CMakeFiles/hemp_battery.dir/dp_scheduler.cpp.o.d"
+  "libhemp_battery.a"
+  "libhemp_battery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemp_battery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

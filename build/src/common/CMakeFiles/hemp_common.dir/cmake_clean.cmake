@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemp_common.dir/csv.cpp.o"
+  "CMakeFiles/hemp_common.dir/csv.cpp.o.d"
+  "CMakeFiles/hemp_common.dir/error.cpp.o"
+  "CMakeFiles/hemp_common.dir/error.cpp.o.d"
+  "CMakeFiles/hemp_common.dir/interpolation.cpp.o"
+  "CMakeFiles/hemp_common.dir/interpolation.cpp.o.d"
+  "CMakeFiles/hemp_common.dir/numeric.cpp.o"
+  "CMakeFiles/hemp_common.dir/numeric.cpp.o.d"
+  "CMakeFiles/hemp_common.dir/units.cpp.o"
+  "CMakeFiles/hemp_common.dir/units.cpp.o.d"
+  "libhemp_common.a"
+  "libhemp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

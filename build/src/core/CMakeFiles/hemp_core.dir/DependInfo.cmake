@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/energy_manager.cpp" "src/core/CMakeFiles/hemp_core.dir/energy_manager.cpp.o" "gcc" "src/core/CMakeFiles/hemp_core.dir/energy_manager.cpp.o.d"
+  "/root/repo/src/core/envelope.cpp" "src/core/CMakeFiles/hemp_core.dir/envelope.cpp.o" "gcc" "src/core/CMakeFiles/hemp_core.dir/envelope.cpp.o.d"
+  "/root/repo/src/core/mep_optimizer.cpp" "src/core/CMakeFiles/hemp_core.dir/mep_optimizer.cpp.o" "gcc" "src/core/CMakeFiles/hemp_core.dir/mep_optimizer.cpp.o.d"
+  "/root/repo/src/core/mpp_tracker.cpp" "src/core/CMakeFiles/hemp_core.dir/mpp_tracker.cpp.o" "gcc" "src/core/CMakeFiles/hemp_core.dir/mpp_tracker.cpp.o.d"
+  "/root/repo/src/core/mppt_baselines.cpp" "src/core/CMakeFiles/hemp_core.dir/mppt_baselines.cpp.o" "gcc" "src/core/CMakeFiles/hemp_core.dir/mppt_baselines.cpp.o.d"
+  "/root/repo/src/core/perf_optimizer.cpp" "src/core/CMakeFiles/hemp_core.dir/perf_optimizer.cpp.o" "gcc" "src/core/CMakeFiles/hemp_core.dir/perf_optimizer.cpp.o.d"
+  "/root/repo/src/core/regulator_selector.cpp" "src/core/CMakeFiles/hemp_core.dir/regulator_selector.cpp.o" "gcc" "src/core/CMakeFiles/hemp_core.dir/regulator_selector.cpp.o.d"
+  "/root/repo/src/core/sprint_scheduler.cpp" "src/core/CMakeFiles/hemp_core.dir/sprint_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/hemp_core.dir/sprint_scheduler.cpp.o.d"
+  "/root/repo/src/core/system_model.cpp" "src/core/CMakeFiles/hemp_core.dir/system_model.cpp.o" "gcc" "src/core/CMakeFiles/hemp_core.dir/system_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hemp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/harvester/CMakeFiles/hemp_harvester.dir/DependInfo.cmake"
+  "/root/repo/build/src/regulator/CMakeFiles/hemp_regulator.dir/DependInfo.cmake"
+  "/root/repo/build/src/processor/CMakeFiles/hemp_processor.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/hemp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hemp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemp_core.dir/energy_manager.cpp.o"
+  "CMakeFiles/hemp_core.dir/energy_manager.cpp.o.d"
+  "CMakeFiles/hemp_core.dir/envelope.cpp.o"
+  "CMakeFiles/hemp_core.dir/envelope.cpp.o.d"
+  "CMakeFiles/hemp_core.dir/mep_optimizer.cpp.o"
+  "CMakeFiles/hemp_core.dir/mep_optimizer.cpp.o.d"
+  "CMakeFiles/hemp_core.dir/mpp_tracker.cpp.o"
+  "CMakeFiles/hemp_core.dir/mpp_tracker.cpp.o.d"
+  "CMakeFiles/hemp_core.dir/mppt_baselines.cpp.o"
+  "CMakeFiles/hemp_core.dir/mppt_baselines.cpp.o.d"
+  "CMakeFiles/hemp_core.dir/perf_optimizer.cpp.o"
+  "CMakeFiles/hemp_core.dir/perf_optimizer.cpp.o.d"
+  "CMakeFiles/hemp_core.dir/regulator_selector.cpp.o"
+  "CMakeFiles/hemp_core.dir/regulator_selector.cpp.o.d"
+  "CMakeFiles/hemp_core.dir/sprint_scheduler.cpp.o"
+  "CMakeFiles/hemp_core.dir/sprint_scheduler.cpp.o.d"
+  "CMakeFiles/hemp_core.dir/system_model.cpp.o"
+  "CMakeFiles/hemp_core.dir/system_model.cpp.o.d"
+  "libhemp_core.a"
+  "libhemp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhemp_core.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harvester/iv_curve.cpp" "src/harvester/CMakeFiles/hemp_harvester.dir/iv_curve.cpp.o" "gcc" "src/harvester/CMakeFiles/hemp_harvester.dir/iv_curve.cpp.o.d"
+  "/root/repo/src/harvester/light_environment.cpp" "src/harvester/CMakeFiles/hemp_harvester.dir/light_environment.cpp.o" "gcc" "src/harvester/CMakeFiles/hemp_harvester.dir/light_environment.cpp.o.d"
+  "/root/repo/src/harvester/pv_cell.cpp" "src/harvester/CMakeFiles/hemp_harvester.dir/pv_cell.cpp.o" "gcc" "src/harvester/CMakeFiles/hemp_harvester.dir/pv_cell.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hemp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemp_harvester.dir/iv_curve.cpp.o"
+  "CMakeFiles/hemp_harvester.dir/iv_curve.cpp.o.d"
+  "CMakeFiles/hemp_harvester.dir/light_environment.cpp.o"
+  "CMakeFiles/hemp_harvester.dir/light_environment.cpp.o.d"
+  "CMakeFiles/hemp_harvester.dir/pv_cell.cpp.o"
+  "CMakeFiles/hemp_harvester.dir/pv_cell.cpp.o.d"
+  "libhemp_harvester.a"
+  "libhemp_harvester.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemp_harvester.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/imgproc/classifier.cpp" "src/imgproc/CMakeFiles/hemp_imgproc.dir/classifier.cpp.o" "gcc" "src/imgproc/CMakeFiles/hemp_imgproc.dir/classifier.cpp.o.d"
+  "/root/repo/src/imgproc/cycle_model.cpp" "src/imgproc/CMakeFiles/hemp_imgproc.dir/cycle_model.cpp.o" "gcc" "src/imgproc/CMakeFiles/hemp_imgproc.dir/cycle_model.cpp.o.d"
+  "/root/repo/src/imgproc/features.cpp" "src/imgproc/CMakeFiles/hemp_imgproc.dir/features.cpp.o" "gcc" "src/imgproc/CMakeFiles/hemp_imgproc.dir/features.cpp.o.d"
+  "/root/repo/src/imgproc/gradient.cpp" "src/imgproc/CMakeFiles/hemp_imgproc.dir/gradient.cpp.o" "gcc" "src/imgproc/CMakeFiles/hemp_imgproc.dir/gradient.cpp.o.d"
+  "/root/repo/src/imgproc/image.cpp" "src/imgproc/CMakeFiles/hemp_imgproc.dir/image.cpp.o" "gcc" "src/imgproc/CMakeFiles/hemp_imgproc.dir/image.cpp.o.d"
+  "/root/repo/src/imgproc/pipeline.cpp" "src/imgproc/CMakeFiles/hemp_imgproc.dir/pipeline.cpp.o" "gcc" "src/imgproc/CMakeFiles/hemp_imgproc.dir/pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hemp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

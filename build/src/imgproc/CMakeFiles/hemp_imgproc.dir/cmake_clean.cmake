@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemp_imgproc.dir/classifier.cpp.o"
+  "CMakeFiles/hemp_imgproc.dir/classifier.cpp.o.d"
+  "CMakeFiles/hemp_imgproc.dir/cycle_model.cpp.o"
+  "CMakeFiles/hemp_imgproc.dir/cycle_model.cpp.o.d"
+  "CMakeFiles/hemp_imgproc.dir/features.cpp.o"
+  "CMakeFiles/hemp_imgproc.dir/features.cpp.o.d"
+  "CMakeFiles/hemp_imgproc.dir/gradient.cpp.o"
+  "CMakeFiles/hemp_imgproc.dir/gradient.cpp.o.d"
+  "CMakeFiles/hemp_imgproc.dir/image.cpp.o"
+  "CMakeFiles/hemp_imgproc.dir/image.cpp.o.d"
+  "CMakeFiles/hemp_imgproc.dir/pipeline.cpp.o"
+  "CMakeFiles/hemp_imgproc.dir/pipeline.cpp.o.d"
+  "libhemp_imgproc.a"
+  "libhemp_imgproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemp_imgproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

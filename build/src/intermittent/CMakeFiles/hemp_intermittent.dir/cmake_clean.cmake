@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemp_intermittent.dir/executor.cpp.o"
+  "CMakeFiles/hemp_intermittent.dir/executor.cpp.o.d"
+  "CMakeFiles/hemp_intermittent.dir/program.cpp.o"
+  "CMakeFiles/hemp_intermittent.dir/program.cpp.o.d"
+  "libhemp_intermittent.a"
+  "libhemp_intermittent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemp_intermittent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

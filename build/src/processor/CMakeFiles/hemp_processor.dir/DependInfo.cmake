@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/processor/corners.cpp" "src/processor/CMakeFiles/hemp_processor.dir/corners.cpp.o" "gcc" "src/processor/CMakeFiles/hemp_processor.dir/corners.cpp.o.d"
+  "/root/repo/src/processor/power_model.cpp" "src/processor/CMakeFiles/hemp_processor.dir/power_model.cpp.o" "gcc" "src/processor/CMakeFiles/hemp_processor.dir/power_model.cpp.o.d"
+  "/root/repo/src/processor/processor.cpp" "src/processor/CMakeFiles/hemp_processor.dir/processor.cpp.o" "gcc" "src/processor/CMakeFiles/hemp_processor.dir/processor.cpp.o.d"
+  "/root/repo/src/processor/speed_model.cpp" "src/processor/CMakeFiles/hemp_processor.dir/speed_model.cpp.o" "gcc" "src/processor/CMakeFiles/hemp_processor.dir/speed_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hemp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemp_processor.dir/corners.cpp.o"
+  "CMakeFiles/hemp_processor.dir/corners.cpp.o.d"
+  "CMakeFiles/hemp_processor.dir/power_model.cpp.o"
+  "CMakeFiles/hemp_processor.dir/power_model.cpp.o.d"
+  "CMakeFiles/hemp_processor.dir/processor.cpp.o"
+  "CMakeFiles/hemp_processor.dir/processor.cpp.o.d"
+  "CMakeFiles/hemp_processor.dir/speed_model.cpp.o"
+  "CMakeFiles/hemp_processor.dir/speed_model.cpp.o.d"
+  "libhemp_processor.a"
+  "libhemp_processor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemp_processor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

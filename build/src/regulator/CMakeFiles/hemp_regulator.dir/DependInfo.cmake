@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/regulator/bank.cpp" "src/regulator/CMakeFiles/hemp_regulator.dir/bank.cpp.o" "gcc" "src/regulator/CMakeFiles/hemp_regulator.dir/bank.cpp.o.d"
+  "/root/repo/src/regulator/buck.cpp" "src/regulator/CMakeFiles/hemp_regulator.dir/buck.cpp.o" "gcc" "src/regulator/CMakeFiles/hemp_regulator.dir/buck.cpp.o.d"
+  "/root/repo/src/regulator/bypass.cpp" "src/regulator/CMakeFiles/hemp_regulator.dir/bypass.cpp.o" "gcc" "src/regulator/CMakeFiles/hemp_regulator.dir/bypass.cpp.o.d"
+  "/root/repo/src/regulator/ldo.cpp" "src/regulator/CMakeFiles/hemp_regulator.dir/ldo.cpp.o" "gcc" "src/regulator/CMakeFiles/hemp_regulator.dir/ldo.cpp.o.d"
+  "/root/repo/src/regulator/regulator.cpp" "src/regulator/CMakeFiles/hemp_regulator.dir/regulator.cpp.o" "gcc" "src/regulator/CMakeFiles/hemp_regulator.dir/regulator.cpp.o.d"
+  "/root/repo/src/regulator/switched_cap.cpp" "src/regulator/CMakeFiles/hemp_regulator.dir/switched_cap.cpp.o" "gcc" "src/regulator/CMakeFiles/hemp_regulator.dir/switched_cap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hemp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

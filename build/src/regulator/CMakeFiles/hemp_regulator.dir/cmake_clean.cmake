@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemp_regulator.dir/bank.cpp.o"
+  "CMakeFiles/hemp_regulator.dir/bank.cpp.o.d"
+  "CMakeFiles/hemp_regulator.dir/buck.cpp.o"
+  "CMakeFiles/hemp_regulator.dir/buck.cpp.o.d"
+  "CMakeFiles/hemp_regulator.dir/bypass.cpp.o"
+  "CMakeFiles/hemp_regulator.dir/bypass.cpp.o.d"
+  "CMakeFiles/hemp_regulator.dir/ldo.cpp.o"
+  "CMakeFiles/hemp_regulator.dir/ldo.cpp.o.d"
+  "CMakeFiles/hemp_regulator.dir/regulator.cpp.o"
+  "CMakeFiles/hemp_regulator.dir/regulator.cpp.o.d"
+  "CMakeFiles/hemp_regulator.dir/switched_cap.cpp.o"
+  "CMakeFiles/hemp_regulator.dir/switched_cap.cpp.o.d"
+  "libhemp_regulator.a"
+  "libhemp_regulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemp_regulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemp_sim.dir/soc_system.cpp.o"
+  "CMakeFiles/hemp_sim.dir/soc_system.cpp.o.d"
+  "CMakeFiles/hemp_sim.dir/waveform.cpp.o"
+  "CMakeFiles/hemp_sim.dir/waveform.cpp.o.d"
+  "libhemp_sim.a"
+  "libhemp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

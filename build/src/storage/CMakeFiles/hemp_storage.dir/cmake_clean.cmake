@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemp_storage.dir/capacitor.cpp.o"
+  "CMakeFiles/hemp_storage.dir/capacitor.cpp.o.d"
+  "CMakeFiles/hemp_storage.dir/comparator.cpp.o"
+  "CMakeFiles/hemp_storage.dir/comparator.cpp.o.d"
+  "libhemp_storage.a"
+  "libhemp_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemp_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buck_test.dir/regulator/buck_test.cpp.o"
+  "CMakeFiles/buck_test.dir/regulator/buck_test.cpp.o.d"
+  "buck_test"
+  "buck_test.pdb"
+  "buck_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bypass_test.dir/regulator/bypass_test.cpp.o"
+  "CMakeFiles/bypass_test.dir/regulator/bypass_test.cpp.o.d"
+  "bypass_test"
+  "bypass_test.pdb"
+  "bypass_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bypass_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

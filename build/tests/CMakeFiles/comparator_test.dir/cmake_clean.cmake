@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comparator_test.dir/storage/comparator_test.cpp.o"
+  "CMakeFiles/comparator_test.dir/storage/comparator_test.cpp.o.d"
+  "comparator_test"
+  "comparator_test.pdb"
+  "comparator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comparator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_scheduler_test.dir/battery/dp_scheduler_test.cpp.o"
+  "CMakeFiles/dp_scheduler_test.dir/battery/dp_scheduler_test.cpp.o.d"
+  "dp_scheduler_test"
+  "dp_scheduler_test.pdb"
+  "dp_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_manager_test.dir/core/energy_manager_test.cpp.o"
+  "CMakeFiles/energy_manager_test.dir/core/energy_manager_test.cpp.o.d"
+  "energy_manager_test"
+  "energy_manager_test.pdb"
+  "energy_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gradient_test.dir/imgproc/gradient_test.cpp.o"
+  "CMakeFiles/gradient_test.dir/imgproc/gradient_test.cpp.o.d"
+  "gradient_test"
+  "gradient_test.pdb"
+  "gradient_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gradient_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

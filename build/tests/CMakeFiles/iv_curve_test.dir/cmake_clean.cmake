@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iv_curve_test.dir/harvester/iv_curve_test.cpp.o"
+  "CMakeFiles/iv_curve_test.dir/harvester/iv_curve_test.cpp.o.d"
+  "iv_curve_test"
+  "iv_curve_test.pdb"
+  "iv_curve_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iv_curve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

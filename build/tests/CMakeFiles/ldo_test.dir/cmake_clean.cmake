@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldo_test.dir/regulator/ldo_test.cpp.o"
+  "CMakeFiles/ldo_test.dir/regulator/ldo_test.cpp.o.d"
+  "ldo_test"
+  "ldo_test.pdb"
+  "ldo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

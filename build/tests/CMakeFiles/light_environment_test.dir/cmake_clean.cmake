@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/light_environment_test.dir/harvester/light_environment_test.cpp.o"
+  "CMakeFiles/light_environment_test.dir/harvester/light_environment_test.cpp.o.d"
+  "light_environment_test"
+  "light_environment_test.pdb"
+  "light_environment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/light_environment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

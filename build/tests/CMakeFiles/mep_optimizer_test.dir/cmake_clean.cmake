@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mep_optimizer_test.dir/core/mep_optimizer_test.cpp.o"
+  "CMakeFiles/mep_optimizer_test.dir/core/mep_optimizer_test.cpp.o.d"
+  "mep_optimizer_test"
+  "mep_optimizer_test.pdb"
+  "mep_optimizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mep_optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpp_tracker_test.dir/core/mpp_tracker_test.cpp.o"
+  "CMakeFiles/mpp_tracker_test.dir/core/mpp_tracker_test.cpp.o.d"
+  "mpp_tracker_test"
+  "mpp_tracker_test.pdb"
+  "mpp_tracker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpp_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

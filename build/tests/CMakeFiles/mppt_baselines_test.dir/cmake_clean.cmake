@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mppt_baselines_test.dir/core/mppt_baselines_test.cpp.o"
+  "CMakeFiles/mppt_baselines_test.dir/core/mppt_baselines_test.cpp.o.d"
+  "mppt_baselines_test"
+  "mppt_baselines_test.pdb"
+  "mppt_baselines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mppt_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

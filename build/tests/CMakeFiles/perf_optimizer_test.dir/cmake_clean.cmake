@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_optimizer_test.dir/core/perf_optimizer_test.cpp.o"
+  "CMakeFiles/perf_optimizer_test.dir/core/perf_optimizer_test.cpp.o.d"
+  "perf_optimizer_test"
+  "perf_optimizer_test.pdb"
+  "perf_optimizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

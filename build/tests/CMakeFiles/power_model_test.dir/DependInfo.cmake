@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/processor/power_model_test.cpp" "tests/CMakeFiles/power_model_test.dir/processor/power_model_test.cpp.o" "gcc" "tests/CMakeFiles/power_model_test.dir/processor/power_model_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/battery/CMakeFiles/hemp_battery.dir/DependInfo.cmake"
+  "/root/repo/build/src/intermittent/CMakeFiles/hemp_intermittent.dir/DependInfo.cmake"
+  "/root/repo/build/src/imgproc/CMakeFiles/hemp_imgproc.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hemp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hemp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/harvester/CMakeFiles/hemp_harvester.dir/DependInfo.cmake"
+  "/root/repo/build/src/regulator/CMakeFiles/hemp_regulator.dir/DependInfo.cmake"
+  "/root/repo/build/src/processor/CMakeFiles/hemp_processor.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/hemp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hemp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

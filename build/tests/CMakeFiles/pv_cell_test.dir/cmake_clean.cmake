@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pv_cell_test.dir/harvester/pv_cell_test.cpp.o"
+  "CMakeFiles/pv_cell_test.dir/harvester/pv_cell_test.cpp.o.d"
+  "pv_cell_test"
+  "pv_cell_test.pdb"
+  "pv_cell_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pv_cell_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

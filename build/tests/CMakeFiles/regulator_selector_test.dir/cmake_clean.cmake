@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regulator_selector_test.dir/core/regulator_selector_test.cpp.o"
+  "CMakeFiles/regulator_selector_test.dir/core/regulator_selector_test.cpp.o.d"
+  "regulator_selector_test"
+  "regulator_selector_test.pdb"
+  "regulator_selector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regulator_selector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_system_test.dir/sim/soc_system_test.cpp.o"
+  "CMakeFiles/soc_system_test.dir/sim/soc_system_test.cpp.o.d"
+  "soc_system_test"
+  "soc_system_test.pdb"
+  "soc_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speed_model_test.dir/processor/speed_model_test.cpp.o"
+  "CMakeFiles/speed_model_test.dir/processor/speed_model_test.cpp.o.d"
+  "speed_model_test"
+  "speed_model_test.pdb"
+  "speed_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speed_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprint_scheduler_test.dir/core/sprint_scheduler_test.cpp.o"
+  "CMakeFiles/sprint_scheduler_test.dir/core/sprint_scheduler_test.cpp.o.d"
+  "sprint_scheduler_test"
+  "sprint_scheduler_test.pdb"
+  "sprint_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprint_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switched_cap_test.dir/regulator/switched_cap_test.cpp.o"
+  "CMakeFiles/switched_cap_test.dir/regulator/switched_cap_test.cpp.o.d"
+  "switched_cap_test"
+  "switched_cap_test.pdb"
+  "switched_cap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switched_cap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

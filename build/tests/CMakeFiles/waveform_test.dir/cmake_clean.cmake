@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waveform_test.dir/sim/waveform_test.cpp.o"
+  "CMakeFiles/waveform_test.dir/sim/waveform_test.cpp.o.d"
+  "waveform_test"
+  "waveform_test.pdb"
+  "waveform_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waveform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
