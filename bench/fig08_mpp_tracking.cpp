@@ -8,6 +8,7 @@
 #include <memory>
 
 #include "bench_common.hpp"
+#include "common/csv.hpp"
 #include "core/mpp_tracker.hpp"
 #include "regulator/switched_cap.hpp"
 #include "sim/soc_system.hpp"
@@ -34,7 +35,7 @@ void print_figure() {
   const double g_before = 1.0, g_after = 0.3;
   const SimResult r = soc.run(IrradianceTrace::step(g_before, g_after, dim_at),
                               ctrl, 200.0_ms);
-  r.waveform.write_csv("fig08_waveform.csv");
+  r.waveform.write_csv(hemp::output_path("fig08_waveform.csv"));
 
   bench::section("solar node waveform around the dimming event");
   std::printf("%10s %10s %10s %10s\n", "t (ms)", "Vsolar", "Vdd", "f (MHz)");
@@ -64,7 +65,7 @@ void print_figure() {
       r.waveform.value_at("p_harvest_w", 199.0_ms) / mpp_new.power.value();
   bench::report("MPP capture after retarget", "operates around new MPP",
                 bench::fmt("%.0f%% of Pmpp", capture * 100));
-  std::printf("\n  full waveform written to fig08_waveform.csv\n");
+  std::printf("\n  full waveform written to out/fig08_waveform.csv\n");
 }
 
 void BM_Eq7Estimate(benchmark::State& state) {

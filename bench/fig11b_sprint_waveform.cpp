@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "bench_common.hpp"
+#include "common/csv.hpp"
 #include "core/sprint_scheduler.hpp"
 #include "imgproc/pipeline.hpp"
 #include "regulator/buck.hpp"
@@ -55,7 +56,7 @@ void print_figure() {
   const RunOutcome w_sprint = run_variant(model, sprint, dimming, true);
   const RunOutcome wo_sprint = run_variant(model, constant, dimming, true);
   const RunOutcome wo_bypass = run_variant(model, sprint, dimming, false);
-  w_sprint.result.waveform.write_csv("fig11b_waveform.csv");
+  w_sprint.result.waveform.write_csv(hemp::output_path("fig11b_waveform.csv"));
 
   bench::section("waveform with sprinting + bypass (solar Vdd and processor Vdd)");
   std::printf("%10s %10s %10s %10s\n", "t (ms)", "Vsolar", "Vdd", "f (MHz)");
@@ -99,7 +100,7 @@ void print_figure() {
                 bench::fmt("%+.1f%%", (harv_sprint - harv_const) / harv_const * 100));
   bench::report("bypass engaged when regulator lost headroom", "yes",
                 w_sprint.bypassed ? "yes" : "no");
-  std::printf("\n  full waveform written to fig11b_waveform.csv\n");
+  std::printf("\n  full waveform written to out/fig11b_waveform.csv\n");
 }
 
 void BM_SprintTransient(benchmark::State& state) {

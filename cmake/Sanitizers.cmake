@@ -1,0 +1,49 @@
+# Sanitizer and hardening build modes.
+#
+#   HEMP_SANITIZE    semicolon-separated list of sanitizers to enable on every
+#                    target: any combination of address;undefined;leak, or
+#                    thread (which cannot be combined with address/leak).
+#   HEMP_WERROR      promote warnings to errors (CI builds set this).
+#
+# Both options apply globally (add_compile_options) so that tests, benches and
+# examples are all instrumented — a sanitizer that skips half the binaries
+# proves nothing.
+
+set(HEMP_SANITIZE "" CACHE STRING
+    "Semicolon-separated sanitizers to enable (address;undefined;leak;thread)")
+option(HEMP_WERROR "Treat compiler warnings as errors" OFF)
+
+if(HEMP_WERROR)
+  add_compile_options(-Werror)
+endif()
+
+if(HEMP_SANITIZE)
+  set(_hemp_known_sanitizers address undefined leak thread)
+  set(_hemp_san_flags "")
+  foreach(_san IN LISTS HEMP_SANITIZE)
+    if(NOT _san IN_LIST _hemp_known_sanitizers)
+      message(FATAL_ERROR
+        "HEMP_SANITIZE: unknown sanitizer '${_san}' "
+        "(expected a subset of: ${_hemp_known_sanitizers})")
+    endif()
+    list(APPEND _hemp_san_flags "-fsanitize=${_san}")
+  endforeach()
+
+  if("thread" IN_LIST HEMP_SANITIZE AND
+     ("address" IN_LIST HEMP_SANITIZE OR "leak" IN_LIST HEMP_SANITIZE))
+    message(FATAL_ERROR
+      "HEMP_SANITIZE: 'thread' cannot be combined with 'address' or 'leak'")
+  endif()
+
+  # Sane-by-default hardening companions: keep frame pointers so sanitizer
+  # stack traces are usable, and make UBSan failures fatal instead of
+  # print-and-continue so ctest actually fails.
+  list(APPEND _hemp_san_flags -fno-omit-frame-pointer)
+  if("undefined" IN_LIST HEMP_SANITIZE)
+    list(APPEND _hemp_san_flags -fno-sanitize-recover=undefined)
+  endif()
+
+  add_compile_options(${_hemp_san_flags})
+  add_link_options(${_hemp_san_flags})
+  message(STATUS "HEMP sanitizers enabled: ${HEMP_SANITIZE}")
+endif()

@@ -1,0 +1,22 @@
+# clang-tidy integration.
+#
+#   HEMP_CLANG_TIDY  run clang-tidy (configured by the top-level .clang-tidy)
+#                    on every source file as it compiles.
+#
+# The option degrades to a warning when clang-tidy is not installed, so a
+# gcc-only toolchain can still configure and build every preset.
+
+option(HEMP_CLANG_TIDY "Run clang-tidy alongside compilation" OFF)
+
+if(HEMP_CLANG_TIDY)
+  find_program(HEMP_CLANG_TIDY_EXE NAMES clang-tidy clang-tidy-18 clang-tidy-17
+                                         clang-tidy-16 clang-tidy-15)
+  if(HEMP_CLANG_TIDY_EXE)
+    # Checks and warnings-as-errors policy come from the top-level .clang-tidy.
+    set(CMAKE_CXX_CLANG_TIDY "${HEMP_CLANG_TIDY_EXE}")
+    message(STATUS "clang-tidy enabled: ${HEMP_CLANG_TIDY_EXE}")
+  else()
+    message(WARNING "HEMP_CLANG_TIDY=ON but clang-tidy was not found; "
+                    "continuing without static analysis")
+  endif()
+endif()

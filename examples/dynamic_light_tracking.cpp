@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "common/csv.hpp"
 #include "core/mpp_tracker.hpp"
 #include "regulator/switched_cap.hpp"
 #include "sim/soc_system.hpp"
@@ -64,7 +65,7 @@ int main() {
   }
   std::printf("total cycles retired: %.1f M\n", r.totals.cycles / 1e6);
   std::printf("total harvested: %.2f mJ\n", r.totals.harvested.value() * 1e3);
-  r.waveform.write_csv("dynamic_light_tracking.csv");
-  std::printf("waveform written to dynamic_light_tracking.csv\n");
+  r.waveform.write_csv(hemp::output_path("dynamic_light_tracking.csv"));
+  std::printf("waveform written to out/dynamic_light_tracking.csv\n");
   return 0;
 }

@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/csv.hpp"
 #include "core/energy_manager.hpp"
 #include "imgproc/pipeline.hpp"
 #include "regulator/buck.hpp"
@@ -105,7 +106,7 @@ int main() {
               r.totals.delivered_to_processor.value() /
                   r.totals.harvested.value() * 100);
   std::printf("brownouts:          %d\n", r.totals.brownouts);
-  r.waveform.write_csv("image_recognition_node.csv");
-  std::printf("waveform written to image_recognition_node.csv\n");
+  r.waveform.write_csv(hemp::output_path("image_recognition_node.csv"));
+  std::printf("waveform written to out/image_recognition_node.csv\n");
   return 0;
 }

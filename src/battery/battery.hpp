@@ -36,7 +36,7 @@ class Battery {
  public:
   explicit Battery(const BatteryParams& params = {}, double initial_soc = 1.0);
 
-  [[nodiscard]] double state_of_charge() const { return soc_; }
+  [[nodiscard]] double state_of_charge() const { return soc_; }  // unit-lint: dimensionless fraction in [0, 1]
   [[nodiscard]] Coulombs charge_remaining() const {
     return Coulombs(params_.capacity.value() * soc_);
   }

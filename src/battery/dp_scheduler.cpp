@@ -45,11 +45,11 @@ std::vector<BatteryDpScheduler::Config> BatteryDpScheduler::enumerate_configs() 
 }
 
 std::optional<BatteryDpScheduler::SlotCost> BatteryDpScheduler::slot_cost(
-    const Config& config, double charge_drawn) const {
+    const Config& config, Coulombs charge_drawn) const {
   const Battery& bat = *battery_;
   const Processor& proc = *processor_;
   const double cap = bat.params().capacity.value();
-  const double soc = bat.state_of_charge() - charge_drawn / cap;
+  const double soc = bat.state_of_charge() - charge_drawn.value() / cap;
   if (soc <= 0.0) return std::nullopt;
   const double ocv = bat.open_circuit_voltage(soc).value();
   const double r_int = bat.params().internal_resistance.value();
@@ -117,7 +117,7 @@ BatterySchedule BatteryDpScheduler::schedule(double cycles, Seconds deadline) co
       }
       if (c == C) continue;  // job finished: idle through the tail
       for (std::size_t i = 0; i < configs.size(); ++i) {
-        const auto cost = slot_cost(configs[i], q0);
+        const auto cost = slot_cost(configs[i], Coulombs(q0));
         if (!cost) continue;
         const int gained =
             static_cast<int>(cost->frequency.value() * dt / cycles_per_bucket);
@@ -175,7 +175,7 @@ BatterySchedule BatteryDpScheduler::fixed_configuration(double cycles,
   SlotCost best_cost;
   double best_charge_per_cycle = std::numeric_limits<double>::infinity();
   for (const auto& cfg : configs) {
-    const auto cost = slot_cost(cfg, 0.0);
+    const auto cost = slot_cost(cfg, Coulombs(0.0));
     if (!cost) continue;
     if (cost->frequency.value() < f_needed) continue;
     const double cpc = cost->current.value() / cost->frequency.value();
@@ -197,7 +197,7 @@ BatterySchedule BatteryDpScheduler::fixed_configuration(double cycles,
   double charge = 0.0;
   for (int k = 0; k < K; ++k) {
     if (done >= cycles) break;  // rest of the slots stay idle
-    const auto cost = slot_cost(*best, charge);
+    const auto cost = slot_cost(*best, Coulombs(charge));
     if (!cost) {
       // Battery sagged below what the locked configuration needs.
       out.feasible = false;
@@ -226,7 +226,7 @@ BatteryDpScheduler::Replay BatteryDpScheduler::replay(const BatterySchedule& sch
   for (const SlotDecision& slot : schedule.slots) {
     if (slot.idle) continue;
     const Config cfg{slot.regulator, slot.op};
-    const auto cost = slot_cost(cfg, charge);
+    const auto cost = slot_cost(cfg, Coulombs(charge));
     if (!cost) break;
     bat.discharge(cost->current, schedule.slot_length);
     charge += cost->current.value() * schedule.slot_length.value();

@@ -91,7 +91,7 @@ class BatteryDpScheduler {
     Volts vdd{0.0};
   };
   [[nodiscard]] std::optional<SlotCost> slot_cost(const Config& config,
-                                                  double charge_drawn) const;
+                                                  Coulombs charge_drawn) const;
   [[nodiscard]] std::vector<Config> enumerate_configs() const;
 
   const Battery* battery_;

@@ -1,0 +1,77 @@
+#include "common/audit.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace hemp {
+
+namespace {
+
+std::string describe(std::string_view context, std::string_view what,
+                     double value) {
+  std::ostringstream os;
+  os << context << ": " << what << " (got " << value << ")";
+  return os.str();
+}
+
+}  // namespace
+
+InvariantAuditor::InvariantAuditor(std::string context)
+    : context_(std::move(context)) {}
+
+void InvariantAuditor::check_efficiency(std::string_view component, double eta) {
+  ++checks_run_;
+  std::string who{component};
+  HEMP_CHECK_RANGE(std::isfinite(eta),
+                   describe(context_, "non-finite efficiency from " + who, eta));
+  HEMP_CHECK_RANGE(eta >= 0.0 && eta <= 1.0,
+                   describe(context_, "efficiency outside [0, 1] from " + who, eta));
+}
+
+void InvariantAuditor::check_finite_voltage(std::string_view node, Volts v) {
+  ++checks_run_;
+  HEMP_CHECK_RANGE(std::isfinite(v.value()),
+                   describe(context_, "non-finite voltage at node " +
+                                          std::string(node),
+                            v.value()));
+}
+
+void InvariantAuditor::check_monotonic_time(Seconds t) {
+  ++checks_run_;
+  HEMP_CHECK_RANGE(std::isfinite(t.value()),
+                   describe(context_, "non-finite simulated time", t.value()));
+  if (has_time_) {
+    HEMP_CHECK_RANGE(t.value() >= last_time_,
+                     describe(context_, "simulated time moved backwards",
+                              t.value() - last_time_));
+  }
+  last_time_ = t.value();
+  has_time_ = true;
+}
+
+void InvariantAuditor::check_energy_step(Joules delta_stored, Joules in,
+                                         Joules out, Joules dissipated,
+                                         Joules tolerance) {
+  ++checks_run_;
+  const double terms[] = {delta_stored.value(), in.value(), out.value(),
+                          dissipated.value()};
+  for (const double x : terms) {
+    HEMP_REQUIRE(std::isfinite(x),
+                 describe(context_, "non-finite energy-ledger term", x));
+  }
+  HEMP_REQUIRE(dissipated.value() >= -tolerance.value(),
+               describe(context_, "negative dissipated energy",
+                        dissipated.value()));
+  const double budget = in.value() - out.value() - dissipated.value();
+  HEMP_REQUIRE(delta_stored.value() <= budget + tolerance.value(),
+               describe(context_,
+                        "energy created from nothing (delta_stored - budget)",
+                        delta_stored.value() - budget));
+}
+
+void InvariantAuditor::reset_time() { has_time_ = false; }
+
+}  // namespace hemp

@@ -1,0 +1,80 @@
+// Runtime physics-invariant auditor (the HEMP_AUDIT build mode).
+//
+// Simulators of smooth physical systems fail silently: a swapped argument or a
+// NaN efficiency bends a curve instead of crashing.  The auditor turns four
+// physical invariants into hard failures at the point of violation:
+//
+//   * conversion efficiency of every regulator lies in [0, 1] and is finite;
+//   * node voltages are finite (never NaN/inf);
+//   * simulated time is monotonically non-decreasing;
+//   * energy is conserved per step — stored energy never exceeds what the
+//     harvest/load/loss ledger permits (creation is forbidden; destruction is
+//     allowed because capacitor clamping at 0 V legitimately drops charge).
+//
+// The class is always compiled; whether hot paths *invoke* it defaults to the
+// HEMP_AUDIT compile option (audit_compiled_in()) and can be overridden per
+// component (e.g. SocConfig::audit), so a regression test can exercise the
+// audit hooks in any build configuration.  Violations throw through the
+// standard HEMP_REQUIRE / HEMP_CHECK_RANGE contract macros (ModelError /
+// RangeError).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/units.hpp"
+
+namespace hemp {
+
+/// True when the library was compiled with -DHEMP_AUDIT=ON: hot-path hooks
+/// (SocSystem::run, RegulatorBank::best_for) audit every step by default.
+constexpr bool audit_compiled_in() {
+#if defined(HEMP_AUDIT) && HEMP_AUDIT
+  return true;
+#else
+  return false;
+#endif
+}
+
+class InvariantAuditor {
+ public:
+  /// `context` prefixes every failure message (e.g. "SocSystem").
+  explicit InvariantAuditor(std::string context);
+
+  /// eta must be finite and in [0, 1].  Throws RangeError.
+  void check_efficiency(std::string_view component, double eta);
+
+  /// `v` must be finite.  Throws RangeError.
+  void check_finite_voltage(std::string_view node, Volts v);
+
+  /// `t` must be finite and >= every previously checked time.  Throws
+  /// RangeError.
+  void check_monotonic_time(Seconds t);
+
+  /// Per-step energy ledger: with `delta_stored` the change in total stored
+  /// energy and the step's `in` (harvested), `out` (delivered to loads) and
+  /// `dissipated` (converter/switch losses), conservation demands
+  ///   delta_stored <= in - out - dissipated   (up to `tolerance`).
+  /// Equality holds on a clean step; a shortfall is legal (clamping drops
+  /// charge), but a surplus means the model created energy.  Also requires
+  /// dissipated >= 0 and all terms finite.  Throws ModelError.
+  void check_energy_step(Joules delta_stored, Joules in, Joules out,
+                         Joules dissipated, Joules tolerance = Joules(1e-12));
+
+  [[nodiscard]] const std::string& context() const { return context_; }
+  /// Number of individual invariant checks run so far (for test assertions
+  /// that the audit hooks actually fired).
+  [[nodiscard]] std::uint64_t checks_run() const { return checks_run_; }
+
+  /// Forget the last-seen time (e.g. when a simulation restarts at t = 0).
+  void reset_time();
+
+ private:
+  std::string context_;
+  double last_time_ = 0.0;
+  bool has_time_ = false;
+  std::uint64_t checks_run_ = 0;
+};
+
+}  // namespace hemp

@@ -1,13 +1,22 @@
 #include "common/csv.hpp"
 
+#include <filesystem>
 #include <iomanip>
+#include <utility>
 
 #include "common/error.hpp"
 
 namespace hemp {
 
-CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> columns)
-    : path_(path), out_(path), width_(columns.size()) {
+std::string output_path(const std::string& filename) {
+  HEMP_REQUIRE(!filename.empty(), "output_path: empty filename");
+  const std::filesystem::path dir{"out"};
+  std::filesystem::create_directories(dir);
+  return (dir / filename).string();
+}
+
+CsvWriter::CsvWriter(std::string path, std::vector<std::string> columns)
+    : path_(std::move(path)), out_(path_), width_(columns.size()) {
   HEMP_REQUIRE(!columns.empty(), "CsvWriter: need at least one column");
   if (!out_) throw ModelError("CsvWriter: cannot open " + path);
   for (std::size_t i = 0; i < columns.size(); ++i) {

@@ -8,10 +8,15 @@
 
 namespace hemp {
 
+/// Path under the conventional (git-ignored) `out/` directory for generated
+/// CSVs; creates the directory on first use.  Benches and examples route all
+/// waveform dumps through this so the repo root stays clean.
+std::string output_path(const std::string& filename);
+
 class CsvWriter {
  public:
   /// Opens `path` for writing and emits the header row.  Throws on I/O error.
-  CsvWriter(const std::string& path, std::vector<std::string> columns);
+  CsvWriter(std::string path, std::vector<std::string> columns);
 
   /// Append one row; must match the header width.
   void row(const std::vector<double>& values);

@@ -43,7 +43,7 @@ class MepOptimizer {
     Volts voltage_shift{0.0};
     /// Source-side energy saved by operating at the holistic MEP instead of
     /// the conventional MEP (paper: up to ~31%).
-    double energy_saving = 0.0;
+    double energy_saving = 0.0;  // unit-lint: dimensionless fraction saved
   };
   [[nodiscard]] Comparison compare(double g) const;
 

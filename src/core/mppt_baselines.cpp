@@ -55,7 +55,7 @@ void PerturbObserveController::on_tick(const SocState& state, SocCommand& cmd) {
   if (state.time < next_perturb_) return;
   next_perturb_ = state.time + params_.perturb_period;
   // Observe: the power sensor reads the instantaneous harvest.
-  const double p = state.p_harvest.value();
+  const Watts p = state.p_harvest;
   if (perturbations_ > 0) {
     if (p < prev_power_) {
       direction_ = -direction_;  // got worse: reverse the hill climb

@@ -48,7 +48,7 @@ class PerturbObserveController : public SocController {
   DvfsLadder ladder_;
   std::size_t level_ = 0;
   int direction_ = +1;  // +1 = draw more (push node down), -1 = back off
-  double prev_power_ = 0.0;
+  Watts prev_power_{0.0};
   Seconds next_perturb_{0.0};
   int perturbations_ = 0;
   int reversals_ = 0;

@@ -48,7 +48,7 @@ class PerformanceOptimizer {
   struct Comparison {
     PerfPoint unregulated;
     PerfPoint regulated;
-    double power_gain = 0.0;  ///< regulated/unregulated processor power - 1
+    double power_gain = 0.0;  ///< regulated/unregulated power - 1 (unit-lint: ratio)
     double speed_gain = 0.0;  ///< regulated/unregulated frequency - 1
   };
   [[nodiscard]] Comparison compare(double g) const;

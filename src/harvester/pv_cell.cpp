@@ -24,38 +24,39 @@ PvCell::PvCell(const PvCellParams& params) : params_(params) {
   i0_ = saturation_current();
 }
 
-double PvCell::stack_vt() const {
-  return params_.series_junctions * params_.ideality * params_.thermal_voltage.value();
+Volts PvCell::stack_vt() const {
+  return Volts(params_.series_junctions * params_.ideality *
+               params_.thermal_voltage.value());
 }
 
-double PvCell::saturation_current() const {
+Amps PvCell::saturation_current() const {
   // At open circuit under full sun: Iph = I0 (exp(Voc/stack_vt) - 1) + Voc/Rsh.
   const double voc = params_.voc_full_sun.value();
   const double iph = params_.isc_full_sun.value();
-  const double denom = std::expm1(voc / stack_vt());
+  const double denom = std::expm1(voc / stack_vt().value());
   const double shunt_leak = voc / params_.shunt_resistance.value();
   HEMP_REQUIRE(iph > shunt_leak,
                "PvCell: shunt resistance too small for the requested Voc");
-  return (iph - shunt_leak) / denom;
+  return Amps((iph - shunt_leak) / denom);
 }
 
-double PvCell::photocurrent(double g) const {
+Amps PvCell::photocurrent(double g) const {
   HEMP_CHECK_RANGE(g >= 0.0 && g <= 1.5, "PvCell: irradiance fraction out of range");
-  return params_.isc_full_sun.value() * g;
+  return params_.isc_full_sun * g;
 }
 
 Amps PvCell::current(Volts v, double g) const {
   HEMP_CHECK_RANGE(v.value() >= 0.0, "PvCell: negative terminal voltage");
-  const double iph = photocurrent(g);
+  const double iph = photocurrent(g).value();
   if (iph == 0.0) return Amps(0.0);
   const double rs = params_.series_resistance.value();
   const double rsh = params_.shunt_resistance.value();
-  const double nvt = stack_vt();
+  const double nvt = stack_vt().value();
 
   // Implicit KCL at the internal node: f(I) = Iph - Id(V + I Rs) - Ish - I = 0.
   auto f = [&](double i) {
     const double vj = v.value() + i * rs;
-    return iph - i0_ * std::expm1(vj / nvt) - vj / rsh - i;
+    return iph - i0_.value() * std::expm1(vj / nvt) - vj / rsh - i;
   };
   // I is bracketed by [something <= actual, Iph]: f is strictly decreasing in I.
   double lo = -iph;  // allow slightly negative internal solutions near Voc
@@ -83,10 +84,10 @@ Volts PvCell::open_circuit_voltage(double g) const {
   auto f = [&](double v) { return current(Volts(v), g).value(); };
   // current() clamps at zero, so bisect on a shifted function instead: use the
   // unclamped diode equation at I = 0.
-  const double iph = photocurrent(g);
+  const double iph = photocurrent(g).value();
   const double rsh = params_.shunt_resistance.value();
-  const double nvt = stack_vt();
-  auto f_oc = [&](double v) { return iph - i0_ * std::expm1(v / nvt) - v / rsh; };
+  const double nvt = stack_vt().value();
+  auto f_oc = [&](double v) { return iph - i0_.value() * std::expm1(v / nvt) - v / rsh; };
   if (f_oc(vmax) > 0.0) return Volts(vmax);
   (void)f;
   return Volts(numeric::brent_root(f_oc, 0.0, vmax, {.x_tol = 1e-9}));

@@ -60,14 +60,14 @@ class PvCell {
 
  private:
   /// Photocurrent at irradiance g.
-  [[nodiscard]] double photocurrent(double g) const;
+  [[nodiscard]] Amps photocurrent(double g) const;
   /// Diode saturation current fixed by (Isc, Voc) at full sun.
-  [[nodiscard]] double saturation_current() const;
+  [[nodiscard]] Amps saturation_current() const;
   /// One junction-stack thermal scale Ns * n * Vt.
-  [[nodiscard]] double stack_vt() const;
+  [[nodiscard]] Volts stack_vt() const;
 
   PvCellParams params_;
-  double i0_ = 0.0;  // cached saturation current
+  Amps i0_{0.0};  // cached saturation current
 };
 
 /// Factory for the paper's harvester: IXYS KX0B22-04X3F, 22x7 mm, 22% efficient

@@ -36,6 +36,7 @@ std::optional<RegulatorBank::Selection> RegulatorBank::best_for(Volts vin, Volts
     if (!r->supports(vin, vout)) continue;
     if (pout > r->rated_load()) continue;
     const double eta = r->efficiency(vin, vout, pout);
+    if (audit_) auditor_.check_efficiency(r->name(), eta);
     if (!best || eta > best->efficiency) best = Selection{r.get(), eta};
   }
   return best;

@@ -8,6 +8,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/audit.hpp"
 #include "regulator/regulator.hpp"
 
 namespace hemp {
@@ -36,8 +37,16 @@ class RegulatorBank {
   /// Build the bank studied in the paper: LDO + SC + buck (+ optional bypass).
   static RegulatorBank paper_bank(bool include_bypass = true);
 
+  /// Audit every candidate efficiency evaluated by best_for() (finite, in
+  /// [0, 1]).  Defaults to the HEMP_AUDIT compile option.
+  void set_audit(bool enabled) { audit_ = enabled; }
+  [[nodiscard]] bool audit() const { return audit_; }
+
  private:
   std::vector<RegulatorPtr> regulators_;
+  bool audit_ = audit_compiled_in();
+  // best_for() is logically const; the auditor only tracks check counters.
+  mutable InvariantAuditor auditor_{"RegulatorBank"};
 };
 
 }  // namespace hemp

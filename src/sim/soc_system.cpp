@@ -51,12 +51,15 @@ SimResult SocSystem::run(const IrradianceTrace& trace, SocController& controller
   state.irradiance = trace.at(Seconds(0.0));
   controller.on_start(state, cmd);
 
+  InvariantAuditor auditor("SocSystem");
+  const bool audit = config_.audit;
   bool was_running = false;
   double next_sample = 0.0;
 
   for (double t = 0.0; t < t_end.value(); t += dt) {
     const Seconds now(t);
     const double g = trace.at(now);
+    const Joules e_stored_pre = solar_cap.stored_energy() + vdd_cap.stored_energy();
 
     // --- Harvest: PV current charges the solar node. -------------------------
     const Volts v_solar_pre = solar_cap.voltage();
@@ -96,10 +99,15 @@ SimResult SocSystem::run(const IrradianceTrace& trace, SocController& controller
       if (cmd.run) totals.halted_time += Seconds(dt);
     }
     was_running = can_run;
+    // Measured (not commanded) load energy: apply_power clamps at 0 V, so the
+    // stored-energy delta is the ground truth the audit ledger needs.
+    const Joules e_vdd_before_load = vdd_cap.stored_energy();
     vdd_cap.apply_power(-p_load, Seconds(dt));
+    const Joules e_load_actual = e_vdd_before_load - vdd_cap.stored_energy();
 
     // --- Power transfer along the commanded path. ----------------------------
     bool regulator_ok = true;
+    Joules e_loss_tick{0.0};
     if (cmd.path == PowerPath::kRegulated) {
       const Volts vin = solar_cap.voltage();
       if (!regulator_->supports(vin, cmd.vdd_target)) {
@@ -115,6 +123,7 @@ SimResult SocSystem::run(const IrradianceTrace& trace, SocController& controller
                                   regulator_->rated_load().value());
         if (p_out > 0.0) {
           const double eta = regulator_->efficiency(vin, cmd.vdd_target, Watts(p_out));
+          if (audit) auditor.check_efficiency(regulator_->name(), eta);
           if (eta <= 0.0) {
             regulator_ok = false;
           } else {
@@ -128,7 +137,8 @@ SimResult SocSystem::run(const IrradianceTrace& trace, SocController& controller
             }
             solar_cap.apply_power(Watts(-p_in), Seconds(dt));
             vdd_cap.apply_power(Watts(p_out), Seconds(dt));
-            totals.regulator_loss += Joules((p_in - p_out) * dt);
+            e_loss_tick = Joules((p_in - p_out) * dt);
+            totals.regulator_loss += e_loss_tick;
           }
         }
       }
@@ -137,11 +147,31 @@ SimResult SocSystem::run(const IrradianceTrace& trace, SocController& controller
       const double dv = solar_cap.voltage().value() - vdd_cap.voltage().value();
       if (dv > 0.0) {
         const double i = dv / config_.bypass.on_resistance.value();
+        // Book the loss as the measured stored-energy imbalance of the
+        // transfer rather than i^2*R*dt: the discrete apply_current update
+        // differs from the analog dissipation at second order in dt, and the
+        // measured value is what keeps the per-tick energy ledger exact.
+        const Joules e_solar_before = solar_cap.stored_energy();
+        const Joules e_vdd_before = vdd_cap.stored_energy();
         solar_cap.apply_current(Amps(-i), Seconds(dt));
         vdd_cap.apply_current(Amps(i), Seconds(dt));
-        totals.bypass_loss +=
-            Joules(i * i * config_.bypass.on_resistance.value() * dt);
+        e_loss_tick = (e_solar_before - solar_cap.stored_energy()) -
+                      (vdd_cap.stored_energy() - e_vdd_before);
+        totals.bypass_loss += e_loss_tick;
       }
+    }
+
+    // --- Physics-invariant audit (HEMP_AUDIT / SocConfig::audit). -------------
+    if (audit) {
+      auditor.check_monotonic_time(now);
+      auditor.check_finite_voltage("v_solar", solar_cap.voltage());
+      auditor.check_finite_voltage("v_dd", vdd_cap.voltage());
+      const Joules e_stored_post =
+          solar_cap.stored_energy() + vdd_cap.stored_energy();
+      auditor.check_energy_step(e_stored_post - e_stored_pre,
+                                p_harvest * Seconds(dt), e_load_actual,
+                                e_loss_tick);
+      totals.audit_checks = auditor.checks_run();
     }
 
     // --- Comparator bank on the solar node. ----------------------------------

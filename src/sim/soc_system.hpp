@@ -12,9 +12,11 @@
 // and commands the power path, the regulator's Vdd target, and DVFS.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "common/audit.hpp"
 #include "common/units.hpp"
 #include "harvester/light_environment.hpp"
 #include "harvester/pv_cell.hpp"
@@ -47,6 +49,10 @@ struct SocConfig {
   Seconds regulation_time_constant{50e-6};
   /// Decimation interval for the waveform record.
   Seconds waveform_interval{50e-6};
+  /// Run the physics-invariant auditor every tick (energy conservation,
+  /// eta in [0, 1], monotonic time, finite node voltages).  Defaults to the
+  /// HEMP_AUDIT compile option; tests may force it on in any build.
+  bool audit = audit_compiled_in();
 
   void validate() const;
 };
@@ -108,6 +114,8 @@ struct SimTotals {
   int timing_faults = 0;   ///< ticks where commanded f exceeded fmax(Vdd)
   Seconds halted_time{0.0};
   Seconds simulated_time{0.0};
+  /// Invariant checks executed by the auditor (0 unless SocConfig::audit).
+  std::uint64_t audit_checks = 0;
 };
 
 struct SimResult {

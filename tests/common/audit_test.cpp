@@ -1,0 +1,184 @@
+#include "common/audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+
+#include "common/error.hpp"
+#include "regulator/bank.hpp"
+#include "regulator/regulator.hpp"
+#include "sim/soc_system.hpp"
+
+namespace hemp {
+namespace {
+
+using namespace hemp::literals;
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// --- InvariantAuditor unit checks -------------------------------------------
+
+TEST(InvariantAuditor, AcceptsEfficiencyInsideUnitInterval) {
+  InvariantAuditor a("test");
+  EXPECT_NO_THROW(a.check_efficiency("ldo", 0.0));
+  EXPECT_NO_THROW(a.check_efficiency("ldo", 0.63));
+  EXPECT_NO_THROW(a.check_efficiency("ldo", 1.0));
+  EXPECT_EQ(a.checks_run(), 3u);
+}
+
+TEST(InvariantAuditor, RejectsEfficiencyOutsideUnitInterval) {
+  InvariantAuditor a("test");
+  EXPECT_THROW(a.check_efficiency("ldo", 1.0001), RangeError);
+  EXPECT_THROW(a.check_efficiency("ldo", -0.01), RangeError);
+  EXPECT_THROW(a.check_efficiency("ldo", kNan), RangeError);
+  EXPECT_THROW(a.check_efficiency("ldo", kInf), RangeError);
+}
+
+TEST(InvariantAuditor, RejectsNonFiniteVoltage) {
+  InvariantAuditor a("test");
+  EXPECT_NO_THROW(a.check_finite_voltage("v_dd", 0.55_V));
+  EXPECT_NO_THROW(a.check_finite_voltage("v_dd", Volts(-0.1)));  // finite is enough
+  EXPECT_THROW(a.check_finite_voltage("v_dd", Volts(kNan)), RangeError);
+  EXPECT_THROW(a.check_finite_voltage("v_dd", Volts(kInf)), RangeError);
+}
+
+TEST(InvariantAuditor, RejectsBackwardsTime) {
+  InvariantAuditor a("test");
+  EXPECT_NO_THROW(a.check_monotonic_time(Seconds(0.0)));
+  EXPECT_NO_THROW(a.check_monotonic_time(Seconds(1e-6)));
+  EXPECT_NO_THROW(a.check_monotonic_time(Seconds(1e-6)));  // equal is legal
+  EXPECT_THROW(a.check_monotonic_time(Seconds(0.5e-6)), RangeError);
+  EXPECT_THROW(a.check_monotonic_time(Seconds(kNan)), RangeError);
+}
+
+TEST(InvariantAuditor, ResetTimeAllowsRestartAtZero) {
+  InvariantAuditor a("test");
+  a.check_monotonic_time(Seconds(5.0));
+  a.reset_time();
+  EXPECT_NO_THROW(a.check_monotonic_time(Seconds(0.0)));
+}
+
+TEST(InvariantAuditor, EnergyStepAcceptsBalancedAndClampedLedgers) {
+  InvariantAuditor a("test");
+  // Exact balance: delta = in - out - dissipated.
+  EXPECT_NO_THROW(a.check_energy_step(Joules(2e-9), Joules(5e-9), Joules(2e-9),
+                                      Joules(1e-9)));
+  // Shortfall (capacitor clamp dropped charge) is physically legal.
+  EXPECT_NO_THROW(a.check_energy_step(Joules(1e-9), Joules(5e-9), Joules(2e-9),
+                                      Joules(1e-9)));
+}
+
+TEST(InvariantAuditor, EnergyStepRejectsCreationFromNothing) {
+  InvariantAuditor a("test");
+  EXPECT_THROW(a.check_energy_step(Joules(3e-9), Joules(5e-9), Joules(2e-9),
+                                   Joules(1e-9)),
+               ModelError);
+}
+
+TEST(InvariantAuditor, EnergyStepRejectsNegativeDissipation) {
+  InvariantAuditor a("test");
+  EXPECT_THROW(a.check_energy_step(Joules(0.0), Joules(1e-9), Joules(0.0),
+                                   Joules(-1e-9)),
+               ModelError);
+}
+
+TEST(InvariantAuditor, EnergyStepRejectsNonFiniteTerms) {
+  InvariantAuditor a("test");
+  EXPECT_THROW(a.check_energy_step(Joules(kNan), Joules(0.0), Joules(0.0),
+                                   Joules(0.0)),
+               ModelError);
+  EXPECT_THROW(a.check_energy_step(Joules(0.0), Joules(kInf), Joules(0.0),
+                                   Joules(0.0)),
+               ModelError);
+}
+
+// --- Regression: a broken regulator model is caught at the audit boundary ---
+
+/// Deliberately unphysical regulator: reports a conversion efficiency above 1
+/// (or NaN), i.e. it creates energy.  Without the audit mode this skews every
+/// downstream figure silently; with it, the first evaluation throws.
+class BrokenRegulator final : public Regulator {
+ public:
+  explicit BrokenRegulator(double eta) : eta_(eta) {}
+
+  [[nodiscard]] RegulatorKind kind() const override { return RegulatorKind::kLdo; }
+  [[nodiscard]] std::string_view name() const override { return "broken"; }
+  [[nodiscard]] VoltageRange output_range(Volts vin) const override {
+    (void)vin;
+    return {Volts(0.0), Volts(2.0)};
+  }
+  [[nodiscard]] double efficiency(Volts vin, Volts vout, Watts pout) const override {
+    (void)vin;
+    (void)vout;
+    (void)pout;
+    return eta_;
+  }
+  [[nodiscard]] Watts rated_load() const override { return Watts(1.0); }
+
+ private:
+  double eta_;
+};
+
+TEST(AuditRegression, SocSystemCatchesInjectedEfficiencyAboveOne) {
+  SocConfig cfg;
+  cfg.audit = true;  // force the audit hooks on regardless of HEMP_AUDIT
+  SocSystem soc(cfg, std::make_unique<BrokenRegulator>(1.31),
+                Processor::make_test_chip());
+  FixedPointController ctrl(PowerPath::kRegulated, 0.5_V, 100.0_MHz);
+  EXPECT_THROW(soc.run(IrradianceTrace::constant(1.0), ctrl, 1.0_ms), RangeError);
+}
+
+TEST(AuditRegression, SocSystemCatchesInjectedNanEfficiency) {
+  SocConfig cfg;
+  cfg.audit = true;
+  SocSystem soc(cfg, std::make_unique<BrokenRegulator>(kNan),
+                Processor::make_test_chip());
+  FixedPointController ctrl(PowerPath::kRegulated, 0.5_V, 100.0_MHz);
+  EXPECT_THROW(soc.run(IrradianceTrace::constant(1.0), ctrl, 1.0_ms), RangeError);
+}
+
+TEST(AuditRegression, UnauditedRunToleratesBrokenRegulator) {
+  // Documents the hazard the audit mode exists for: without it the broken
+  // model simulates "fine" and just produces wrong numbers.
+  SocConfig cfg;
+  cfg.audit = false;
+  SocSystem soc(cfg, std::make_unique<BrokenRegulator>(1.31),
+                Processor::make_test_chip());
+  FixedPointController ctrl(PowerPath::kRegulated, 0.5_V, 100.0_MHz);
+  EXPECT_NO_THROW(soc.run(IrradianceTrace::constant(1.0), ctrl, 1.0_ms));
+}
+
+TEST(AuditRegression, AuditedHealthySimulationPassesAndCountsChecks) {
+  SocConfig cfg;
+  cfg.audit = true;
+  // A constant 85% efficiency is physically legal; the audited run must
+  // complete and report that the hooks actually fired.
+  SocSystem soc(cfg, std::make_unique<BrokenRegulator>(0.85),
+                Processor::make_test_chip());
+  FixedPointController ctrl(PowerPath::kRegulated, 0.5_V, 100.0_MHz);
+  const SimResult r = soc.run(IrradianceTrace::constant(1.0), ctrl, 2.0_ms);
+  EXPECT_GT(r.totals.audit_checks, 0u);
+}
+
+TEST(AuditRegression, RegulatorBankCatchesInjectedEfficiencyAboveOne) {
+  RegulatorBank bank;
+  bank.add(std::make_unique<BrokenRegulator>(1.2));
+  bank.set_audit(true);
+  EXPECT_THROW((void)bank.best_for(1.2_V, 0.5_V, 1.0_mW), RangeError);
+  bank.set_audit(false);
+  EXPECT_NO_THROW((void)bank.best_for(1.2_V, 0.5_V, 1.0_mW));
+}
+
+TEST(AuditRegression, AuditedPaperBankSelectsCleanly) {
+  RegulatorBank bank = RegulatorBank::paper_bank();
+  bank.set_audit(true);
+  const auto sel = bank.best_for(1.2_V, 0.55_V, 5.0_mW);
+  ASSERT_TRUE(sel.has_value());
+  EXPECT_GT(sel->efficiency, 0.0);
+  EXPECT_LE(sel->efficiency, 1.0);
+}
+
+}  // namespace
+}  // namespace hemp

@@ -1,0 +1,98 @@
+#include "common/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace hemp {
+namespace {
+
+TEST(Error, RequirePassesWhenConditionHolds) {
+  EXPECT_NO_THROW(HEMP_REQUIRE(1 + 1 == 2, "arithmetic still works"));
+}
+
+TEST(Error, RequireThrowsModelError) {
+  EXPECT_THROW(HEMP_REQUIRE(false, "broken model"), ModelError);
+}
+
+TEST(Error, ModelErrorIsInvalidArgument) {
+  // Callers that only know the standard hierarchy still catch contract
+  // violations.
+  EXPECT_THROW(HEMP_REQUIRE(false, "broken model"), std::invalid_argument);
+}
+
+TEST(Error, CheckRangePassesWhenConditionHolds) {
+  EXPECT_NO_THROW(HEMP_CHECK_RANGE(0.5 > 0.0, "in range"));
+}
+
+TEST(Error, CheckRangeThrowsRangeError) {
+  EXPECT_THROW(HEMP_CHECK_RANGE(false, "out of range"), RangeError);
+}
+
+TEST(Error, RangeErrorIsOutOfRange) {
+  EXPECT_THROW(HEMP_CHECK_RANGE(false, "out of range"), std::out_of_range);
+}
+
+TEST(Error, RequireMessageCarriesExprFileAndLine) {
+  try {
+    HEMP_REQUIRE(2 < 1, "two is not less than one");
+    FAIL() << "HEMP_REQUIRE did not throw";
+  } catch (const ModelError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("two is not less than one"), std::string::npos) << what;
+    EXPECT_NE(what.find("2 < 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("error_test.cpp"), std::string::npos) << what;
+    // "<file>:<line>]" — a line number follows the file name.
+    EXPECT_NE(what.find("error_test.cpp:"), std::string::npos) << what;
+    EXPECT_NE(what.find("[failed:"), std::string::npos) << what;
+  }
+}
+
+TEST(Error, CheckRangeMessageCarriesExprFileAndLine) {
+  try {
+    HEMP_CHECK_RANGE(1.0 < 0.0, "voltage below floor");
+    FAIL() << "HEMP_CHECK_RANGE did not throw";
+  } catch (const RangeError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("voltage below floor"), std::string::npos) << what;
+    EXPECT_NE(what.find("1.0 < 0.0"), std::string::npos) << what;
+    EXPECT_NE(what.find("error_test.cpp:"), std::string::npos) << what;
+  }
+}
+
+TEST(Error, MacrosEvaluateConditionExactlyOnce) {
+  int evaluations = 0;
+  auto once = [&evaluations]() {
+    ++evaluations;
+    return true;
+  };
+  HEMP_REQUIRE(once(), "side effects must not repeat");
+  EXPECT_EQ(evaluations, 1);
+  HEMP_CHECK_RANGE(once(), "side effects must not repeat");
+  EXPECT_EQ(evaluations, 2);
+}
+
+TEST(Error, ConvergenceErrorIsRuntimeErrorWithMessage) {
+  const ConvergenceError e("brent: 100 iterations exhausted");
+  EXPECT_STREQ(e.what(), "brent: 100 iterations exhausted");
+  EXPECT_THROW(throw ConvergenceError("no convergence"), std::runtime_error);
+}
+
+TEST(Error, DirectThrowHelpersFormatConsistently) {
+  try {
+    detail::throw_model_error("x > 0", "model.cpp", 42, "bad parameter");
+    FAIL() << "helper did not throw";
+  } catch (const ModelError& e) {
+    EXPECT_STREQ(e.what(), "bad parameter [failed: x > 0 at model.cpp:42]");
+  }
+  try {
+    detail::throw_range_error("v < vmax", "range.cpp", 7, "over the envelope");
+    FAIL() << "helper did not throw";
+  } catch (const RangeError& e) {
+    EXPECT_STREQ(e.what(), "over the envelope [failed: v < vmax at range.cpp:7]");
+  }
+}
+
+}  // namespace
+}  // namespace hemp

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Unit-boundary linter: no raw `double` physical quantities in public headers.
+
+The HEMP library wraps every physical quantity that crosses a module boundary
+in a `hemp::Quantity` strong type (src/common/units.hpp): `Volts`, `Watts`,
+`Joules`, ... so a voltage can never be silently passed where a power is
+expected.  This linter enforces the discipline statically: it parses every
+header under src/*/ and flags `double` declarations (function parameters,
+data members, and functions returning double) whose *name* looks like a
+physical quantity — `*_v`, `*volt*`, `*power*`, `*_w`, `*energy*`, `*_hz`,
+`*current*`, `*charge*`, ...
+
+Genuinely dimensionless or composite-unit values are exempted with an inline
+marker on the same line (each marker documents why):
+
+    double power_gain = 0.0;  // unit-lint: dimensionless ratio
+
+Exit status 0 when clean, 1 with a finding report otherwise.  Run as the
+`unit_lint` ctest, or directly:
+
+    python3 tools/unit_lint.py src
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# Identifier patterns that imply a physical quantity.  Suffix matches catch
+# the `v_solar`-style hungarian tails; substring matches catch spelled-out
+# dimension names.  Deliberately excluded: `_s`, `_f`, `_a`, `amp` (too many
+# false positives: `*_s` locals, `ramp`, `sample`, ...).
+SUFFIX_PATTERNS = [
+    r"_v", r"_mv", r"_uv",
+    r"_w", r"_mw", r"_uw",
+    r"_ma", r"_ua",
+    r"_j", r"_mj", r"_uj", r"_nj", r"_pj",
+    r"_hz", r"_khz", r"_mhz", r"_ghz",
+    r"_ohm", r"_ohms",
+    r"_volts", r"_watts", r"_joules", r"_amps", r"_farads", r"_coulombs",
+    r"_seconds", r"_secs",
+]
+SUBSTRING_PATTERNS = [
+    "volt", "watt", "joule", "coulomb", "farad",
+    "power", "energy", "charge", "current",
+    "freq", "voltage", "resistance", "capacitance", "inductance",
+]
+
+SUFFIX_RE = re.compile(r"(?:%s)$" % "|".join(SUFFIX_PATTERNS))
+SUBSTRING_RE = re.compile("|".join(SUBSTRING_PATTERNS))
+
+# `double <identifier>` in any declaration context we care about: parameters
+# (`double vdd_v,` / `double vdd_v)`), members (`double prev_power_ = ...;`),
+# and functions returning raw double (`double input_power(...)`).
+DECL_RE = re.compile(r"\bdouble\s+(&?\s*)([A-Za-z_]\w*)")
+
+ALLOW_MARKER = "unit-lint:"
+
+# Identifiers that are dimensionless by library-wide convention and would be
+# noise to mark at every use.  Keep this list short and obvious.
+GLOBAL_ALLOW = {
+    # no entries yet: prefer inline `// unit-lint:` markers with a reason
+}
+
+
+def is_suspicious(name: str) -> bool:
+    lowered = name.lower().rstrip("_")
+    return bool(SUFFIX_RE.search(lowered) or SUBSTRING_RE.search(lowered))
+
+
+def strip_block_comments(text: str) -> str:
+    """Remove /* */ comments, preserving line numbers."""
+    out = []
+    i = 0
+    while i < len(text):
+        start = text.find("/*", i)
+        if start == -1:
+            out.append(text[i:])
+            break
+        end = text.find("*/", start + 2)
+        if end == -1:
+            end = len(text)
+        out.append(text[i:start])
+        out.append("".join(c if c == "\n" else " " for c in text[start:end + 2]))
+        i = end + 2
+    return "".join(out)
+
+
+def lint_file(path: Path) -> list[str]:
+    findings = []
+    text = strip_block_comments(path.read_text())
+    for lineno, raw_line in enumerate(text.splitlines(), start=1):
+        code, _, comment = raw_line.partition("//")
+        if ALLOW_MARKER in comment:
+            continue  # exemption documented inline
+        for match in DECL_RE.finditer(code):
+            name = match.group(2)
+            if name in GLOBAL_ALLOW or not is_suspicious(name):
+                continue
+            findings.append(
+                f"{path}:{lineno}: raw `double {name}` looks like a physical "
+                f"quantity; use a hemp::Quantity strong type (Volts, Watts, "
+                f"Joules, ...) or exempt it with `// {ALLOW_MARKER} <reason>`"
+            )
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path("src")
+    if not root.is_dir():
+        print(f"unit_lint: no such directory: {root}", file=sys.stderr)
+        return 2
+    headers = sorted(root.glob("*/*.hpp"))
+    if not headers:
+        print(f"unit_lint: no headers found under {root}", file=sys.stderr)
+        return 2
+    findings = []
+    for header in headers:
+        findings.extend(lint_file(header))
+    if findings:
+        print("\n".join(findings))
+        print(f"\nunit_lint: {len(findings)} finding(s) in "
+              f"{len(headers)} header(s)")
+        return 1
+    print(f"unit_lint: OK ({len(headers)} headers clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
