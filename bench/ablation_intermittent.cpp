@@ -58,11 +58,8 @@ void print_figure() {
   // The paper's world: the energy manager tracks the supply and submits each
   // frame as a deadline job only when it can run; failures don't happen.
   {
-    const PvCell cell = make_ixys_kxob22_cell();
-    const SwitchedCapRegulator reg;
-    const Processor proc = Processor::make_test_chip();
-    const SystemModel model(cell, reg, proc);
-    EnergyManager manager(model, EnergyManagerParams{});
+    const bench::ScRig rig;
+    EnergyManager manager(rig.model, EnergyManagerParams{});
 
     class FrameFeeder : public SocController {
      public:

@@ -4,12 +4,15 @@
 // baselines (perturb & observe with a power sensor; fractional-Voc with
 // load-disconnect sampling) and an oracle fixed point, across static and
 // dynamic light, reporting MPP capture ratios and retired cycles.
+//
+// The 3 scenarios x 3 trackers = 9 simulations are independent, so they all
+// run at once through the parallel sweep engine (sim/sweep.hpp) and print
+// grouped by scenario afterwards — same numbers as the serial loop.
 #include <memory>
 
 #include "bench_common.hpp"
 #include "core/mpp_tracker.hpp"
 #include "core/mppt_baselines.hpp"
-#include "regulator/switched_cap.hpp"
 #include "sim/soc_system.hpp"
 
 namespace {
@@ -17,68 +20,94 @@ namespace {
 using namespace hemp;
 using namespace hemp::literals;
 
+enum class Tracker { kThresholdTime, kPerturbObserve, kFractionalVoc };
+
+constexpr const char* tracker_name(Tracker t) {
+  switch (t) {
+    case Tracker::kThresholdTime: return "threshold-time (paper)";
+    case Tracker::kPerturbObserve: return "perturb & observe";
+    case Tracker::kFractionalVoc: return "fractional Voc";
+  }
+  return "?";
+}
+
+struct Scenario {
+  const char* name;
+  IrradianceTrace trace;
+  Seconds t_end;
+};
+
 struct Outcome {
   double harvested_mj;
   double cycles_m;
   double capture;  // harvested / ideal MPP energy over the run
 };
 
-struct Rig {
-  PvCell cell = make_ixys_kxob22_cell();
-  SwitchedCapRegulator reg;
-  Processor proc = Processor::make_test_chip();
-  SystemModel model{cell, reg, proc};
-
-  Outcome run(SocController& ctrl, const IrradianceTrace& trace, Seconds t_end) {
-    SocSystem soc(SocConfig{}, std::make_unique<SwitchedCapRegulator>(),
-                  Processor::make_test_chip());
-    const SimResult r = soc.run(trace, ctrl, t_end);
-    // Ideal harvest: integrate Pmpp(G(t)) over the run.
-    const double dt = 1e-3;
-    double ideal = 0.0;
-    for (double t = 0.0; t < t_end.value(); t += dt) {
-      ideal += find_mpp(cell, trace.at(Seconds(t))).power.value() * dt;
-    }
-    return {r.totals.harvested.value() * 1e3, r.totals.cycles / 1e6,
-            r.totals.harvested.value() / ideal};
+Outcome run_one(const bench::ScRig& rig, Tracker tracker,
+                const Scenario& scenario) {
+  std::unique_ptr<SocController> ctrl;
+  switch (tracker) {
+    case Tracker::kThresholdTime:
+      ctrl = std::make_unique<MppTrackingController>(rig.model,
+                                                     MppTrackerParams{});
+      break;
+    case Tracker::kPerturbObserve:
+      ctrl = std::make_unique<PerturbObserveController>(rig.model);
+      break;
+    case Tracker::kFractionalVoc:
+      ctrl = std::make_unique<FractionalVocController>(rig.model);
+      break;
   }
-};
-
-void run_scenario(Rig& rig, const char* name, const IrradianceTrace& trace,
-                  Seconds t_end) {
-  bench::section(name);
-  std::printf("%-22s %14s %12s %10s\n", "tracker", "harvest (mJ)", "cycles (M)",
-              "capture");
-
-  MppTrackingController paper(rig.model, MppTrackerParams{});
-  const Outcome o1 = rig.run(paper, trace, t_end);
-  std::printf("%-22s %14.2f %12.1f %9.0f%%\n", "threshold-time (paper)",
-              o1.harvested_mj, o1.cycles_m, o1.capture * 100);
-
-  PerturbObserveController pando(rig.model);
-  const Outcome o2 = rig.run(pando, trace, t_end);
-  std::printf("%-22s %14.2f %12.1f %9.0f%%\n", "perturb & observe",
-              o2.harvested_mj, o2.cycles_m, o2.capture * 100);
-
-  FractionalVocController fvoc(rig.model);
-  const Outcome o3 = rig.run(fvoc, trace, t_end);
-  std::printf("%-22s %14.2f %12.1f %9.0f%%\n", "fractional Voc",
-              o3.harvested_mj, o3.cycles_m, o3.capture * 100);
+  SocSystem soc(SocConfig{}, std::make_unique<SwitchedCapRegulator>(),
+                Processor::make_test_chip());
+  const SimResult r = soc.run(scenario.trace, *ctrl, scenario.t_end);
+  // Ideal harvest: integrate Pmpp(G(t)) over the run.
+  const double dt = 1e-3;
+  double ideal = 0.0;
+  for (double t = 0.0; t < scenario.t_end.value(); t += dt) {
+    ideal += find_mpp(rig.cell, scenario.trace.at(Seconds(t))).power.value() * dt;
+  }
+  return {r.totals.harvested.value() * 1e3, r.totals.cycles / 1e6,
+          r.totals.harvested.value() / ideal};
 }
 
 void print_figure() {
   bench::header("Ablation", "MPPT scheme comparison (threshold-time vs baselines)");
-  Rig rig;
+  const bench::ScRig rig;
 
-  run_scenario(rig, "constant full sun, 300 ms", IrradianceTrace::constant(1.0),
-               300.0_ms);
-  run_scenario(rig, "hard dimming step 1.0 -> 0.3 at 100 ms",
-               IrradianceTrace::step(1.0, 0.3, 100.0_ms), 300.0_ms);
-  run_scenario(
-      rig, "passing clouds",
-      IrradianceTrace::clouds(0.9, {{Seconds(0.08), Seconds(0.06), 0.7},
-                                    {Seconds(0.2), Seconds(0.05), 0.5}}),
-      300.0_ms);
+  const std::vector<Scenario> scenarios = {
+      {"constant full sun, 300 ms", IrradianceTrace::constant(1.0), 300.0_ms},
+      {"hard dimming step 1.0 -> 0.3 at 100 ms",
+       IrradianceTrace::step(1.0, 0.3, 100.0_ms), 300.0_ms},
+      {"passing clouds",
+       IrradianceTrace::clouds(0.9, {{Seconds(0.08), Seconds(0.06), 0.7},
+                                     {Seconds(0.2), Seconds(0.05), 0.5}}),
+       300.0_ms},
+  };
+  const std::vector<Tracker> trackers = {
+      Tracker::kThresholdTime, Tracker::kPerturbObserve,
+      Tracker::kFractionalVoc};
+
+  // Flatten to one work list so all nine simulations overlap.
+  std::vector<std::pair<std::size_t, Tracker>> jobs;
+  for (std::size_t s = 0; s < scenarios.size(); ++s) {
+    for (const Tracker t : trackers) jobs.emplace_back(s, t);
+  }
+  const std::vector<Outcome> outcomes =
+      sweep_map(jobs, [&](const std::pair<std::size_t, Tracker>& job) {
+        return run_one(rig, job.second, scenarios[job.first]);
+      });
+
+  for (std::size_t s = 0; s < scenarios.size(); ++s) {
+    bench::section(scenarios[s].name);
+    std::printf("%-22s %14s %12s %10s\n", "tracker", "harvest (mJ)",
+                "cycles (M)", "capture");
+    for (std::size_t k = 0; k < trackers.size(); ++k) {
+      const Outcome& o = outcomes[s * trackers.size() + k];
+      std::printf("%-22s %14.2f %12.1f %9.0f%%\n", tracker_name(trackers[k]),
+                  o.harvested_mj, o.cycles_m, o.capture * 100);
+    }
+  }
 
   bench::section("takeaway");
   std::printf(
@@ -88,7 +117,7 @@ void print_figure() {
 }
 
 void BM_PaperTracker300ms(benchmark::State& state) {
-  Rig rig;
+  bench::ScRig rig;
   for (auto _ : state) {
     MppTrackingController ctrl(rig.model, MppTrackerParams{});
     SocSystem soc(SocConfig{}, std::make_unique<SwitchedCapRegulator>(),
@@ -100,7 +129,7 @@ void BM_PaperTracker300ms(benchmark::State& state) {
 BENCHMARK(BM_PaperTracker300ms)->Unit(benchmark::kMillisecond);
 
 void BM_PerturbObserve300ms(benchmark::State& state) {
-  Rig rig;
+  bench::ScRig rig;
   for (auto _ : state) {
     PerturbObserveController ctrl(rig.model);
     SocSystem soc(SocConfig{}, std::make_unique<SwitchedCapRegulator>(),

@@ -5,12 +5,16 @@
 //     and how fast the threshold-time estimator converges (Fig. 8);
 //   * comparator window placement (V1, V2): Eq. 7 estimation accuracy;
 //   * DVFS ladder granularity and control period: MPP capture in steady state.
+//
+// Every sweep point builds its own controller + SocSystem, so the points are
+// independent and run through the parallel sweep engine (sim/sweep.hpp);
+// rows print in input order and match the serial loop bit for bit.
 #include <memory>
+#include <utility>
 
 #include "bench_common.hpp"
 #include "core/mpp_tracker.hpp"
 #include "core/sprint_scheduler.hpp"
-#include "regulator/switched_cap.hpp"
 #include "sim/soc_system.hpp"
 
 namespace {
@@ -18,35 +22,33 @@ namespace {
 using namespace hemp;
 using namespace hemp::literals;
 
-struct Rig {
-  PvCell cell = make_ixys_kxob22_cell();
-  SwitchedCapRegulator reg;
-  Processor proc = Processor::make_test_chip();
-  SystemModel model{cell, reg, proc};
-};
-
-void sweep_capacitor(Rig& rig) {
+void sweep_capacitor(bench::ScRig& rig) {
   bench::section("storage capacitor vs sprint value (G=0.5, 2 ms job, s=0.2)");
   const SprintScheduler scheduler(rig.model);
   std::printf("%12s %16s %16s\n", "C (uF)", "extra solar", "end Vsolar");
-  for (double c_uf : {10.0, 22.0, 47.0, 100.0, 220.0}) {
+  const std::vector<double> caps_uf = {10.0, 22.0, 47.0, 100.0, 220.0};
+  bench::print_sweep_rows(caps_uf, [&](double c_uf) {
     const SprintPlan plan = scheduler.plan(1.5e6, 2.0_ms, 0.2);
     const auto gain = scheduler.evaluate_gain(plan, 0.5, Farads(c_uf * 1e-6),
                                               find_mpp(rig.cell, 0.5).voltage);
-    std::printf("%12.0f %15.2f%% %13.3f V\n", c_uf,
-                gain.extra_solar_fraction * 100,
-                gain.end_voltage_sprint.value());
-  }
+    char row[64];
+    std::snprintf(row, sizeof row, "%12.0f %15.2f%% %13.3f V", c_uf,
+                  gain.extra_solar_fraction * 100,
+                  gain.end_voltage_sprint.value());
+    return std::string(row);
+  });
   std::printf("  (bigger caps buffer the imbalance themselves, shrinking the\n"
               "   scheduling gain — the effect matters most for tiny caps)\n");
 }
 
-void sweep_comparator_window(Rig& rig) {
+void sweep_comparator_window(bench::ScRig& rig) {
   bench::section("comparator window vs Eq. 7 estimate accuracy (step 1.0 -> 0.3)");
   std::printf("%10s %10s %14s %14s %10s\n", "V1", "V2", "estimate (mW)",
               "true (mW)", "error");
-  for (const auto& [v1, v2] : std::initializer_list<std::pair<double, double>>{
-           {1.05, 1.00}, {1.00, 0.90}, {0.95, 0.80}, {0.85, 0.70}}) {
+  const std::vector<std::pair<double, double>> windows = {
+      {1.05, 1.00}, {1.00, 0.90}, {0.95, 0.80}, {0.85, 0.70}};
+  bench::print_sweep_rows(windows, [&](const std::pair<double, double>& w) {
+    const auto [v1, v2] = w;
     MppTrackerParams params;
     params.v_high = Volts(v1);
     params.v_low = Volts(v2);
@@ -56,49 +58,57 @@ void sweep_comparator_window(Rig& rig) {
     soc.run(IrradianceTrace::step(1.0, 0.3, 80.0_ms), ctrl, 160.0_ms);
     const double mid = 0.5 * (v1 + v2);
     const double truth = rig.cell.power(Volts(mid), 0.3).value();
+    char row[96];
     if (ctrl.last_power_estimate()) {
       const double est = ctrl.last_power_estimate()->value();
-      std::printf("%10.2f %10.2f %14.2f %14.2f %9.0f%%\n", v1, v2, est * 1e3,
-                  truth * 1e3, (est / truth - 1.0) * 100);
+      std::snprintf(row, sizeof row, "%10.2f %10.2f %14.2f %14.2f %9.0f%%", v1,
+                    v2, est * 1e3, truth * 1e3, (est / truth - 1.0) * 100);
     } else {
-      std::printf("%10.2f %10.2f %14s %14.2f %10s\n", v1, v2, "none", truth * 1e3,
-                  "-");
+      std::snprintf(row, sizeof row, "%10.2f %10.2f %14s %14.2f %10s", v1, v2,
+                    "none", truth * 1e3, "-");
     }
-  }
+    return std::string(row);
+  });
 }
 
-void sweep_ladder(Rig& rig) {
+void sweep_ladder(bench::ScRig& rig) {
   bench::section("DVFS ladder steps x control period vs MPP capture (full sun)");
   std::printf("%10s %14s %12s\n", "steps", "period (us)", "capture");
   const MaxPowerPoint mpp = find_mpp(rig.cell, 1.0);
+  std::vector<std::pair<int, double>> points;
   for (int steps : {8, 16, 48, 96}) {
     for (double period_us : {250.0, 500.0, 2000.0}) {
-      MppTrackerParams params;
-      params.dvfs_steps = steps;
-      params.control_period = Seconds(period_us * 1e-6);
-      MppTrackingController ctrl(rig.model, params);
-      SocSystem soc(SocConfig{}, std::make_unique<SwitchedCapRegulator>(),
-                    Processor::make_test_chip());
-      const SimResult r =
-          soc.run(IrradianceTrace::constant(1.0), ctrl, 150.0_ms);
-      const double p_avg =
-          r.waveform.integral("p_harvest_w", 0.1_s, 0.15_s) / 0.05;
-      std::printf("%10d %14.0f %11.0f%%\n", steps, period_us,
-                  p_avg / mpp.power.value() * 100);
+      points.emplace_back(steps, period_us);
     }
   }
+  bench::print_sweep_rows(points, [&](const std::pair<int, double>& p) {
+    const auto [steps, period_us] = p;
+    MppTrackerParams params;
+    params.dvfs_steps = steps;
+    params.control_period = Seconds(period_us * 1e-6);
+    MppTrackingController ctrl(rig.model, params);
+    SocSystem soc(SocConfig{}, std::make_unique<SwitchedCapRegulator>(),
+                  Processor::make_test_chip());
+    const SimResult r = soc.run(IrradianceTrace::constant(1.0), ctrl, 150.0_ms);
+    const double p_avg =
+        r.waveform.integral("p_harvest_w", 0.1_s, 0.15_s) / 0.05;
+    char row[64];
+    std::snprintf(row, sizeof row, "%10d %14.0f %11.0f%%", steps, period_us,
+                  p_avg / mpp.power.value() * 100);
+    return std::string(row);
+  });
 }
 
 void print_figure() {
   bench::header("Ablation", "design-parameter sensitivity sweeps");
-  Rig rig;
+  bench::ScRig rig;
   sweep_capacitor(rig);
   sweep_comparator_window(rig);
   sweep_ladder(rig);
 }
 
 void BM_SensitivityTrackerRun(benchmark::State& state) {
-  Rig rig;
+  bench::ScRig rig;
   for (auto _ : state) {
     MppTrackerParams params;
     params.dvfs_steps = static_cast<int>(state.range(0));

@@ -2,7 +2,6 @@
 // maximum speed, with the MPP and the unregulated intersection point marked.
 #include "bench_common.hpp"
 #include "core/perf_optimizer.hpp"
-#include "regulator/switched_cap.hpp"
 
 namespace {
 
@@ -10,28 +9,24 @@ using namespace hemp;
 
 void print_figure() {
   bench::header("Fig. 6a", "solar P-V vs processor max-speed load line");
-  const PvCell cell = make_ixys_kxob22_cell();
-  const SwitchedCapRegulator sc;
-  const Processor proc = Processor::make_test_chip();
-  const SystemModel model(cell, sc, proc);
-  const PerformanceOptimizer opt(model);
+  bench::ScRig rig;
+  const PerformanceOptimizer opt(rig.model);
 
   bench::section("power curves (mW)");
   std::printf("%8s %14s %14s\n", "V", "solar(full)", "uP(max speed)");
-  for (double v = 0.2; v <= 1.4 + 1e-9; v += 0.05) {
-    const double p_solar = cell.power(Volts(v), 1.0).value() * 1e3;
-    double p_proc = -1.0;
-    if (v <= proc.max_voltage().value()) {
-      p_proc = proc.max_power(Volts(v)).value() * 1e3;
-    }
-    if (p_proc >= 0.0) {
-      std::printf("%8.2f %14.2f %14.2f\n", v, p_solar, p_proc);
+  bench::print_sweep_rows(linspace(0.2, 1.4, 25), [&](double v) {
+    const double p_solar = rig.cell.power(Volts(v), 1.0).value() * 1e3;
+    char row[64];
+    if (v <= rig.proc.max_voltage().value()) {
+      std::snprintf(row, sizeof row, "%8.2f %14.2f %14.2f", v, p_solar,
+                    rig.proc.max_power(Volts(v)).value() * 1e3);
     } else {
-      std::printf("%8.2f %14.2f %14s\n", v, p_solar, "-");
+      std::snprintf(row, sizeof row, "%8.2f %14.2f %14s", v, p_solar, "-");
     }
-  }
+    return std::string(row);
+  });
 
-  const MaxPowerPoint mpp = find_mpp(cell, 1.0);
+  const MaxPowerPoint mpp = find_mpp(rig.cell, 1.0);
   const PerfPoint unreg = opt.unregulated(1.0);
   bench::section("marked points");
   std::printf("  MPP from PV module:            %.3f V / %.2f mW\n",
@@ -50,11 +45,8 @@ void print_figure() {
 }
 
 void BM_UnregulatedIntersection(benchmark::State& state) {
-  const PvCell cell = make_ixys_kxob22_cell();
-  const SwitchedCapRegulator sc;
-  const Processor proc = Processor::make_test_chip();
-  const SystemModel model(cell, sc, proc);
-  const PerformanceOptimizer opt(model);
+  bench::ScRig rig;
+  const PerformanceOptimizer opt(rig.model);
   for (auto _ : state) {
     benchmark::DoNotOptimize(opt.unregulated(1.0));
   }

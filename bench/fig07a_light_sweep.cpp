@@ -1,9 +1,12 @@
 // Fig. 7a — regulated output power vs raw solar under 100% / 50% / 25% light:
 // the regulator wins big under strong light but loses below ~25%, where the
 // bypass path delivers more (the paper's low-light rule).
+//
+// The voltage sweep and the per-light-level path decisions are independent
+// points, so they run through the parallel sweep engine (results identical to
+// the serial loop; see sim/sweep.hpp).
 #include "bench_common.hpp"
 #include "core/regulator_selector.hpp"
-#include "regulator/switched_cap.hpp"
 
 namespace {
 
@@ -11,26 +14,28 @@ using namespace hemp;
 
 void print_figure() {
   bench::header("Fig. 7a", "regulator output vs raw solar across light levels");
-  const PvCell cell = make_ixys_kxob22_cell();
-  const SwitchedCapRegulator sc;
-  const Processor proc = Processor::make_test_chip();
-  const SystemModel model(cell, sc, proc);
-  const RegulatorSelector selector(model);
+  bench::ScRig rig;
+  const RegulatorSelector selector(rig.model);
 
   bench::section("regulated output power vs Vdd per light level (mW)");
   std::printf("%8s %12s %12s %12s\n", "Vdd", "G=1.00", "G=0.50", "G=0.25");
-  for (double v = 0.3; v <= 0.75 + 1e-9; v += 0.05) {
-    std::printf("%8.2f %12.2f %12.2f %12.2f\n", v,
-                model.delivered_power(Volts(v), 1.0).value() * 1e3,
-                model.delivered_power(Volts(v), 0.5).value() * 1e3,
-                model.delivered_power(Volts(v), 0.25).value() * 1e3);
-  }
+  bench::print_sweep_rows(linspace(0.3, 0.75, 10), [&](double v) {
+    char row[80];
+    std::snprintf(row, sizeof row, "%8.2f %12.2f %12.2f %12.2f", v,
+                  rig.model.delivered_power(Volts(v), 1.0).value() * 1e3,
+                  rig.model.delivered_power(Volts(v), 0.5).value() * 1e3,
+                  rig.model.delivered_power(Volts(v), 0.25).value() * 1e3);
+    return std::string(row);
+  });
 
   bench::section("path decision per light level");
-  for (double g : {1.0, 0.5, 0.25, 0.12}) {
-    const PathDecision d = selector.decide(g);
-    std::printf("  G=%.2f: regulated %.2f mW vs raw %.2f mW -> %s (%+.0f%%)\n", g,
-                d.regulated.processor_power.value() * 1e3,
+  const std::vector<double> lights = {1.0, 0.5, 0.25, 0.12};
+  const std::vector<PathDecision> decisions =
+      sweep_map(lights, [&](double g) { return selector.decide(g); });
+  for (std::size_t i = 0; i < lights.size(); ++i) {
+    const PathDecision& d = decisions[i];
+    std::printf("  G=%.2f: regulated %.2f mW vs raw %.2f mW -> %s (%+.0f%%)\n",
+                lights[i], d.regulated.processor_power.value() * 1e3,
                 d.unregulated.processor_power.value() * 1e3,
                 d.use_regulator ? "regulate" : "bypass",
                 d.regulator_advantage * 100);
@@ -38,23 +43,20 @@ void print_figure() {
 
   bench::section("paper vs measured");
   bench::report("gain at 100% / 50% light", "+30~40%", [&] {
-    const double a = selector.decide(1.0).regulator_advantage * 100;
-    const double b = selector.decide(0.5).regulator_advantage * 100;
+    const double a = decisions[0].regulator_advantage * 100;
+    const double b = decisions[1].regulator_advantage * 100;
     return bench::fmt("%+.0f%% /", a) + bench::fmt(" %+.0f%%", b);
   }());
   bench::report("at 25% light regulator under-delivers", "~-20%",
-                bench::fmt("%+.0f%%", selector.decide(0.25).regulator_advantage * 100));
+                bench::fmt("%+.0f%%", decisions[2].regulator_advantage * 100));
   const auto cross = selector.crossover_irradiance();
   bench::report("bypass crossover light level", "~25% of full sun",
                 cross ? bench::fmt("%.0f%%", *cross * 100) : "none found");
 }
 
 void BM_PathDecision(benchmark::State& state) {
-  const PvCell cell = make_ixys_kxob22_cell();
-  const SwitchedCapRegulator sc;
-  const Processor proc = Processor::make_test_chip();
-  const SystemModel model(cell, sc, proc);
-  const RegulatorSelector selector(model);
+  bench::ScRig rig;
+  const RegulatorSelector selector(rig.model);
   for (auto _ : state) {
     benchmark::DoNotOptimize(selector.decide(0.5));
   }
@@ -62,11 +64,8 @@ void BM_PathDecision(benchmark::State& state) {
 BENCHMARK(BM_PathDecision);
 
 void BM_CrossoverSearch(benchmark::State& state) {
-  const PvCell cell = make_ixys_kxob22_cell();
-  const SwitchedCapRegulator sc;
-  const Processor proc = Processor::make_test_chip();
-  const SystemModel model(cell, sc, proc);
-  const RegulatorSelector selector(model);
+  bench::ScRig rig;
+  const RegulatorSelector selector(rig.model);
   for (auto _ : state) {
     benchmark::DoNotOptimize(selector.crossover_irradiance());
   }

@@ -25,13 +25,15 @@ void print_figure() {
   auto cell_of = [](double v) {
     return std::isfinite(v) ? bench::fmt("%.2f", v * 1e12) : std::string("-");
   };
-  for (double v = 0.22; v <= 0.8 + 1e-9; v += 0.04) {
-    std::printf("%8.2f %14s %12s %12s %12s\n", v,
-                cell_of(mep_sc.rail_energy_per_cycle(Volts(v)).value()).c_str(),
-                cell_of(mep_ldo.source_energy_per_cycle(Volts(v), 1.0).value()).c_str(),
-                cell_of(mep_buck.source_energy_per_cycle(Volts(v), 1.0).value()).c_str(),
-                cell_of(mep_sc.source_energy_per_cycle(Volts(v), 1.0).value()).c_str());
-  }
+  bench::print_sweep_rows(linspace(0.22, 0.78, 15), [&](double v) {
+    char row[96];
+    std::snprintf(row, sizeof row, "%8.2f %14s %12s %12s %12s", v,
+                  cell_of(mep_sc.rail_energy_per_cycle(Volts(v)).value()).c_str(),
+                  cell_of(mep_ldo.source_energy_per_cycle(Volts(v), 1.0).value()).c_str(),
+                  cell_of(mep_buck.source_energy_per_cycle(Volts(v), 1.0).value()).c_str(),
+                  cell_of(mep_sc.source_energy_per_cycle(Volts(v), 1.0).value()).c_str());
+    return std::string(row);
+  });
 
   bench::section("minimum energy points");
   const auto conv = mep_sc.conventional();

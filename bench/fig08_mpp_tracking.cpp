@@ -20,13 +20,10 @@ using namespace hemp::literals;
 
 void print_figure() {
   bench::header("Fig. 8", "MPP tracking via threshold-crossing time");
-  const PvCell cell = make_ixys_kxob22_cell();
-  const SwitchedCapRegulator sc;
-  const Processor proc = Processor::make_test_chip();
-  const SystemModel model(cell, sc, proc);
+  const bench::ScRig rig;
 
   MppTrackerParams params;
-  MppTrackingController ctrl(model, params);
+  MppTrackingController ctrl(rig.model, params);
   SocConfig cfg;
   SocSystem soc(cfg, std::make_unique<SwitchedCapRegulator>(),
                 Processor::make_test_chip());
@@ -47,8 +44,8 @@ void print_figure() {
   }
 
   bench::section("Eq. 7 estimate vs ground truth");
-  const double p_true = cell.power(Volts(0.95), g_after).value();
-  const MaxPowerPoint mpp_new = find_mpp(cell, g_after);
+  const double p_true = rig.cell.power(Volts(0.95), g_after).value();
+  const MaxPowerPoint mpp_new = find_mpp(rig.cell, g_after);
   bench::report("retarget events after dimming", ">= 1 (Fig. 8 scheme)",
                 bench::fmt("%.0f", static_cast<double>(ctrl.retarget_count())));
   if (ctrl.last_power_estimate()) {
@@ -87,12 +84,9 @@ void BM_LutLookup(benchmark::State& state) {
 BENCHMARK(BM_LutLookup);
 
 void BM_TrackingSimulation(benchmark::State& state) {
-  const PvCell cell = make_ixys_kxob22_cell();
-  const SwitchedCapRegulator sc;
-  const Processor proc = Processor::make_test_chip();
-  const SystemModel model(cell, sc, proc);
+  const bench::ScRig rig;
   for (auto _ : state) {
-    MppTrackingController ctrl(model, MppTrackerParams{});
+    MppTrackingController ctrl(rig.model, MppTrackerParams{});
     SocSystem soc(SocConfig{}, std::make_unique<SwitchedCapRegulator>(),
                   Processor::make_test_chip());
     benchmark::DoNotOptimize(

@@ -13,11 +13,8 @@ using namespace hemp::literals;
 
 void print_figure() {
   bench::header("Fig. 9a", "required vs available energy vs completion time");
-  const PvCell cell = make_ixys_kxob22_cell();
-  const BuckRegulator buck;
-  const Processor proc = Processor::make_test_chip();
-  const SystemModel model(cell, buck, proc);
-  const SprintScheduler scheduler(model);
+  bench::Rig<BuckRegulator> rig;
+  const SprintScheduler scheduler(rig.model);
 
   // One 64x64 recognition frame under full sun with a part-charged cap.
   const double cycles = 9.65e6;
@@ -26,16 +23,23 @@ void print_figure() {
 
   bench::section("energy curves (uJ) vs completion time");
   std::printf("%10s %14s %14s\n", "T (ms)", "Eout(need)", "Ein(have)");
-  for (double t_ms = 8.0; t_ms <= 30.0 + 1e-9; t_ms += 1.0) {
-    const Seconds t(t_ms * 1e-3);
-    const double need = scheduler.required_source_energy(cycles, t, g).value();
-    const double have = scheduler.available_energy(t, g, cap).value();
-    if (std::isfinite(need)) {
-      std::printf("%10.1f %14.2f %14.2f\n", t_ms, need * 1e6, have * 1e6);
+  const std::vector<double> times_ms = linspace(8.0, 30.0, 23);
+  const std::vector<std::vector<double>> series =
+      sweep_map(times_ms, [&](double t_ms) {
+        const Seconds t(t_ms * 1e-3);
+        return std::vector<double>{
+            t_ms, scheduler.required_source_energy(cycles, t, g).value() * 1e6,
+            scheduler.available_energy(t, g, cap).value() * 1e6};
+      });
+  for (const auto& row : series) {
+    if (std::isfinite(row[1])) {
+      std::printf("%10.1f %14.2f %14.2f\n", row[0], row[1], row[2]);
     } else {
-      std::printf("%10.1f %14s %14.2f\n", t_ms, "inf", have * 1e6);
+      std::printf("%10.1f %14s %14.2f\n", row[0], "inf", row[2]);
     }
   }
+  bench::write_series_csv("fig09a_energy_curves.csv",
+                          {"t_ms", "e_need_uj", "e_have_uj"}, series);
 
   const auto t_min = scheduler.min_completion_time(cycles, g, cap);
   bench::section("paper vs measured");
@@ -57,11 +61,8 @@ void print_figure() {
 }
 
 void BM_RequiredEnergy(benchmark::State& state) {
-  const PvCell cell = make_ixys_kxob22_cell();
-  const BuckRegulator buck;
-  const Processor proc = Processor::make_test_chip();
-  const SystemModel model(cell, buck, proc);
-  const SprintScheduler scheduler(model);
+  bench::Rig<BuckRegulator> rig;
+  const SprintScheduler scheduler(rig.model);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         scheduler.required_source_energy(9.65e6, Seconds(15e-3), 1.0));
@@ -70,11 +71,8 @@ void BM_RequiredEnergy(benchmark::State& state) {
 BENCHMARK(BM_RequiredEnergy);
 
 void BM_MinCompletionTime(benchmark::State& state) {
-  const PvCell cell = make_ixys_kxob22_cell();
-  const BuckRegulator buck;
-  const Processor proc = Processor::make_test_chip();
-  const SystemModel model(cell, buck, proc);
-  const SprintScheduler scheduler(model);
+  bench::Rig<BuckRegulator> rig;
+  const SprintScheduler scheduler(rig.model);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         scheduler.min_completion_time(9.65e6, 1.0, Joules(25e-6)));

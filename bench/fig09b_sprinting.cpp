@@ -16,17 +16,14 @@ using namespace hemp::literals;
 
 void print_figure() {
   bench::header("Fig. 9b", "sprinting + regulator bypass");
-  const PvCell cell = make_ixys_kxob22_cell();
-  const BuckRegulator buck;
-  const Processor proc = Processor::make_test_chip();
-  const SystemModel model(cell, buck, proc);
-  const SprintScheduler scheduler(model);
+  const bench::Rig<BuckRegulator> rig;
+  const SprintScheduler scheduler(rig.model);
 
   // Sprint pays off when demand exceeds the harvest in both phases so the
   // solar node is monotonically discharging (the paper's Fig. 9b setting):
   // the slow phase then keeps the node near the high-power region longer.
   const double g = 0.5;
-  const Volts v_start(find_mpp(cell, g).voltage);
+  const Volts v_start(find_mpp(rig.cell, g).voltage);
   const double cycles = 1.5e6;
   const Seconds deadline = 2.0_ms;
 
@@ -45,7 +42,7 @@ void print_figure() {
   const auto dimming = IrradianceTrace::step(1.0, 0.0, 2.0_ms);
 
   auto run_variant = [&](bool enable_bypass) {
-    SprintController ctrl(model, plan, {}, enable_bypass);
+    SprintController ctrl(rig.model, plan, {}, enable_bypass);
     SocSystem soc(SocConfig{}, std::make_unique<BuckRegulator>(),
                   Processor::make_test_chip());
     const SimResult r = soc.run(dimming, ctrl, 40.0_ms);
@@ -71,11 +68,8 @@ void print_figure() {
 }
 
 void BM_SprintPlan(benchmark::State& state) {
-  const PvCell cell = make_ixys_kxob22_cell();
-  const BuckRegulator buck;
-  const Processor proc = Processor::make_test_chip();
-  const SystemModel model(cell, buck, proc);
-  const SprintScheduler scheduler(model);
+  const bench::Rig<BuckRegulator> rig;
+  const SprintScheduler scheduler(rig.model);
   for (auto _ : state) {
     benchmark::DoNotOptimize(scheduler.plan(9.65e6, Seconds(16e-3), 0.2));
   }
@@ -83,11 +77,8 @@ void BM_SprintPlan(benchmark::State& state) {
 BENCHMARK(BM_SprintPlan);
 
 void BM_GainEvaluation(benchmark::State& state) {
-  const PvCell cell = make_ixys_kxob22_cell();
-  const BuckRegulator buck;
-  const Processor proc = Processor::make_test_chip();
-  const SystemModel model(cell, buck, proc);
-  const SprintScheduler scheduler(model);
+  const bench::Rig<BuckRegulator> rig;
+  const SprintScheduler scheduler(rig.model);
   const SprintPlan plan = scheduler.plan(9.65e6, Seconds(16e-3), 0.2);
   for (auto _ : state) {
     benchmark::DoNotOptimize(scheduler.evaluate_gain(plan, 0.3, Farads(47e-6),

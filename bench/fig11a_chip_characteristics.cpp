@@ -11,11 +11,10 @@ using namespace hemp;
 
 void print_figure() {
   bench::header("Fig. 11a", "chip speed and energy contributions vs voltage");
-  const PvCell cell = make_ixys_kxob22_cell();
-  const BuckRegulator buck;  // the Sec. VII chip integrates the buck
-  const Processor proc = Processor::make_test_chip();
-  const SystemModel model(cell, buck, proc);
-  const MepOptimizer mep(model);
+  // The Sec. VII chip integrates the buck.
+  const bench::Rig<BuckRegulator> rig;
+  const Processor& proc = rig.proc;
+  const MepOptimizer mep(rig.model);
 
   bench::section("speed and energy breakdown vs Vdd");
   std::printf("%8s %10s %12s %12s %14s\n", "Vdd", "f (MHz)", "Edyn (pJ)",

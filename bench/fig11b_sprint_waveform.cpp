@@ -36,11 +36,8 @@ RunOutcome run_variant(const SystemModel& model, const SprintPlan& plan,
 
 void print_figure() {
   bench::header("Fig. 11b", "sprinting + bypass waveform under dying light");
-  const PvCell cell = make_ixys_kxob22_cell();
-  const BuckRegulator buck;
-  const Processor proc = Processor::make_test_chip();
-  const SystemModel model(cell, buck, proc);
-  const SprintScheduler scheduler(model);
+  const bench::Rig<BuckRegulator> rig;
+  const SprintScheduler scheduler(rig.model);
 
   // The paper's demonstration workload: one 64x64 recognition frame.
   const RecognitionPipeline pipeline = RecognitionPipeline::make_test_chip_pipeline();
@@ -53,9 +50,21 @@ void print_figure() {
   const SprintPlan sprint = scheduler.plan(cycles, deadline, 0.2);
   const SprintPlan constant = scheduler.plan(cycles, deadline, 0.0);
 
-  const RunOutcome w_sprint = run_variant(model, sprint, dimming, true);
-  const RunOutcome wo_sprint = run_variant(model, constant, dimming, true);
-  const RunOutcome wo_bypass = run_variant(model, sprint, dimming, false);
+  // The three A/B variants are independent simulations — run them through
+  // the parallel sweep engine (results identical to back-to-back calls).
+  struct Variant {
+    const SprintPlan* plan;
+    bool bypass;
+  };
+  const std::vector<Variant> variants = {
+      {&sprint, true}, {&constant, true}, {&sprint, false}};
+  const std::vector<RunOutcome> outcomes =
+      sweep_map(variants, [&](const Variant& v) {
+        return run_variant(rig.model, *v.plan, dimming, v.bypass);
+      });
+  const RunOutcome& w_sprint = outcomes[0];
+  const RunOutcome& wo_sprint = outcomes[1];
+  const RunOutcome& wo_bypass = outcomes[2];
   w_sprint.result.waveform.write_csv(hemp::output_path("fig11b_waveform.csv"));
 
   bench::section("waveform with sprinting + bypass (solar Vdd and processor Vdd)");
@@ -88,7 +97,7 @@ void print_figure() {
   const double g_dim = 0.5;
   const SprintPlan gain_plan = scheduler.plan(1.5e6, 2.0_ms, 0.2);
   const auto gain = scheduler.evaluate_gain(gain_plan, g_dim, 47.0_uF,
-                                            find_mpp(cell, g_dim).voltage);
+                                            find_mpp(rig.cell, g_dim).voltage);
   bench::report("extra solar energy from sprinting (20% rate)", "~10%",
                 bench::fmt("%+.1f%%", gain.extra_solar_fraction * 100));
   // Also show the raw transient A/B inside the deadline window for reference.
@@ -104,15 +113,12 @@ void print_figure() {
 }
 
 void BM_SprintTransient(benchmark::State& state) {
-  const PvCell cell = make_ixys_kxob22_cell();
-  const BuckRegulator buck;
-  const Processor proc = Processor::make_test_chip();
-  const SystemModel model(cell, buck, proc);
-  const SprintScheduler scheduler(model);
+  const bench::Rig<BuckRegulator> rig;
+  const SprintScheduler scheduler(rig.model);
   const SprintPlan plan = scheduler.plan(9.65e6, Seconds(16e-3), 0.2);
   const auto dimming = IrradianceTrace::ramp(1.0, 0.0, Seconds(1e-3), Seconds(4e-3));
   for (auto _ : state) {
-    SprintController ctrl(model, plan, {}, true);
+    SprintController ctrl(rig.model, plan, {}, true);
     SocSystem soc(SocConfig{}, std::make_unique<BuckRegulator>(),
                   Processor::make_test_chip());
     benchmark::DoNotOptimize(soc.run(dimming, ctrl, Seconds(30e-3)));

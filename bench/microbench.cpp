@@ -1,0 +1,95 @@
+#include "microbench.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+namespace hemp::microbench {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// JSON strings stay printable: the names used here are identifiers, but keep
+// quoting honest for anything unexpected.
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result Suite::run(const std::string& name, const std::function<void()>& fn,
+                  double min_seconds, std::int64_t max_iters) {
+  std::int64_t batch = 1;
+  double elapsed = 0.0;
+  for (;;) {
+    const auto start = std::chrono::steady_clock::now();
+    for (std::int64_t i = 0; i < batch; ++i) fn();
+    elapsed = seconds_since(start);
+    if (elapsed >= min_seconds || batch >= max_iters) break;
+    // Aim past min_seconds with headroom, growing at least 2x.
+    const std::int64_t grow =
+        elapsed > 0.0
+            ? static_cast<std::int64_t>(batch * (1.5 * min_seconds / elapsed))
+            : batch * 2;
+    batch = std::min(max_iters, std::max(batch * 2, grow));
+  }
+  Result r;
+  r.name = name;
+  r.iterations = batch;
+  r.total_seconds = elapsed;
+  r.ns_per_iter = elapsed / static_cast<double>(batch) * 1e9;
+  r.iters_per_sec = elapsed > 0.0 ? static_cast<double>(batch) / elapsed : 0.0;
+  results_.push_back(r);
+  return r;
+}
+
+void Suite::note(const std::string& key, double value) {
+  notes_.emplace_back(key, value);
+}
+
+bool Suite::write_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\n  \"suite\": \"" << escape(name_) << "\",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < results_.size(); ++i) {
+    const Result& r = results_[i];
+    out << "    {\"name\": \"" << escape(r.name) << "\", \"iterations\": "
+        << r.iterations << ", \"ns_per_iter\": " << r.ns_per_iter
+        << ", \"iters_per_sec\": " << r.iters_per_sec << "}"
+        << (i + 1 < results_.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"derived\": {\n";
+  for (std::size_t i = 0; i < notes_.size(); ++i) {
+    out << "    \"" << escape(notes_[i].first) << "\": " << notes_[i].second
+        << (i + 1 < notes_.size() ? "," : "") << "\n";
+  }
+  out << "  }\n}\n";
+  return static_cast<bool>(out);
+}
+
+void Suite::print() const {
+  std::printf("\n%-40s %14s %16s\n", name_.c_str(), "ns/iter", "iters/sec");
+  for (const Result& r : results_) {
+    std::printf("%-40s %14.1f %16.1f\n", r.name.c_str(), r.ns_per_iter,
+                r.iters_per_sec);
+  }
+  for (const auto& [key, value] : notes_) {
+    std::printf("  %-38s %14.2f\n", key.c_str(), value);
+  }
+}
+
+}  // namespace hemp::microbench

@@ -1,0 +1,63 @@
+// Minimal wall-clock microbenchmark harness for the perf-trajectory bench.
+//
+// Unlike the google-benchmark figures benches (which report to stdout), this
+// harness exists to persist machine-readable timings: bench_perf runs the hot
+// kernels through Suite::run and writes BENCH_perf.json at the repo root so
+// the perf trajectory is tracked PR-over-PR.  Derived metrics (speedup
+// ratios such as cached-vs-uncached) are recorded alongside the raw timings.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hemp::microbench {
+
+struct Result {
+  std::string name;
+  std::int64_t iterations = 0;
+  double total_seconds = 0.0;
+  double ns_per_iter = 0.0;
+  double iters_per_sec = 0.0;
+};
+
+class Suite {
+ public:
+  explicit Suite(std::string name) : name_(std::move(name)) {}
+
+  /// Time `fn` by doubling the batch size until one batch runs for at least
+  /// `min_seconds`, then report that batch (standard self-calibrating timing
+  /// loop).  `max_iters` caps calibration for very slow kernels.
+  Result run(const std::string& name, const std::function<void()>& fn,
+             double min_seconds = 0.1, std::int64_t max_iters = 1 << 22);
+
+  /// Record a derived metric (e.g. a speedup ratio between two results).
+  void note(const std::string& key, double value);
+
+  [[nodiscard]] const std::vector<Result>& results() const { return results_; }
+  [[nodiscard]] const std::vector<std::pair<std::string, double>>& notes() const {
+    return notes_;
+  }
+
+  /// Write results + notes as JSON; returns false on I/O failure.
+  bool write_json(const std::string& path) const;
+
+  /// Pretty-print the suite to stdout.
+  void print() const;
+
+ private:
+  std::string name_;
+  std::vector<Result> results_;
+  std::vector<std::pair<std::string, double>> notes_;
+};
+
+/// Defeat dead-code elimination of a benchmarked value.
+template <typename T>
+inline void keep(const T& value) {
+  asm volatile("" : : "g"(&value) : "memory");
+}
+
+}  // namespace hemp::microbench

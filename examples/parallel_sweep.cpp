@@ -1,0 +1,90 @@
+// Parallel design-space sweep with the performance layer.
+//
+// Characterizes the regulated operating point over a light-level grid three
+// ways and reports how long each takes:
+//   1. serial, exact model (every point pays the full Brent solves);
+//   2. serial, memoized model surfaces (grid lookup + bilinear blend);
+//   3. parallel, model surfaces, on the shared thread pool (sim/sweep.hpp).
+// The three result vectors are identical — the sweep engine guarantees the
+// parallel run is bit-identical to the serial loop — so the only difference
+// is wall-clock time.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "core/model_surfaces.hpp"
+#include "core/perf_optimizer.hpp"
+#include "core/system_model.hpp"
+#include "harvester/pv_cell.hpp"
+#include "processor/processor.hpp"
+#include "regulator/switched_cap.hpp"
+#include "sim/sweep.hpp"
+
+int main() {
+  using namespace hemp;
+  using Clock = std::chrono::steady_clock;
+
+  const PvCell cell = make_ixys_kxob22_cell();
+  const SwitchedCapRegulator sc;
+  const Processor proc = Processor::make_test_chip();
+  const SystemModel model(cell, sc, proc);
+
+  const std::vector<double> lights = linspace(0.05, 1.2, 240);
+  auto ms_since = [](Clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  };
+
+  std::printf("=== Regulated operating point over %zu light levels ===\n",
+              lights.size());
+
+  // 1. Serial, exact model.
+  const PerformanceOptimizer exact(model);
+  auto t0 = Clock::now();
+  const auto serial_exact = sweep_map(
+      lights, [&](double g) { return exact.regulated(g); }, {.parallel = false});
+  const double t_exact = ms_since(t0);
+  std::printf("serial / exact model:       %8.1f ms\n", t_exact);
+
+  // 2. Serial, memoized surfaces (one-time build cost, then cheap lookups).
+  t0 = Clock::now();
+  const ModelSurfaces surfaces(model);
+  const double t_build = ms_since(t0);
+  const PerformanceOptimizer fast(surfaces);
+  t0 = Clock::now();
+  const auto serial_fast = sweep_map(
+      lights, [&](double g) { return fast.regulated(g); }, {.parallel = false});
+  const double t_fast = ms_since(t0);
+  std::printf("serial / surfaces:          %8.1f ms (+ %.1f ms one-time build)\n",
+              t_fast, t_build);
+
+  // 3. Parallel, memoized surfaces, shared thread pool.
+  t0 = Clock::now();
+  const auto parallel_fast =
+      sweep_map(lights, [&](double g) { return fast.regulated(g); });
+  const double t_par = ms_since(t0);
+  std::printf("parallel / surfaces:        %8.1f ms (%u worker threads)\n",
+              t_par, ThreadPool::shared().size());
+
+  // The determinism contract: parallel == serial, bit for bit.
+  bool identical = true;
+  for (std::size_t i = 0; i < lights.size(); ++i) {
+    identical = identical &&
+                serial_fast[i].frequency.value() ==
+                    parallel_fast[i].frequency.value() &&
+                serial_fast[i].vdd.value() == parallel_fast[i].vdd.value();
+  }
+  std::printf("parallel == serial:         %s\n", identical ? "yes" : "NO");
+
+  // Peak of the sweep, for flavour.
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < lights.size(); ++i) {
+    if (serial_exact[i].frequency.value() >
+        serial_exact[best].frequency.value()) {
+      best = i;
+    }
+  }
+  std::printf("fastest point:              %.0f MHz at G=%.2f, Vdd=%.2f V\n",
+              serial_exact[best].frequency.value() / 1e6, lights[best],
+              serial_exact[best].vdd.value());
+  return identical ? 0 : 1;
+}

@@ -9,6 +9,49 @@
 
 namespace hemp {
 
+/// Bilinear z(x, y) over a rectilinear grid of strictly increasing axes.
+///
+/// Backs the memoized model surfaces (ModelSurfaces): optimizer-hot queries
+/// like delivered_power(vdd, g) are precomputed onto the grid once and then
+/// answered with one cell lookup + bilinear blend.  Out-of-range queries clamp
+/// to the boundary, matching PiecewiseLinear's default saturation.
+class BilinearGrid {
+ public:
+  BilinearGrid() = default;
+
+  /// `values` is row-major over (x, y): values[i * ys.size() + j] = z(xs[i],
+  /// ys[j]).  Both axes must be strictly increasing with size >= 2.
+  BilinearGrid(std::vector<double> xs, std::vector<double> ys,
+               std::vector<double> values);
+
+  [[nodiscard]] double operator()(double x, double y) const;
+
+  /// True when (x, y) lies inside the grid rectangle (queries outside it
+  /// clamp, so callers wanting exact answers should fall back to the model).
+  [[nodiscard]] bool contains(double x, double y) const;
+
+  [[nodiscard]] bool empty() const { return values_.empty(); }
+  [[nodiscard]] double x_min() const { return xs_.front(); }
+  [[nodiscard]] double x_max() const { return xs_.back(); }
+  [[nodiscard]] double y_min() const { return ys_.front(); }
+  [[nodiscard]] double y_max() const { return ys_.back(); }
+  [[nodiscard]] std::size_t x_size() const { return xs_.size(); }
+  [[nodiscard]] std::size_t y_size() const { return ys_.size(); }
+
+ private:
+  [[nodiscard]] std::size_t x_segment(double x) const;
+  [[nodiscard]] std::size_t y_segment(double y) const;
+
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+  std::vector<double> values_;
+  // Uniform axes (the common case: surfaces built on linspace grids) resolve
+  // the cell index with one multiply instead of a binary search; 0 when the
+  // axis spacing is irregular.
+  double x_inv_pitch_ = 0.0;
+  double y_inv_pitch_ = 0.0;
+};
+
 /// Piecewise-linear y(x) over strictly increasing knots.
 ///
 /// Out-of-range queries clamp to the boundary value by default (matching how a

@@ -5,10 +5,23 @@
 
 #include "common/error.hpp"
 #include "common/numeric.hpp"
+#include "core/model_surfaces.hpp"
 
 namespace hemp {
 
 MepOptimizer::MepOptimizer(const SystemModel& model) : model_(&model) {}
+
+MepOptimizer::MepOptimizer(const ModelSurfaces& surfaces)
+    : model_(&surfaces.model()), surfaces_(&surfaces) {}
+
+MaxPowerPoint MepOptimizer::mpp(double g) const {
+  return surfaces_ ? surfaces_->mpp(g) : model_->mpp(g);
+}
+
+Hertz MepOptimizer::max_frequency(Volts vdd) const {
+  return surfaces_ ? surfaces_->max_frequency(vdd)
+                   : model_->processor().max_frequency(vdd);
+}
 
 Joules MepOptimizer::rail_energy_per_cycle(Volts vdd) const {
   return model_->processor().energy_per_cycle(vdd);
@@ -16,7 +29,7 @@ Joules MepOptimizer::rail_energy_per_cycle(Volts vdd) const {
 
 Joules MepOptimizer::source_energy_per_cycle(Volts vdd, double g) const {
   const Processor& proc = model_->processor();
-  const MaxPowerPoint point = model_->mpp(g);
+  const MaxPowerPoint point = mpp(g);
   const Regulator& reg = model_->regulator();
   const Joules rail = proc.energy_per_cycle(vdd);
   if (!reg.supports(point.voltage, vdd)) {
@@ -54,7 +67,7 @@ MepPoint MepOptimizer::holistic(double g) const {
   if (!std::isfinite(r.value)) return out;
   out.vdd = Volts(r.x);
   out.energy_per_cycle = Joules(r.value);
-  out.frequency = proc.max_frequency(out.vdd);
+  out.frequency = max_frequency(out.vdd);
   out.feasible = true;
   return out;
 }

@@ -1,0 +1,149 @@
+#include "core/model_surfaces.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace hemp {
+namespace {
+
+std::vector<double> uniform_axis(double lo, double hi, int n) {
+  std::vector<double> out(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out[static_cast<std::size_t>(i)] = lo + (hi - lo) * i / (n - 1);
+  }
+  return out;
+}
+
+}  // namespace
+
+void SurfaceConfig::check() const {
+  HEMP_REQUIRE(voltage_points >= 2 && irradiance_points >= 2,
+               "SurfaceConfig: need at least 2 grid points per axis");
+  HEMP_REQUIRE(0.0 < irradiance_min && irradiance_min < irradiance_max,
+               "SurfaceConfig: bad irradiance span");
+  HEMP_REQUIRE(tolerance > 0.0, "SurfaceConfig: tolerance must be positive");
+}
+
+ModelSurfaces::ModelSurfaces(const SystemModel& model, SurfaceConfig config)
+    : model_(&model), config_(config) {
+  config_.check();
+  const Processor& proc = model.processor();
+  const double v_lo = proc.min_voltage().value();
+  const double v_hi = proc.max_voltage().value();
+  const std::vector<double> vs = uniform_axis(v_lo, v_hi, config_.voltage_points);
+  const std::vector<double> gs =
+      uniform_axis(config_.irradiance_min, config_.irradiance_max,
+                   config_.irradiance_points);
+
+  // 1-D surfaces over irradiance: the harvester MPP locus.
+  std::vector<double> p_mpp(gs.size());
+  std::vector<double> v_mpp(gs.size());
+  for (std::size_t j = 0; j < gs.size(); ++j) {
+    const MaxPowerPoint point = model.mpp(gs[j]);
+    p_mpp[j] = point.power.value();
+    v_mpp[j] = point.voltage.value();
+  }
+  mpp_power_ = PiecewiseLinear(gs, p_mpp);
+  mpp_voltage_ = PiecewiseLinear(gs, v_mpp);
+
+  // 1-D surface over voltage: the processor speed envelope.
+  std::vector<double> f_max(vs.size());
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    f_max[i] = proc.max_frequency(Volts(vs[i])).value();
+  }
+  fmax_ = PiecewiseLinear(vs, f_max);
+
+  // 2-D surfaces over (vdd, g): the regulator transfer.
+  std::vector<double> delivered(vs.size() * gs.size());
+  std::vector<double> eta(vs.size() * gs.size());
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    for (std::size_t j = 0; j < gs.size(); ++j) {
+      const Volts vdd(vs[i]);
+      delivered[i * gs.size() + j] = model.delivered_power(vdd, gs[j]).value();
+      eta[i * gs.size() + j] = model.efficiency_at(vdd, gs[j]);
+    }
+  }
+  delivered_ = BilinearGrid(vs, gs, std::move(delivered));
+  efficiency_ = BilinearGrid(vs, gs, std::move(eta));
+
+  if (config_.validate) {
+    // Spot-check the worst case of bilinear interpolation — cell midpoints —
+    // against the exact model.  Cells touching the regulator envelope (a
+    // near-zero corner) or spanning a ratio-switch cliff (corner spread over
+    // 25%) are skipped: their error is bounded by the grid pitch, not by
+    // `tolerance`.  Among the remaining "smooth" cells, a small fraction is
+    // still crossed by a kink line that happens to leave the corners in
+    // agreement (the SC ratio boundaries are not axis-aligned); those cells
+    // are O(pitch) in number, so validation gates on the fraction of
+    // midpoints exceeding `tolerance` rather than on the absolute worst.
+    const auto& grid = delivered_;
+    std::size_t checked = 0;
+    std::size_t outliers = 0;
+    double worst = 0.0;
+    for (std::size_t i = 0; i + 1 < vs.size(); ++i) {
+      for (std::size_t j = 0; j + 1 < gs.size(); ++j) {
+        const double c00 = grid(vs[i], gs[j]);
+        const double c01 = grid(vs[i], gs[j + 1]);
+        const double c10 = grid(vs[i + 1], gs[j]);
+        const double c11 = grid(vs[i + 1], gs[j + 1]);
+        const double cmin = std::min(std::min(c00, c01), std::min(c10, c11));
+        const double cmax = std::max(std::max(c00, c01), std::max(c10, c11));
+        if (cmin <= 1e-6 || (cmax - cmin) / cmax > 0.25) continue;
+        const Volts v(0.5 * (vs[i] + vs[i + 1]));
+        const double g = 0.5 * (gs[j] + gs[j + 1]);
+        const double exact = model.delivered_power(v, g).value();
+        if (exact <= 1e-6) continue;
+        const double err = std::fabs(grid(v.value(), g) - exact) / exact;
+        ++checked;
+        worst = std::max(worst, err);
+        if (err > config_.tolerance) ++outliers;
+      }
+    }
+    validation_error_ = worst;
+    validation_outlier_fraction_ =
+        checked > 0 ? static_cast<double>(outliers) / static_cast<double>(checked)
+                    : 0.0;
+    HEMP_REQUIRE(validation_outlier_fraction_ <= SurfaceConfig::kMaxOutlierFraction,
+                 "ModelSurfaces: too many midpoints exceed the configured "
+                 "tolerance — raise the grid resolution or the tolerance");
+  }
+}
+
+bool ModelSurfaces::in_grid(double vdd, double g) const {
+  return delivered_.contains(vdd, g);
+}
+
+MaxPowerPoint ModelSurfaces::mpp(double g) const {
+  if (g < config_.irradiance_min || g > config_.irradiance_max) {
+    return model_->mpp(g);  // exact fallback outside the gridded span
+  }
+  MaxPowerPoint out;
+  out.power = Watts(mpp_power_(g));
+  out.voltage = Volts(mpp_voltage_(g));
+  out.current = out.voltage.value() > 0.0
+                    ? Amps(out.power.value() / out.voltage.value())
+                    : Amps(0.0);
+  return out;
+}
+
+Watts ModelSurfaces::delivered_power(Volts vdd, double g) const {
+  if (!in_grid(vdd.value(), g)) return model_->delivered_power(vdd, g);
+  return Watts(delivered_(vdd.value(), g));
+}
+
+double ModelSurfaces::efficiency_at(Volts vdd, double g) const {
+  if (!in_grid(vdd.value(), g)) return model_->efficiency_at(vdd, g);
+  return efficiency_(vdd.value(), g);
+}
+
+Hertz ModelSurfaces::max_frequency(Volts vdd) const {
+  const double v = vdd.value();
+  if (v < fmax_.x_min() || v > fmax_.x_max()) {
+    return model_->processor().max_frequency(vdd);
+  }
+  return Hertz(fmax_(v));
+}
+
+}  // namespace hemp

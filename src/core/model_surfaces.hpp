@@ -1,0 +1,94 @@
+// Memoized model surfaces: the optimizer-hot SystemModel queries precomputed
+// onto quantized grids with bilinear/linear interpolation.
+//
+// Every figure sweep and design-space exploration re-asks the same four
+// questions thousands of times — mpp(g), delivered_power(vdd, g),
+// efficiency_at(vdd, g), max_frequency(vdd) — each one an iterative solve.
+// ModelSurfaces pays the solve cost once per grid node at construction and
+// answers queries with one table lookup, turning an O(solver) call into a
+// handful of flops.  Accuracy is bounded by the grid pitch; the default
+// 97 x 97 grid keeps interpolation error well under 1% on the smooth parts
+// of the surfaces (the regulator-envelope cliff in delivered_power smears
+// over at most one voltage cell, ~6 mV at defaults).
+//
+// Queries outside the gridded rectangle fall back to the exact SystemModel
+// evaluation, so a surface never widens the model's domain error.
+#pragma once
+
+#include "common/interpolation.hpp"
+#include "core/system_model.hpp"
+
+namespace hemp {
+
+struct SurfaceConfig {
+  /// Grid resolution; higher is more accurate and slower to build.
+  int voltage_points = 97;
+  int irradiance_points = 97;
+  /// Irradiance span covered by the grid (fraction of full sun).  Queries
+  /// outside it use the exact model.
+  double irradiance_min = 0.01;
+  double irradiance_max = 1.25;
+  /// Accepted relative interpolation error on smooth surface regions.  Used
+  /// by validation (and documented here as the accuracy contract callers can
+  /// assume away from the regulator-envelope boundary and ratio-switch
+  /// kinks, where the error is bounded by the grid pitch instead).
+  double tolerance = 0.02;
+  /// Spot-check the delivered-power surface against the exact model at cell
+  /// midpoints during construction; throws ModelError when more than
+  /// `kMaxOutlierFraction` of the smooth-cell midpoints exceed `tolerance`
+  /// (a few cells always straddle a kink line — see ModelSurfaces docs).
+  bool validate = false;
+
+  /// Fraction of smooth-cell midpoints allowed beyond `tolerance` before
+  /// validation fails: kink-crossing cells are an O(grid pitch) population.
+  static constexpr double kMaxOutlierFraction = 0.05;
+
+  void check() const;
+};
+
+class ModelSurfaces {
+ public:
+  /// Builds all four surfaces from `model`, which must outlive this object.
+  explicit ModelSurfaces(const SystemModel& model, SurfaceConfig config = {});
+
+  [[nodiscard]] const SystemModel& model() const { return *model_; }
+  [[nodiscard]] const SurfaceConfig& config() const { return config_; }
+
+  /// Interpolated MPP at irradiance `g` (voltage and power surfaces; the
+  /// current is reconstructed as power / voltage).
+  [[nodiscard]] MaxPowerPoint mpp(double g) const;
+
+  /// Interpolated SystemModel::delivered_power.
+  [[nodiscard]] Watts delivered_power(Volts vdd, double g) const;
+
+  /// Interpolated SystemModel::efficiency_at.
+  [[nodiscard]] double efficiency_at(Volts vdd, double g) const;
+
+  /// Interpolated Processor::max_frequency over the operating envelope.
+  [[nodiscard]] Hertz max_frequency(Volts vdd) const;
+
+  /// Worst relative delivered-power error observed by validation on smooth
+  /// cells (0 when `config.validate` was off).  The tail above
+  /// `config.tolerance` comes from cells straddling a ratio-switch kink.
+  [[nodiscard]] double validation_error() const { return validation_error_; }
+
+  /// Fraction of validated midpoints beyond `config.tolerance`.
+  [[nodiscard]] double validation_outlier_fraction() const {
+    return validation_outlier_fraction_;
+  }
+
+ private:
+  [[nodiscard]] bool in_grid(double vdd, double g) const;
+
+  const SystemModel* model_;
+  SurfaceConfig config_;
+  PiecewiseLinear mpp_power_;    // over g
+  PiecewiseLinear mpp_voltage_;  // over g
+  PiecewiseLinear fmax_;         // over vdd
+  BilinearGrid delivered_;       // over (vdd, g)
+  BilinearGrid efficiency_;      // over (vdd, g)
+  double validation_error_ = 0.0;
+  double validation_outlier_fraction_ = 0.0;
+};
+
+}  // namespace hemp

@@ -5,11 +5,34 @@
 
 #include "common/error.hpp"
 #include "common/numeric.hpp"
+#include "core/model_surfaces.hpp"
 
 namespace hemp {
 
 PerformanceOptimizer::PerformanceOptimizer(const SystemModel& model)
     : model_(&model) {}
+
+PerformanceOptimizer::PerformanceOptimizer(const ModelSurfaces& surfaces)
+    : model_(&surfaces.model()), surfaces_(&surfaces) {}
+
+Watts PerformanceOptimizer::delivered(Volts vdd, double g) const {
+  return surfaces_ ? surfaces_->delivered_power(vdd, g)
+                   : model_->delivered_power(vdd, g);
+}
+
+double PerformanceOptimizer::efficiency(Volts vdd, double g) const {
+  return surfaces_ ? surfaces_->efficiency_at(vdd, g)
+                   : model_->efficiency_at(vdd, g);
+}
+
+MaxPowerPoint PerformanceOptimizer::mpp(double g) const {
+  return surfaces_ ? surfaces_->mpp(g) : model_->mpp(g);
+}
+
+Hertz PerformanceOptimizer::max_frequency(Volts vdd) const {
+  return surfaces_ ? surfaces_->max_frequency(vdd)
+                   : model_->processor().max_frequency(vdd);
+}
 
 PerfPoint PerformanceOptimizer::unregulated(double g) const {
   const Processor& proc = model_->processor();
@@ -54,8 +77,7 @@ PerfPoint PerformanceOptimizer::regulated(double g) const {
   // Budget surplus at full speed.  delivered_power is 0 outside the
   // regulator envelope, so infeasible voltages read as negative surplus.
   auto surplus = [&](double v) {
-    return model_->delivered_power(Volts(v), g).value() -
-           proc.max_power(Volts(v)).value();
+    return delivered(Volts(v), g).value() - proc.max_power(Volts(v)).value();
   };
 
   // The surplus can be non-monotone near regulator ratio switches; find the
@@ -63,31 +85,27 @@ PerfPoint PerformanceOptimizer::regulated(double g) const {
   constexpr int kGrid = 128;
   double v_found = -1.0;
   double prev_v = v_hi;
-  double prev_s = surplus(v_hi);
-  if (prev_s >= 0.0) {
+  if (surplus(v_hi) >= 0.0) {
     v_found = v_hi;
   } else {
     for (int i = 1; i <= kGrid; ++i) {
       const double v = v_hi - (v_hi - v_lo) * i / kGrid;
-      const double s = surplus(v);
-      if (s >= 0.0) {
+      if (surplus(v) >= 0.0) {
         // Feasible at v, infeasible at prev_v: refine the boundary.
         v_found = numeric::brent_root(surplus, v, prev_v, {.x_tol = 1e-7});
         break;
       }
       prev_v = v;
-      prev_s = s;
     }
   }
-  (void)prev_s;
   if (v_found < 0.0) return {};
 
   PerfPoint out;
   out.vdd = Volts(v_found);
-  out.frequency = proc.max_frequency(out.vdd);
+  out.frequency = max_frequency(out.vdd);
   out.processor_power = proc.max_power(out.vdd);
-  out.harvested_power = model_->mpp(g).power;
-  out.efficiency = model_->efficiency_at(out.vdd, g);
+  out.harvested_power = mpp(g).power;
+  out.efficiency = efficiency(out.vdd, g);
   out.feasible = true;
   return out;
 }

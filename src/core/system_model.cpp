@@ -13,10 +13,22 @@ SystemModel::SystemModel(const PvCell& cell, const Regulator& regulator,
     : cell_(&cell), regulator_(&regulator), processor_(&processor) {}
 
 MaxPowerPoint SystemModel::mpp(double g) const {
-  const auto it = mpp_cache_.find(g);
-  if (it != mpp_cache_.end()) return it->second;
-  const MaxPowerPoint point = find_mpp(*cell_, g);
-  if (mpp_cache_.size() < 4096) mpp_cache_.emplace(g, point);
+  // Quantize the key and solve at the quantized irradiance: the cached point
+  // is then a pure function of the key, so concurrent sweeps get identical
+  // results no matter which thread populated the entry first.
+  const auto key = static_cast<std::int64_t>(std::llround(g / kMppCacheQuantum));
+  const double g_q = static_cast<double>(key) * kMppCacheQuantum;
+  {
+    const std::lock_guard<std::mutex> lock(mpp_mutex_);
+    const auto it = mpp_cache_.find(key);
+    if (it != mpp_cache_.end()) return it->second;
+  }
+  const MaxPowerPoint point = find_mpp(*cell_, g_q);
+  {
+    const std::lock_guard<std::mutex> lock(mpp_mutex_);
+    if (mpp_cache_.size() >= kMppCacheCapacity) mpp_cache_.clear();
+    mpp_cache_.emplace(key, point);
+  }
   return point;
 }
 

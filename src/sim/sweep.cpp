@@ -1,0 +1,28 @@
+#include "sim/sweep.hpp"
+
+#include "common/error.hpp"
+
+namespace hemp {
+
+std::vector<double> linspace(double lo, double hi, int n) {
+  HEMP_REQUIRE(n >= 2, "linspace: need at least 2 points");
+  HEMP_REQUIRE(lo < hi, "linspace: lo must be below hi");
+  std::vector<double> out(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out[static_cast<std::size_t>(i)] = lo + (hi - lo) * i / (n - 1);
+  }
+  out.back() = hi;  // land exactly on the endpoint despite rounding
+  return out;
+}
+
+std::vector<std::pair<double, double>> grid_points(const std::vector<double>& xs,
+                                                   const std::vector<double>& ys) {
+  std::vector<std::pair<double, double>> out;
+  out.reserve(xs.size() * ys.size());
+  for (const double x : xs) {
+    for (const double y : ys) out.emplace_back(x, y);
+  }
+  return out;
+}
+
+}  // namespace hemp

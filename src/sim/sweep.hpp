@@ -1,0 +1,73 @@
+// Parallel sweep engine: shard independent design-space points across cores.
+//
+// Figure reproductions and design-space explorations evaluate one pure
+// function (an optimizer solve, a transient sim) over a grid of independent
+// (irradiance, voltage, deadline, ...) points.  sweep_map() runs those
+// evaluations on the shared ThreadPool and returns results in input order.
+//
+// Determinism: each item's result is written to its own slot and every
+// evaluation sees only its own inputs, so a parallel sweep is bit-identical
+// to the serial loop over the same items — `parallel = false` in
+// SweepOptions runs exactly that serial reference path.  Model-level caches
+// touched concurrently (SystemModel's MPP cache) are keyed on quantized
+// inputs and populated with values that are pure functions of the key, so
+// scheduling order cannot change any result.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace hemp {
+
+struct SweepOptions {
+  /// Pool to shard onto; nullptr uses ThreadPool::shared().
+  ThreadPool* pool = nullptr;
+  /// false runs the serial reference loop (same results, one thread).
+  bool parallel = true;
+};
+
+/// `n` evenly spaced values covering [lo, hi] inclusive (n >= 2), the grid
+/// axes every sweep in bench/ and examples/ is built from.
+std::vector<double> linspace(double lo, double hi, int n);
+
+/// Cartesian product of two axes, row-major (xs outer, ys inner).
+std::vector<std::pair<double, double>> grid_points(const std::vector<double>& xs,
+                                                   const std::vector<double>& ys);
+
+/// Map `fn` over `items`, sharded across the pool; results come back in item
+/// order.  `fn` must be safe to call concurrently on distinct items.  The
+/// first exception thrown by any evaluation is rethrown on the caller.
+template <typename T, typename F>
+auto sweep_map(const std::vector<T>& items, F&& fn, const SweepOptions& opts = {})
+    -> std::vector<decltype(fn(std::declval<const T&>()))> {
+  using R = decltype(fn(std::declval<const T&>()));
+  std::vector<R> out;
+  out.reserve(items.size());
+  if (!opts.parallel || items.size() < 2) {
+    for (const T& item : items) out.push_back(fn(item));
+    return out;
+  }
+  std::vector<std::optional<R>> slots(items.size());
+  ThreadPool& pool = opts.pool ? *opts.pool : ThreadPool::shared();
+  parallel_for(pool, items.size(),
+               [&](std::size_t i) { slots[i].emplace(fn(items[i])); });
+  for (std::optional<R>& slot : slots) out.push_back(std::move(*slot));
+  return out;
+}
+
+/// sweep_map over [0, n): `fn` receives the index.  Convenience for sweeps
+/// whose grid is cheaper to recompute from an index than to materialize.
+template <typename F>
+auto sweep_indexed(std::size_t n, F&& fn, const SweepOptions& opts = {})
+    -> std::vector<decltype(fn(std::size_t{0}))> {
+  std::vector<std::size_t> indices(n);
+  for (std::size_t i = 0; i < n; ++i) indices[i] = i;
+  return sweep_map(indices, std::forward<F>(fn), opts);
+}
+
+}  // namespace hemp

@@ -1,0 +1,131 @@
+#include "core/model_surfaces.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/perf_optimizer.hpp"
+#include "regulator/buck.hpp"
+#include "regulator/switched_cap.hpp"
+
+namespace hemp {
+namespace {
+
+struct Fixture {
+  PvCell cell = make_ixys_kxob22_cell();
+  SwitchedCapRegulator reg;
+  Processor proc = Processor::make_test_chip();
+  SystemModel model{cell, reg, proc};
+};
+
+TEST(SurfaceConfig, RejectsBadParameters) {
+  Fixture f;
+  EXPECT_ANY_THROW(ModelSurfaces(f.model, {.voltage_points = 1}));
+  EXPECT_ANY_THROW(
+      ModelSurfaces(f.model, {.irradiance_min = 0.5, .irradiance_max = 0.2}));
+  EXPECT_ANY_THROW(ModelSurfaces(f.model, {.tolerance = 0.0}));
+}
+
+TEST(ModelSurfaces, MppMatchesExactModel) {
+  Fixture f;
+  const ModelSurfaces s(f.model);
+  for (double g : {0.05, 0.1, 0.3, 0.5, 0.8, 1.0, 1.2}) {
+    const MaxPowerPoint exact = f.model.mpp(g);
+    const MaxPowerPoint fast = s.mpp(g);
+    EXPECT_NEAR(fast.power.value(), exact.power.value(),
+                exact.power.value() * s.config().tolerance)
+        << "g=" << g;
+    EXPECT_NEAR(fast.voltage.value(), exact.voltage.value(), 0.02) << "g=" << g;
+    // current = power / voltage reconstruction stays consistent.
+    EXPECT_NEAR(fast.current.value() * fast.voltage.value(), fast.power.value(),
+                1e-12)
+        << "g=" << g;
+  }
+}
+
+TEST(ModelSurfaces, MaxFrequencyMatchesProcessor) {
+  Fixture f;
+  const ModelSurfaces s(f.model);
+  for (double v = 0.25; v <= 1.0; v += 0.05) {
+    const double exact = f.proc.max_frequency(Volts(v)).value();
+    EXPECT_NEAR(s.max_frequency(Volts(v)).value(), exact, exact * 0.01)
+        << "v=" << v;
+  }
+}
+
+TEST(ModelSurfaces, DeliveredPowerCloseOnSmoothRegions) {
+  // Away from the regulator envelope and ratio switches, the surface must be
+  // within the configured tolerance of the exact model.
+  Fixture f;
+  const ModelSurfaces s(f.model);
+  int checked = 0;
+  for (double v = 0.35; v <= 0.5; v += 0.013) {
+    for (double g = 0.4; g <= 1.0; g += 0.07) {
+      const double exact = f.model.delivered_power(Volts(v), g).value();
+      if (exact <= 1e-5) continue;
+      const double fast = s.delivered_power(Volts(v), g).value();
+      EXPECT_NEAR(fast, exact, exact * s.config().tolerance)
+          << "v=" << v << " g=" << g;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 20);
+}
+
+TEST(ModelSurfaces, OutOfGridFallsBackToExactModel) {
+  Fixture f;
+  const ModelSurfaces s(f.model, {.irradiance_min = 0.2, .irradiance_max = 0.8});
+  // Outside the gridded irradiance span the answers are bit-exact.
+  for (double g : {0.05, 0.1, 1.0, 1.2}) {
+    EXPECT_EQ(s.mpp(g).power.value(), f.model.mpp(g).power.value()) << "g=" << g;
+    EXPECT_EQ(s.delivered_power(Volts(0.5), g).value(),
+              f.model.delivered_power(Volts(0.5), g).value())
+        << "g=" << g;
+    EXPECT_EQ(s.efficiency_at(Volts(0.5), g), f.model.efficiency_at(Volts(0.5), g))
+        << "g=" << g;
+  }
+  // Outside the processor envelope the exact model throws; the fallback path
+  // must surface the same contract rather than silently clamping.
+  const Volts v_out(f.proc.max_voltage().value() + 0.05);
+  EXPECT_ANY_THROW((void)s.max_frequency(v_out));
+}
+
+TEST(ModelSurfaces, ValidationPassesAtDefaults) {
+  Fixture f;
+  const ModelSurfaces s(f.model, {.validate = true});
+  EXPECT_LE(s.validation_outlier_fraction(), SurfaceConfig::kMaxOutlierFraction);
+  EXPECT_GT(s.validation_error(), 0.0);  // validation actually ran
+}
+
+TEST(ModelSurfaces, ValidationPassesForBuckRegulator) {
+  // The buck transfer has no ratio switches, so the surface is smooth and
+  // validation should see (almost) no outliers even at a tight tolerance.
+  PvCell cell = make_ixys_kxob22_cell();
+  BuckRegulator buck;
+  Processor proc = Processor::make_test_chip();
+  SystemModel model(cell, buck, proc);
+  const ModelSurfaces s(model, {.tolerance = 0.01, .validate = true});
+  EXPECT_LE(s.validation_outlier_fraction(), SurfaceConfig::kMaxOutlierFraction);
+}
+
+TEST(ModelSurfaces, SurfaceOptimizerTracksExactOptimizer) {
+  // The acceptance contract of threading surfaces through the optimizer: the
+  // surface-backed regulated solve lands within a grid cell of the exact one.
+  Fixture f;
+  const ModelSurfaces s(f.model);
+  const PerformanceOptimizer exact(f.model);
+  const PerformanceOptimizer fast(s);
+  for (double g : {0.3, 0.5, 0.75, 1.0}) {
+    const PerfPoint pe = exact.regulated(g);
+    const PerfPoint pf = fast.regulated(g);
+    ASSERT_EQ(pe.feasible, pf.feasible) << "g=" << g;
+    EXPECT_NEAR(pf.vdd.value(), pe.vdd.value(), 0.02) << "g=" << g;
+    EXPECT_NEAR(pf.frequency.value(), pe.frequency.value(),
+                pe.frequency.value() * 0.05)
+        << "g=" << g;
+  }
+}
+
+}  // namespace
+}  // namespace hemp

@@ -110,6 +110,39 @@ TEST(PerfOptimizer, VeryLowLightUnregulatedStillRuns) {
   EXPECT_LT(p.vdd.value(), 0.45);
 }
 
+TEST(PerfOptimizer, RegulatedFindsHighestFeasibleVoltageAcrossRatioSwitch) {
+  // Regression for the non-monotone surplus near SC ratio switches: the
+  // delivered-power curve dips at a ratio boundary (Fig. 7a, the 0.55 V
+  // notch at G=0.5), so a naive bisection from the top can latch onto a
+  // lower feasible branch.  Pin the optimizer against a brute-force fine
+  // scan for the highest feasible voltage.
+  ScFixture f;
+  const double v_lo = f.proc.min_voltage().value();
+  const double v_hi = f.proc.max_voltage().value();
+  for (double g : {0.4, 0.5, 0.6, 0.8, 1.0}) {
+    auto surplus = [&](double v) {
+      return f.model.delivered_power(Volts(v), g).value() -
+             f.proc.max_power(Volts(v)).value();
+    };
+    // Reference: descend in 0.1 mV steps until the budget is satisfied.
+    double v_ref = -1.0;
+    for (double v = v_hi; v >= v_lo; v -= 1e-4) {
+      if (surplus(v) >= 0.0) {
+        v_ref = v;
+        break;
+      }
+    }
+    const PerfPoint p = f.opt.regulated(g);
+    ASSERT_EQ(p.feasible, v_ref >= 0.0) << "g=" << g;
+    if (!p.feasible) continue;
+    // The optimizer's coarse scan uses (v_hi - v_lo)/128 cells; it must land
+    // within one cell of the true boundary and on the feasible side.
+    const double cell_width = (v_hi - v_lo) / 128.0;
+    EXPECT_NEAR(p.vdd.value(), v_ref, cell_width + 1e-4) << "g=" << g;
+    EXPECT_GE(surplus(p.vdd.value()), -1e-9) << "g=" << g;
+  }
+}
+
 // Property: regulated and unregulated solutions are feasible and the
 // operating point voltage rises with light.
 class LightSweep : public ::testing::TestWithParam<double> {};

@@ -78,6 +78,48 @@ TEST(SystemModel, EfficiencyAtMatchesDeliveredPower) {
   EXPECT_NEAR(eta, f.sc.efficiency(mpp.voltage, vdd, pout), 1e-12);
 }
 
+TEST(SystemModel, MppCacheQuantizesIrradiance) {
+  // Queries inside the same quantum return the identical cached point: the
+  // solve runs at the quantized representative, so the result is a pure
+  // function of the key, not of which query arrived first.
+  Fixture f;
+  const double g = 0.5;
+  const double g_jitter = g + 0.4 * SystemModel::kMppCacheQuantum;
+  const MaxPowerPoint a = f.model.mpp(g);
+  const MaxPowerPoint b = f.model.mpp(g_jitter);
+  EXPECT_EQ(a.voltage.value(), b.voltage.value());
+  EXPECT_EQ(a.power.value(), b.power.value());
+  // And the quantization error is negligible against the exact solve.
+  const MaxPowerPoint exact = find_mpp(f.cell, g_jitter);
+  EXPECT_NEAR(b.power.value(), exact.power.value(),
+              exact.power.value() * 1e-5);
+}
+
+TEST(SystemModel, MppCacheIsOrderIndependent) {
+  // Same queries, opposite order, two fresh models: identical answers.
+  Fixture f1, f2;
+  const double lo = 0.3, hi = 0.3 + 0.4 * SystemModel::kMppCacheQuantum;
+  const MaxPowerPoint a1 = f1.model.mpp(lo);
+  const MaxPowerPoint a2 = f1.model.mpp(hi);
+  const MaxPowerPoint b2 = f2.model.mpp(hi);
+  const MaxPowerPoint b1 = f2.model.mpp(lo);
+  EXPECT_EQ(a1.power.value(), b1.power.value());
+  EXPECT_EQ(a2.power.value(), b2.power.value());
+}
+
+TEST(SystemModel, MppCacheKeepsWorkingPastCapacity) {
+  // Filling the cache beyond capacity flushes it but must not disable it:
+  // a repeated query still returns a consistent (re-solved) point.
+  Fixture f;
+  const MaxPowerPoint before = f.model.mpp(0.77);
+  for (std::size_t i = 0; i < SystemModel::kMppCacheCapacity + 10; ++i) {
+    (void)f.model.mpp(0.01 + 1e-5 * static_cast<double>(i));
+  }
+  const MaxPowerPoint after = f.model.mpp(0.77);
+  EXPECT_EQ(before.voltage.value(), after.voltage.value());
+  EXPECT_EQ(before.power.value(), after.power.value());
+}
+
 TEST(SystemModel, LdoDeliveredPowerIsVoltageRatioBound) {
   PvCell cell = make_ixys_kxob22_cell();
   Ldo ldo;

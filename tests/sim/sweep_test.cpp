@@ -1,0 +1,111 @@
+#include "sim/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "core/perf_optimizer.hpp"
+#include "core/system_model.hpp"
+#include "harvester/pv_cell.hpp"
+#include "processor/processor.hpp"
+#include "regulator/switched_cap.hpp"
+
+namespace hemp {
+namespace {
+
+TEST(Linspace, CoversEndpointsExactly) {
+  const auto xs = linspace(0.25, 1.0, 4);
+  ASSERT_EQ(xs.size(), 4u);
+  EXPECT_DOUBLE_EQ(xs.front(), 0.25);
+  EXPECT_DOUBLE_EQ(xs.back(), 1.0);
+  EXPECT_DOUBLE_EQ(xs[1], 0.5);
+  EXPECT_DOUBLE_EQ(xs[2], 0.75);
+}
+
+TEST(Linspace, RejectsDegenerateSpans) {
+  EXPECT_ANY_THROW(linspace(0.0, 1.0, 1));
+  EXPECT_ANY_THROW(linspace(1.0, 0.0, 4));
+}
+
+TEST(GridPoints, RowMajorProduct) {
+  const auto pts = grid_points({1.0, 2.0}, {10.0, 20.0, 30.0});
+  ASSERT_EQ(pts.size(), 6u);
+  EXPECT_EQ(pts[0], std::make_pair(1.0, 10.0));
+  EXPECT_EQ(pts[2], std::make_pair(1.0, 30.0));
+  EXPECT_EQ(pts[3], std::make_pair(2.0, 10.0));
+}
+
+TEST(SweepMap, ReturnsResultsInInputOrder) {
+  const std::vector<double> xs = linspace(0.0, 99.0, 100);
+  const auto ys = sweep_map(xs, [](double x) { return x * 2.0; });
+  ASSERT_EQ(ys.size(), xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ys[i], xs[i] * 2.0);
+  }
+}
+
+TEST(SweepMap, ParallelBitIdenticalToSerial) {
+  // The acceptance criterion of the sweep engine: an optimizer solve sweep
+  // gives exactly the same doubles parallel and serial, including through
+  // the SystemModel's shared quantized MPP cache.
+  const PvCell cell = make_ixys_kxob22_cell();
+  const SwitchedCapRegulator sc;
+  const Processor proc = Processor::make_test_chip();
+  const SystemModel model(cell, sc, proc);
+  const PerformanceOptimizer opt(model);
+  const std::vector<double> lights = linspace(0.05, 1.2, 60);
+
+  auto solve = [&](double g) { return opt.regulated(g); };
+  const auto serial = sweep_map(lights, solve, {.parallel = false});
+  const auto parallel = sweep_map(lights, solve);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].feasible, parallel[i].feasible) << "g=" << lights[i];
+    EXPECT_EQ(serial[i].vdd.value(), parallel[i].vdd.value()) << "g=" << lights[i];
+    EXPECT_EQ(serial[i].frequency.value(), parallel[i].frequency.value())
+        << "g=" << lights[i];
+    EXPECT_EQ(serial[i].processor_power.value(),
+              parallel[i].processor_power.value())
+        << "g=" << lights[i];
+    EXPECT_EQ(serial[i].efficiency, parallel[i].efficiency) << "g=" << lights[i];
+  }
+}
+
+TEST(SweepMap, WorksWithNonArithmeticResults) {
+  const std::vector<double> xs = linspace(1.0, 8.0, 8);
+  const auto labels =
+      sweep_map(xs, [](double x) { return std::to_string(static_cast<int>(x)); });
+  EXPECT_EQ(labels.front(), "1");
+  EXPECT_EQ(labels.back(), "8");
+}
+
+TEST(SweepMap, PropagatesExceptions) {
+  const std::vector<double> xs = linspace(0.0, 9.0, 10);
+  EXPECT_THROW(sweep_map(xs,
+                         [](double x) -> double {
+                           if (x > 5.0) throw std::runtime_error("bad point");
+                           return x;
+                         }),
+               std::runtime_error);
+}
+
+TEST(SweepMap, HonorsExplicitPool) {
+  ThreadPool pool(2);
+  const std::vector<double> xs = linspace(0.0, 31.0, 32);
+  const auto ys =
+      sweep_map(xs, [](double x) { return x + 1.0; }, {.pool = &pool});
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ys[i], xs[i] + 1.0);
+  }
+}
+
+TEST(SweepIndexed, PassesIndices) {
+  const auto ys = sweep_indexed(16, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(ys.size(), 16u);
+  EXPECT_EQ(ys[3], 9u);
+  EXPECT_EQ(ys[15], 225u);
+}
+
+}  // namespace
+}  // namespace hemp
