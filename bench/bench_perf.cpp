@@ -178,7 +178,7 @@ int main(int argc, char** argv) {
   bench_parallel_sweep(suite, rig, surfaces, min_seconds);
 
   suite.print();
-  if (!suite.write_json(out_path)) {
+  if (!suite.write_json_merged(out_path)) {
     std::fprintf(stderr, "bench_perf: failed to write %s\n", out_path.c_str());
     return 1;
   }

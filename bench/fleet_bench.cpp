@@ -1,0 +1,112 @@
+// Fleet perf trajectory: time the fleet simulator serial vs parallel and
+// merge a "fleet_bench" suite into BENCH_perf.json next to bench_perf's.
+//
+// The fleet is the repo's coarsest-grained parallel workload — one whole
+// SocSystem transient per work item — so its serial/parallel ratio is the
+// cleanest read on thread-pool scaling (on a single-core host the honest
+// answer is ~1.0x, and recording that is the point).  The suite also tracks
+// node throughput and asserts the determinism witness: the serial and
+// parallel runs must produce the same summary hash, or the bench aborts.
+//
+// Usage: fleet_bench [--quick] [--out PATH]
+//   --quick   fewer nodes / shorter day (CI smoke job)
+//   --out     JSON output path (default: BENCH_perf.json in the cwd)
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench_common.hpp"
+#include "common/thread_pool.hpp"
+#include "fleet/fleet_sim.hpp"
+#include "microbench.hpp"
+
+namespace {
+
+hemp::FleetScenario bench_scenario(bool quick) {
+  hemp::FleetScenario s;
+  s.name = quick ? "bench_quick" : "bench";
+  s.nodes = quick ? 8 : 32;
+  s.seed = 1;
+  s.day_length = hemp::Seconds(quick ? 0.02 : 0.05);
+  s.time_step = hemp::Seconds(10e-6);
+  s.waveform_interval = hemp::Seconds(500e-6);
+  s.trace_kind = hemp::TraceKind::kClouds;
+  s.job_cycles = 1e6;
+  s.job_period = hemp::Seconds(10e-3);
+  s.job_deadline = hemp::Seconds(4e-3);
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hemp;
+
+  bool quick = false;
+  std::string out_path = "BENCH_perf.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: fleet_bench [--quick] [--out PATH]\n");
+      return 2;
+    }
+  }
+
+  bench::header("fleet_bench",
+                "fleet simulator scaling (merged into BENCH_perf.json)");
+  const FleetScenario scenario = bench_scenario(quick);
+  const FleetSimulator sim(scenario);
+
+  microbench::Suite suite("fleet_bench");
+  std::uint64_t serial_hash = 0;
+  std::uint64_t parallel_hash = 0;
+  const auto serial = suite.run(
+      "fleet_run_serial",
+      [&] {
+        const FleetReport r = sim.run({.parallel = false});
+        serial_hash = r.summary_hash;
+        microbench::keep(r.total_cycles);
+      },
+      /*min_seconds=*/0.0, /*max_iters=*/1);
+  const auto parallel = suite.run(
+      "fleet_run_parallel",
+      [&] {
+        const FleetReport r = sim.run({.parallel = true});
+        parallel_hash = r.summary_hash;
+        microbench::keep(r.total_cycles);
+      },
+      /*min_seconds=*/0.0, /*max_iters=*/1);
+
+  if (serial_hash != parallel_hash) {
+    std::fprintf(stderr,
+                 "fleet_bench: determinism violation — serial %s vs "
+                 "parallel %s\n",
+                 hash_hex(serial_hash).c_str(), hash_hex(parallel_hash).c_str());
+    return 1;
+  }
+
+  suite.note("fleet_nodes", scenario.nodes);
+  suite.note("fleet_day_length_s", scenario.day_length.value());
+  suite.note("fleet_nodes_per_sec",
+             scenario.nodes / (parallel.total_seconds > 0.0
+                                   ? parallel.total_seconds
+                                   : 1.0));
+  suite.note("fleet_parallel_speedup",
+             parallel.total_seconds > 0.0
+                 ? serial.total_seconds / parallel.total_seconds
+                 : 0.0);
+  suite.note("thread_pool_size", ThreadPool::shared().size());
+
+  suite.print();
+  std::printf("\n  determinism: serial == parallel (%s)\n",
+              hash_hex(serial_hash).c_str());
+  if (!suite.write_json_merged(out_path)) {
+    std::fprintf(stderr, "fleet_bench: failed to write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("  timings merged into %s\n", out_path.c_str());
+  return 0;
+}

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <optional>
+#include <sstream>
 
 namespace hemp::microbench {
 
@@ -25,6 +27,103 @@ std::string escape(const std::string& s) {
       continue;
     }
     out.push_back(c);
+  }
+  return out;
+}
+
+// Slice the balanced {...} starting at `text[open]` (open must index a '{').
+// Tracks string literals so quoted braces do not unbalance the scan.
+std::optional<std::string> balanced_object(const std::string& text,
+                                           std::size_t open) {
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{') {
+      ++depth;
+    } else if (c == '}') {
+      if (--depth == 0) return text.substr(open, i - open + 1);
+    }
+  }
+  return std::nullopt;
+}
+
+// Pull the value of `"suite": "<name>"` out of one suite object.
+std::optional<std::string> suite_name_of(const std::string& object) {
+  const std::size_t key = object.find("\"suite\"");
+  if (key == std::string::npos) return std::nullopt;
+  const std::size_t colon = object.find(':', key);
+  if (colon == std::string::npos) return std::nullopt;
+  const std::size_t open = object.find('"', colon);
+  if (open == std::string::npos) return std::nullopt;
+  const std::size_t close = object.find('"', open + 1);
+  if (close == std::string::npos) return std::nullopt;
+  return object.substr(open + 1, close - open - 1);
+}
+
+// Split an existing BENCH JSON document into its suite objects.  Handles both
+// the multi-suite `{"suites": [...]}` format and the legacy single-suite
+// document (migrated as one entry).  nullopt means the file is unparseable.
+std::optional<std::vector<std::string>> existing_suites(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::vector<std::string>{};  // no file yet: empty merge base
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  std::vector<std::string> suites;
+  const std::size_t array_key = text.find("\"suites\"");
+  if (array_key == std::string::npos) {
+    // Legacy layout: the whole document is one suite object.
+    const std::size_t open = text.find('{');
+    if (open == std::string::npos) return std::nullopt;
+    const auto object = balanced_object(text, open);
+    if (!object || !suite_name_of(*object)) return std::nullopt;
+    suites.push_back(*object);
+    return suites;
+  }
+  std::size_t cursor = text.find('[', array_key);
+  if (cursor == std::string::npos) return std::nullopt;
+  while (true) {
+    const std::size_t open = text.find('{', cursor);
+    if (open == std::string::npos) break;
+    auto object = balanced_object(text, open);
+    if (!object || !suite_name_of(*object)) return std::nullopt;
+    // Drop the array-entry indent this writer applies, so merge round-trips
+    // do not accumulate indentation.
+    std::string dedented;
+    dedented.reserve(object->size());
+    bool line_start = false;
+    for (std::size_t i = 0; i < object->size(); ++i) {
+      if (line_start && object->compare(i, 4, "    ") == 0) i += 4;
+      line_start = (*object)[i] == '\n';
+      dedented.push_back((*object)[i]);
+    }
+    suites.push_back(std::move(dedented));
+    cursor = open + object->size();
+  }
+  return suites;
+}
+
+// Prefix every line of a rendered suite object with `indent` so it nests
+// inside the suites array.
+std::string reindent(const std::string& object, const std::string& indent) {
+  std::string out = indent;
+  out.reserve(object.size() + indent.size() * 8);
+  for (std::size_t i = 0; i < object.size(); ++i) {
+    out.push_back(object[i]);
+    if (object[i] == '\n' && i + 1 < object.size()) out += indent;
   }
   return out;
 }
@@ -61,9 +160,8 @@ void Suite::note(const std::string& key, double value) {
   notes_.emplace_back(key, value);
 }
 
-bool Suite::write_json(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) return false;
+std::string Suite::render(const std::string& indent) const {
+  std::ostringstream out;
   out << "{\n  \"suite\": \"" << escape(name_) << "\",\n  \"results\": [\n";
   for (std::size_t i = 0; i < results_.size(); ++i) {
     const Result& r = results_[i];
@@ -77,7 +175,40 @@ bool Suite::write_json(const std::string& path) const {
     out << "    \"" << escape(notes_[i].first) << "\": " << notes_[i].second
         << (i + 1 < notes_.size() ? "," : "") << "\n";
   }
-  out << "  }\n}\n";
+  out << "  }\n}";
+  return indent.empty() ? out.str() : reindent(out.str(), indent);
+}
+
+bool Suite::write_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << render("") << "\n";
+  return static_cast<bool>(out);
+}
+
+bool Suite::write_json_merged(const std::string& path) const {
+  auto suites = existing_suites(path);
+  if (!suites) return false;
+
+  const std::string rendered = render("");
+  bool replaced = false;
+  for (std::string& entry : *suites) {
+    if (suite_name_of(entry) == name_) {
+      entry = rendered;
+      replaced = true;
+      break;
+    }
+  }
+  if (!replaced) suites->push_back(rendered);
+
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\n  \"suites\": [\n";
+  for (std::size_t i = 0; i < suites->size(); ++i) {
+    out << reindent((*suites)[i], "    ")
+        << (i + 1 < suites->size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
   return static_cast<bool>(out);
 }
 

@@ -42,13 +42,24 @@ class Suite {
     return notes_;
   }
 
-  /// Write results + notes as JSON; returns false on I/O failure.
+  /// Write results + notes as a single-suite JSON document; returns false on
+  /// I/O failure.
   bool write_json(const std::string& path) const;
+
+  /// Merge this suite into a multi-suite document: `{"suites": [...]}` with
+  /// one entry per suite name.  An existing file at `path` is preserved — a
+  /// legacy single-suite document is migrated into the array, an entry with
+  /// this suite's name is replaced, and other suites are kept verbatim.
+  /// Returns false on I/O failure or an unparseable existing file.
+  bool write_json_merged(const std::string& path) const;
 
   /// Pretty-print the suite to stdout.
   void print() const;
 
  private:
+  /// Render this suite's JSON object, each line prefixed with `indent`.
+  [[nodiscard]] std::string render(const std::string& indent) const;
+
   std::string name_;
   std::vector<Result> results_;
   std::vector<std::pair<std::string, double>> notes_;

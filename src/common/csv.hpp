@@ -1,7 +1,9 @@
-// Minimal CSV writer used by the waveform recorder and bench harnesses to dump
-// series that correspond to the paper's figures.
+// Minimal CSV reader/writer.  The writer dumps series that correspond to the
+// paper's figures; the reader loads recorded traces (daylight logs, scenario
+// series) back into memory for the trace and fleet layers.
 #pragma once
 
+#include <cstddef>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -30,5 +32,22 @@ class CsvWriter {
   std::size_t width_ = 0;
   std::size_t rows_ = 0;
 };
+
+/// An all-numeric CSV file loaded into memory: one header row naming the
+/// columns, then rows of doubles.
+struct CsvTable {
+  std::vector<std::string> columns;
+  std::vector<std::vector<double>> rows;  ///< rows[i][j] = row i, column j
+
+  /// Index of a column by name; throws RangeError when absent.
+  [[nodiscard]] std::size_t column_index(const std::string& name) const;
+  /// Full series of one column.
+  [[nodiscard]] std::vector<double> column(const std::string& name) const;
+};
+
+/// Parse `path` as a header + numeric rows.  Throws ModelError on a missing
+/// file, an empty file, a non-numeric cell, or a ragged row.  Blank lines and
+/// lines starting with '#' are skipped.
+CsvTable read_csv(const std::string& path);
 
 }  // namespace hemp

@@ -1,0 +1,115 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hemp {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  // Reference seeding: expand the seed through splitmix64.  xoshiro256++
+  // requires a nonzero state, which splitmix64 guarantees with probability
+  // 1 - 2^-256; guard anyway so a pathological seed cannot wedge the stream.
+  std::uint64_t x = seed;
+  for (auto& word : s_) word = splitmix64(x);
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 0x9E3779B97F4A7C15ULL;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // Top 53 bits -> [0, 1) with full double precision.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  HEMP_REQUIRE(lo <= hi, "Rng::uniform: lo must be <= hi");
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::below(std::uint64_t n) {
+  HEMP_REQUIRE(n > 0, "Rng::below: n must be positive");
+  // Debiased modulo (Lemire-style rejection on the low range).
+  const std::uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::normal() {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  // Polar Box-Muller: draws are deterministic functions of the stream.
+  for (;;) {
+    const double u = uniform(-1.0, 1.0);
+    const double v = uniform(-1.0, 1.0);
+    const double r2 = u * u + v * v;
+    if (r2 > 0.0 && r2 < 1.0) {
+      const double scale = std::sqrt(-2.0 * std::log(r2) / r2);
+      spare_normal_ = v * scale;
+      has_spare_normal_ = true;
+      return u * scale;
+    }
+  }
+}
+
+double Rng::normal(double mean, double sigma) {
+  HEMP_REQUIRE(sigma >= 0.0, "Rng::normal: sigma must be non-negative");
+  return mean + sigma * normal();
+}
+
+std::size_t Rng::weighted(const double* weights, std::size_t n) {
+  HEMP_REQUIRE(n > 0, "Rng::weighted: need at least one weight");
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    HEMP_REQUIRE(weights[i] >= 0.0, "Rng::weighted: negative weight");
+    total += weights[i];
+  }
+  HEMP_REQUIRE(total > 0.0, "Rng::weighted: all weights zero");
+  double pick = uniform() * total;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    pick -= weights[i];
+    if (pick < 0.0) return i;
+  }
+  return n - 1;
+}
+
+Rng Rng::fork(std::uint64_t stream) const {
+  // Mix (seed, stream) through two splitmix64 steps so adjacent streams are
+  // decorrelated.  Depends only on the construction seed, not on stream
+  // position, keeping per-node generators stable under any sampling order.
+  std::uint64_t x = seed_ ^ (0xD1B54A32D192ED03ULL * (stream + 1));
+  (void)splitmix64(x);
+  return Rng(splitmix64(x));
+}
+
+}  // namespace hemp

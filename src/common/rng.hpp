@@ -1,0 +1,65 @@
+// Deterministic seeded random number generator for the fleet layer.
+//
+// Every stochastic choice in the repo (node parameter sampling, cloud fields,
+// indoor lighting schedules) flows through an explicit hemp::Rng so that a
+// scenario seed fully determines the run: same seed => bit-identical
+// FleetReport, on any platform, in any thread interleaving.  Never use
+// std::rand or std::random_device in library code — their sequences are
+// implementation-defined and unseedable across platforms.
+//
+// Core generator: xoshiro256++ (Blackman & Vigna), state expanded from the
+// user seed with splitmix64 — the reference seeding procedure, so a given
+// seed produces the same stream everywhere.
+#pragma once
+
+#include <cstdint>
+
+namespace hemp {
+
+/// splitmix64 step: mixes `x` into the next state and returns the mixed
+/// output.  Exposed for seed-derivation tests and hashing helpers.
+std::uint64_t splitmix64(std::uint64_t& x);
+
+class Rng {
+ public:
+  /// Seeds the xoshiro256++ state from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0);
+
+  /// Next raw 64-bit output.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n); n must be positive.
+  std::uint64_t below(std::uint64_t n);
+
+  /// Standard normal deviate (polar Box-Muller; one spare cached).
+  double normal();
+
+  /// Normal deviate with the given mean and standard deviation.
+  double normal(double mean, double sigma);
+
+  /// Index drawn from unnormalized non-negative `weights` (size n); the
+  /// discrete distribution every corner/policy mix is sampled from.
+  std::size_t weighted(const double* weights, std::size_t n);
+
+  /// Derive an independent generator for stream `stream` of the *original*
+  /// seed.  fork(i) depends only on (seed, i) — never on how many numbers
+  /// this generator has produced — so per-node streams are stable no matter
+  /// the order nodes are built or run in.
+  [[nodiscard]] Rng fork(std::uint64_t stream) const;
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_ = 0;
+  std::uint64_t s_[4] = {};
+  double spare_normal_ = 0.0;
+  bool has_spare_normal_ = false;
+};
+
+}  // namespace hemp

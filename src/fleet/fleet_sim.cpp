@@ -1,0 +1,222 @@
+#include "fleet/fleet_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/error.hpp"
+#include "processor/corners.hpp"
+#include "regulator/switched_cap.hpp"
+#include "sim/soc_system.hpp"
+#include "sim/sweep.hpp"
+#include "trace/generators.hpp"
+
+namespace hemp {
+
+PeriodicJobController::PeriodicJobController(EnergyManager& manager,
+                                             double job_cycles, Seconds period,
+                                             Seconds deadline, Seconds phase)
+    : manager_(&manager), job_cycles_(job_cycles), period_(period),
+      deadline_(deadline), next_submit_(phase) {
+  HEMP_REQUIRE(job_cycles >= 0.0, "PeriodicJobController: negative job cycles");
+  if (job_cycles > 0.0) {
+    HEMP_REQUIRE(period.value() > 0.0 && deadline.value() > 0.0,
+                 "PeriodicJobController: jobs need positive period and deadline");
+  }
+}
+
+void PeriodicJobController::on_start(const SocState& state, SocCommand& cmd) {
+  manager_->on_start(state, cmd);
+}
+
+void PeriodicJobController::on_tick(const SocState& state, SocCommand& cmd) {
+  if (job_cycles_ > 0.0 && state.time >= next_submit_) {
+    manager_->submit({job_cycles_, deadline_});
+    ++jobs_submitted_;
+    next_submit_ += period_;
+  }
+  manager_->on_tick(state, cmd);
+}
+
+void PeriodicJobController::on_comparator(const ComparatorEvent& event,
+                                          const SocState& state,
+                                          SocCommand& cmd) {
+  manager_->on_comparator(event, state, cmd);
+}
+
+FleetSimulator::FleetSimulator(FleetScenario scenario)
+    : scenario_(std::move(scenario)) {
+  scenario_.validate();
+  const bool shared =
+      scenario_.shared_trace || scenario_.trace_kind == TraceKind::kCsv ||
+      scenario_.trace_kind == TraceKind::kConstant;
+  if (shared) {
+    // One sky for the whole fleet, drawn from a stream no node uses.
+    Rng sky_rng = Rng(scenario_.seed).fork(~0ULL);
+    shared_trace_ =
+        std::make_shared<const IrradianceTrace>(make_trace(sky_rng));
+  }
+}
+
+IrradianceTrace FleetSimulator::make_trace(Rng& rng) const {
+  switch (scenario_.trace_kind) {
+    case TraceKind::kConstant:
+      return IrradianceTrace::constant(scenario_.constant_g);
+    case TraceKind::kDiurnal: {
+      DiurnalArcParams params;
+      params.day_length = scenario_.day_length;
+      return diurnal_arc(rng, params);
+    }
+    case TraceKind::kClouds: {
+      CloudFieldParams params;
+      params.day.day_length = scenario_.day_length;
+      // Scale the default deck (tuned for a 0.25 s compressed day) with the
+      // scenario timeline so cloud counts stay day-length invariant.
+      const double stretch = scenario_.day_length.value() / 0.25;
+      params.mean_gap = Seconds(0.03 * stretch);
+      params.mean_duration = Seconds(0.01 * stretch);
+      return cloud_field(rng, params);
+    }
+    case TraceKind::kIndoor: {
+      IndoorDutyParams params;
+      params.duration = scenario_.day_length;
+      const double stretch = scenario_.day_length.value() / 0.25;
+      params.mean_on = Seconds(0.04 * stretch);
+      params.mean_off = Seconds(0.02 * stretch);
+      return indoor_duty(rng, params);
+    }
+    case TraceKind::kCsv:
+      return IrradianceTrace::from_csv(scenario_.trace_csv);
+  }
+  throw ModelError("FleetSimulator: unknown trace kind");
+}
+
+NodeSample FleetSimulator::sample_node(int index) const {
+  Rng rng = Rng(scenario_.seed).fork(static_cast<std::uint64_t>(index));
+  return sample_node(index, rng);
+}
+
+NodeSample FleetSimulator::sample_node(int index, Rng& rng) const {
+  NodeSample s;
+  s.index = index;
+  s.pv_scale = rng.uniform(scenario_.pv_scale_min, scenario_.pv_scale_max);
+  // Log-uniform: capacitor vendors quote decade series, and a fleet spans
+  // decades of storage size, not a linear band.
+  s.solar_capacitance =
+      Farads(std::exp(rng.uniform(std::log(scenario_.solar_cap_min.value()),
+                                  std::log(scenario_.solar_cap_max.value()))));
+  static constexpr ProcessCorner kCorners[] = {
+      ProcessCorner::kSlowSlow, ProcessCorner::kTypical,
+      ProcessCorner::kFastFast};
+  s.conditions.corner =
+      kCorners[rng.weighted(scenario_.corner_weights.data(),
+                            scenario_.corner_weights.size())];
+  s.conditions.temperature_c =
+      std::clamp(rng.normal(scenario_.temperature_mean_c,
+                            scenario_.temperature_sigma_c),
+                 -20.0, 85.0);
+  s.min_energy = rng.uniform() < scenario_.min_energy_fraction;
+  s.job_phase = scenario_.job_cycles > 0.0
+                    ? Seconds(rng.uniform(0.0, scenario_.job_period.value()))
+                    : Seconds(0.0);
+  return s;
+}
+
+namespace {
+
+/// Mean relative MPP-voltage error over the waveform samples where the node
+/// was tracking under the regulator with a running clock.  Irradiance is
+/// quantized to 0.01-sun buckets before the MPP solve so a day-long record
+/// costs at most ~100 solves (served by SystemModel's cache thereafter).
+double mppt_tracking_error(const Waveform& wf, const SystemModel& model) {
+  const std::vector<double>& v_solar = wf.series("v_solar");
+  const std::vector<double>& irradiance = wf.series("irradiance");
+  const std::vector<double>& frequency = wf.series("frequency_hz");
+  const std::vector<double>& path = wf.series("path");
+  double total = 0.0;
+  std::size_t samples = 0;
+  for (std::size_t i = 0; i < v_solar.size(); ++i) {
+    if (path[i] != static_cast<double>(static_cast<int>(PowerPath::kRegulated)))
+      continue;
+    if (frequency[i] <= 0.0 || irradiance[i] < 0.05) continue;
+    const double g = std::round(irradiance[i] * 100.0) / 100.0;
+    if (g < 0.05) continue;
+    const double v_mpp = model.mpp(g).voltage.value();
+    if (v_mpp <= 0.0) continue;
+    total += std::abs(v_solar[i] - v_mpp) / v_mpp;
+    ++samples;
+  }
+  return samples > 0 ? total / static_cast<double>(samples) : 0.0;
+}
+
+}  // namespace
+
+NodeResult FleetSimulator::run_node(int index,
+                                    const IrradianceTrace* shared) const {
+  // One stream per node: the sampling draws come first, then (for per-node
+  // skies) the trace draws continue on the same stream.
+  Rng rng = Rng(scenario_.seed).fork(static_cast<std::uint64_t>(index));
+  NodeResult result;
+  result.sample = sample_node(index, rng);
+  const NodeSample& s = result.sample;
+
+  // --- Hardware: sampled PV size, storage, and process corner. --------------
+  SocConfig cfg;
+  cfg.pv = PvCellParams{};
+  cfg.pv.isc_full_sun = cfg.pv.isc_full_sun * s.pv_scale;
+  cfg.solar_capacitance = s.solar_capacitance;
+  cfg.vdd_capacitance = scenario_.vdd_cap;
+  cfg.time_step = scenario_.time_step;
+  cfg.waveform_interval = scenario_.waveform_interval;
+
+  const PvCell cell(cfg.pv);
+  const SwitchedCapRegulator model_regulator;
+  const Processor processor = make_test_chip_at(s.conditions);
+  const SystemModel model(cell, model_regulator, processor);
+
+  // --- Controller: sampled policy + the periodic job workload. --------------
+  EnergyManagerParams manager_params;
+  manager_params.mode =
+      s.min_energy ? ManagerMode::kMinEnergy : ManagerMode::kMaxPerformance;
+  EnergyManager manager(model, manager_params);
+  PeriodicJobController controller(manager, scenario_.job_cycles,
+                                   scenario_.job_period, scenario_.job_deadline,
+                                   s.job_phase);
+
+  // --- One simulated day. ---------------------------------------------------
+  const IrradianceTrace trace = shared ? *shared : make_trace(rng);
+  SocSystem soc(cfg, std::make_unique<SwitchedCapRegulator>(), processor);
+  const SimResult sim = soc.run(trace, controller, scenario_.day_length);
+
+  result.cycles = sim.totals.cycles;
+  result.brownouts = sim.totals.brownouts;
+  result.timing_faults = sim.totals.timing_faults;
+  result.jobs_submitted = controller.jobs_submitted();
+  result.jobs_completed = manager.jobs_completed();
+  result.jobs_missed = manager.jobs_missed();
+  const int adjudicated = result.jobs_completed + result.jobs_missed;
+  result.deadline_hit_rate =
+      adjudicated > 0
+          ? static_cast<double>(result.jobs_completed) / adjudicated
+          : 1.0;
+  result.mppt_error = mppt_tracking_error(sim.waveform, model);
+  result.harvested = sim.totals.harvested;
+  result.delivered = sim.totals.delivered_to_processor;
+  result.halted = sim.totals.halted_time;
+  result.energy_per_job =
+      result.jobs_completed > 0
+          ? sim.totals.delivered_to_processor / result.jobs_completed
+          : Joules(0.0);
+  return result;
+}
+
+FleetReport FleetSimulator::run(const FleetOptions& opts) const {
+  const IrradianceTrace* shared = shared_trace_.get();
+  std::vector<NodeResult> results = sweep_indexed(
+      static_cast<std::size_t>(scenario_.nodes),
+      [&](std::size_t i) { return run_node(static_cast<int>(i), shared); },
+      {.pool = opts.pool, .parallel = opts.parallel});
+  return aggregate(scenario_, std::move(results));
+}
+
+}  // namespace hemp

@@ -1,0 +1,82 @@
+// Fleet simulator: N heterogeneous battery-less nodes over one simulated day.
+//
+// Instantiates `scenario.nodes` independent SocSystem transients — each with
+// PV size, storage capacitance, fab corner, junction temperature, and
+// controller policy sampled from the scenario distributions via
+// Rng(seed).fork(node) — drives each over a shared or per-node irradiance
+// trace, and reduces the per-node results into a FleetReport.
+//
+// Determinism contract: every stochastic choice for node i depends only on
+// (scenario.seed, i), each node's transient is single-threaded IEEE
+// arithmetic, and results land in per-node slots (sim/sweep.hpp), so the
+// parallel run is bit-identical to the serial run and the same seed yields
+// the same summary hash on every rerun.
+#pragma once
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "core/energy_manager.hpp"
+#include "fleet/report.hpp"
+#include "fleet/scenario.hpp"
+#include "harvester/light_environment.hpp"
+
+namespace hemp {
+
+/// Wraps an EnergyManager and submits one deadline job every `period`,
+/// starting at `phase` — the fleet's stand-in for a sense/compute duty cycle.
+class PeriodicJobController : public SocController {
+ public:
+  PeriodicJobController(EnergyManager& manager, double job_cycles,
+                        Seconds period, Seconds deadline, Seconds phase);
+
+  void on_start(const SocState& state, SocCommand& cmd) override;
+  void on_tick(const SocState& state, SocCommand& cmd) override;
+  void on_comparator(const ComparatorEvent& event, const SocState& state,
+                     SocCommand& cmd) override;
+
+  [[nodiscard]] int jobs_submitted() const { return jobs_submitted_; }
+
+ private:
+  EnergyManager* manager_;
+  double job_cycles_;
+  Seconds period_;
+  Seconds deadline_;
+  Seconds next_submit_;
+  int jobs_submitted_ = 0;
+};
+
+struct FleetOptions {
+  /// Pool to shard nodes onto; nullptr uses ThreadPool::shared().
+  ThreadPool* pool = nullptr;
+  /// false runs the serial reference loop (bit-identical results).
+  bool parallel = true;
+};
+
+class FleetSimulator {
+ public:
+  explicit FleetSimulator(FleetScenario scenario);
+
+  /// Run the whole fleet and aggregate.  Safe to call repeatedly; every run
+  /// with the same scenario returns a bit-identical report.
+  [[nodiscard]] FleetReport run(const FleetOptions& opts = {}) const;
+
+  /// Draw node `index`'s identity (exposed for tests: sampling must depend
+  /// only on (seed, index)).
+  [[nodiscard]] NodeSample sample_node(int index) const;
+
+  [[nodiscard]] const FleetScenario& scenario() const { return scenario_; }
+
+ private:
+  [[nodiscard]] NodeSample sample_node(int index, Rng& rng) const;
+  [[nodiscard]] IrradianceTrace make_trace(Rng& rng) const;
+  [[nodiscard]] NodeResult run_node(int index,
+                                    const IrradianceTrace* shared) const;
+
+  FleetScenario scenario_;
+  /// Set when the scenario shares one sky across the fleet (or replays CSV).
+  std::shared_ptr<const IrradianceTrace> shared_trace_;
+};
+
+}  // namespace hemp

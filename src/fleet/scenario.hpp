@@ -1,0 +1,80 @@
+// Fleet scenario description: everything that defines a population run.
+//
+// A scenario is a plain-text `key = value` file (see scenarios/*.scn) naming
+// the population size, the master seed, the compressed-day timeline, the
+// light model, the node heterogeneity distributions, and the periodic job
+// workload.  One scenario + one seed fully determines a FleetReport — the
+// fleet simulator derives every stochastic choice from Rng(seed).fork(node).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace hemp {
+
+/// Which light model drives the fleet.
+enum class TraceKind {
+  kConstant,  ///< fixed irradiance (calibration runs)
+  kDiurnal,   ///< per-node jittered diurnal arc (clear outdoor day)
+  kClouds,    ///< diurnal arc shaded by a random cloud field
+  kIndoor,    ///< duty-cycled indoor lighting
+  kCsv,       ///< recorded trace replayed from trace_csv (always shared)
+};
+
+TraceKind trace_kind_from_string(const std::string& name);
+std::string to_string(TraceKind kind);
+
+struct FleetScenario {
+  std::string name = "fleet";
+  int nodes = 64;
+  std::uint64_t seed = 1;
+
+  // --- Timeline: one physical day compressed into a short transient window
+  // (the diurnal builder's documented use), integrated at `time_step`.
+  Seconds day_length{0.25};
+  Seconds time_step{5e-6};
+  Seconds waveform_interval{250e-6};
+
+  // --- Light model.
+  TraceKind trace_kind = TraceKind::kDiurnal;
+  /// true: every node sees the same sky (one sampled trace); false: each
+  /// node gets its own independently seeded trace.  CSV replay is always
+  /// shared (the recording *is* the sky).
+  bool shared_trace = false;
+  double constant_g = 1.0;  ///< level for TraceKind::kConstant
+  std::string trace_csv;    ///< recording path for TraceKind::kCsv
+
+  // --- Node heterogeneity: PV size (Isc scale), storage capacitance
+  // (log-uniform), fab corner (weighted SS/TT/FF), junction temperature
+  // (normal, clamped to [-20, 85] C), and controller policy mix.
+  double pv_scale_min = 0.6;
+  double pv_scale_max = 1.4;
+  Farads solar_cap_min{22e-6};
+  Farads solar_cap_max{100e-6};
+  Farads vdd_cap{10e-6};
+  std::array<double, 3> corner_weights{0.2, 0.6, 0.2};  ///< SS, TT, FF
+  double temperature_mean_c = 25.0;
+  double temperature_sigma_c = 8.0;
+  /// Fraction of nodes running the min-energy (holistic MEP) policy; the
+  /// rest run max-performance MPP tracking.
+  double min_energy_fraction = 0.25;
+
+  // --- Periodic deadline jobs (0 cycles disables the workload).
+  double job_cycles = 2e6;
+  Seconds job_period{0.04};
+  Seconds job_deadline{8e-3};
+
+  void validate() const;
+
+  /// Parse a scenario from `key = value` text ('#' comments, blank lines
+  /// allowed).  Unknown keys throw ModelError — typos must not silently
+  /// fall back to defaults.
+  static FleetScenario from_string(const std::string& text);
+  /// Parse a scenario file.
+  static FleetScenario from_file(const std::string& path);
+};
+
+}  // namespace hemp

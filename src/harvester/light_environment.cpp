@@ -5,6 +5,7 @@
 #include <numbers>
 #include <utility>
 
+#include "common/csv.hpp"
 #include "common/error.hpp"
 
 namespace hemp {
@@ -126,6 +127,31 @@ IrradianceTrace IrradianceTrace::piecewise(
         return points.back().second;
       },
       "piecewise");
+}
+
+IrradianceTrace IrradianceTrace::from_csv(const std::string& path) {
+  const CsvTable table = read_csv(path);
+  const std::size_t t_col = table.column_index("time_s");
+  const std::size_t g_col = table.column_index("irradiance");
+  HEMP_REQUIRE(table.rows.size() >= 2,
+               "IrradianceTrace::from_csv: " + path + " needs >= 2 samples");
+
+  std::vector<std::pair<Seconds, double>> points;
+  points.reserve(table.rows.size());
+  for (std::size_t i = 0; i < table.rows.size(); ++i) {
+    const double t = table.rows[i][t_col];
+    if (!points.empty() && t <= points.back().first.value()) {
+      throw ModelError("IrradianceTrace::from_csv: " + path + ": time_s not "
+                       "strictly increasing at sample " + std::to_string(i) +
+                       " (" + std::to_string(t) + " after " +
+                       std::to_string(points.back().first.value()) + ")");
+    }
+    const double g = std::clamp(table.rows[i][g_col], 0.0, 1.0);
+    points.emplace_back(Seconds(t), g);
+  }
+  IrradianceTrace trace = piecewise(std::move(points));
+  return IrradianceTrace([trace](Seconds t) { return trace.at(t); },
+                         "csv:" + path);
 }
 
 }  // namespace hemp

@@ -73,6 +73,15 @@ class IrradianceTrace {
   /// Piecewise-linear trace through (time, G) breakpoints.
   static IrradianceTrace piecewise(std::vector<std::pair<Seconds, double>> points);
 
+  /// Recorded daylight trace loaded from a CSV file with `time_s` and
+  /// `irradiance` columns (any extra columns are ignored; see common/csv for
+  /// the accepted syntax).  Timestamps must be strictly increasing —
+  /// violations throw ModelError naming the offending row — and irradiance
+  /// samples are clamped into [0, 1] so sensor glitches in a field recording
+  /// cannot push the simulator out of the PV model's calibrated range.
+  /// Queries interpolate linearly and clamp beyond the recorded span.
+  static IrradianceTrace from_csv(const std::string& path);
+
  private:
   Profile profile_;
   std::string description_;

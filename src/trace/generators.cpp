@@ -1,0 +1,107 @@
+#include "trace/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace hemp {
+
+void DiurnalArcParams::validate() const {
+  HEMP_REQUIRE(day_length.value() > 0.0, "DiurnalArc: day_length must be positive");
+  HEMP_REQUIRE(0.0 < peak_min && peak_min <= peak_max && peak_max <= 1.0,
+               "DiurnalArc: need 0 < peak_min <= peak_max <= 1");
+  HEMP_REQUIRE(0.0 <= sunrise_min && sunrise_min <= sunrise_max &&
+                   sunrise_max < 0.5,
+               "DiurnalArc: need 0 <= sunrise_min <= sunrise_max < 0.5");
+}
+
+IrradianceTrace diurnal_arc(Rng& rng, const DiurnalArcParams& params) {
+  params.validate();
+  const double peak = rng.uniform(params.peak_min, params.peak_max);
+  const double rise_frac = rng.uniform(params.sunrise_min, params.sunrise_max);
+  const Seconds sunrise = params.day_length * rise_frac;
+  const Seconds sunset = params.day_length * (1.0 - rise_frac);
+  return IrradianceTrace::diurnal(peak, sunrise, sunset);
+}
+
+namespace {
+
+/// Exponential deviate with the given mean (inverse-CDF of a uniform draw).
+double exponential(Rng& rng, double mean) {
+  // 1 - uniform() is in (0, 1], so the log is finite.
+  return -mean * std::log(1.0 - rng.uniform());
+}
+
+}  // namespace
+
+void CloudFieldParams::validate() const {
+  day.validate();
+  HEMP_REQUIRE(mean_gap.value() > 0.0, "CloudField: mean_gap must be positive");
+  HEMP_REQUIRE(mean_duration.value() > 0.0,
+               "CloudField: mean_duration must be positive");
+  HEMP_REQUIRE(0.0 <= depth_min && depth_min <= depth_max && depth_max <= 1.0,
+               "CloudField: need 0 <= depth_min <= depth_max <= 1");
+}
+
+IrradianceTrace cloud_field(Rng& rng, const CloudFieldParams& params) {
+  params.validate();
+  // Sample the whole day's cloud deck now; the returned trace is pure.
+  std::vector<IrradianceTrace::CloudEvent> events;
+  double t = exponential(rng, params.mean_gap.value());
+  while (t < params.day.day_length.value()) {
+    const double duration = exponential(rng, params.mean_duration.value());
+    const double depth = rng.uniform(params.depth_min, params.depth_max);
+    events.push_back({Seconds(t), Seconds(std::max(duration, 1e-9)), depth});
+    t += duration + exponential(rng, params.mean_gap.value());
+  }
+  IrradianceTrace sky = diurnal_arc(rng, params.day);
+  return IrradianceTrace(
+      [sky = std::move(sky), events = std::move(events)](Seconds now) {
+        double g = sky.at(now);
+        for (const auto& e : events) {
+          if (now >= e.start && now < e.start + e.duration) {
+            g = std::min(g, g * (1.0 - e.depth));
+          }
+        }
+        return g;
+      },
+      "cloud field");
+}
+
+void IndoorDutyParams::validate() const {
+  HEMP_REQUIRE(duration.value() > 0.0, "IndoorDuty: duration must be positive");
+  HEMP_REQUIRE(mean_on.value() > 0.0 && mean_off.value() > 0.0,
+               "IndoorDuty: dwell means must be positive");
+  HEMP_REQUIRE(0.0 <= g_off && g_off <= g_on_min && g_on_min <= g_on_max &&
+                   g_on_max <= 1.0,
+               "IndoorDuty: need 0 <= g_off <= g_on_min <= g_on_max <= 1");
+}
+
+IrradianceTrace indoor_duty(Rng& rng, const IndoorDutyParams& params) {
+  params.validate();
+  const double g_on = rng.uniform(params.g_on_min, params.g_on_max);
+  // Precompute the switching schedule as a sorted list of (edge time, level
+  // after the edge); the trace is a binary-searchable step function.
+  std::vector<std::pair<double, double>> edges;
+  double t = 0.0;
+  bool on = rng.uniform() < 0.5;  // half the rooms start lit
+  edges.emplace_back(0.0, on ? g_on : params.g_off);
+  while (t < params.duration.value()) {
+    t += exponential(rng, on ? params.mean_on.value() : params.mean_off.value());
+    on = !on;
+    edges.emplace_back(t, on ? g_on : params.g_off);
+  }
+  return IrradianceTrace(
+      [edges = std::move(edges)](Seconds now) {
+        const auto it = std::upper_bound(
+            edges.begin(), edges.end(), now.value(),
+            [](double v, const std::pair<double, double>& e) { return v < e.first; });
+        return std::prev(it)->second;
+      },
+      "indoor duty cycle");
+}
+
+}  // namespace hemp

@@ -1,0 +1,70 @@
+// Seeded stochastic irradiance generators for the fleet layer.
+//
+// A fleet run needs hundreds of *different but reproducible* light profiles:
+// a south-facing roof node and a window-sill node must not see the same sky,
+// yet the whole population must be bit-identical when re-run with the same
+// scenario seed.  Every generator here draws all of its randomness from an
+// explicit hemp::Rng up front, freezes the draws into an immutable event
+// list, and returns a pure IrradianceTrace — `at(t)` never touches the RNG,
+// so traces can be shared across worker threads and query order cannot
+// change a single sample.
+//
+// The day is expressed in *trace time*: a scenario compresses a physical day
+// into a short transient window (the diurnal builder's documented use), so
+// `day_length` here is the compressed duration the SocSystem actually
+// integrates.
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "harvester/light_environment.hpp"
+
+namespace hemp {
+
+/// A realistic outdoor day: raised-cosine diurnal arc with the peak level,
+/// sunrise, and sunset jittered per node (panel orientation, horizon
+/// obstructions, haze).
+struct DiurnalArcParams {
+  Seconds day_length{0.25};  ///< compressed trace duration representing a day
+  double peak_min = 0.75;    ///< darkest peak sampled (hazy day)
+  double peak_max = 1.0;     ///< brightest peak sampled (clear day)
+  /// Sunrise sampled uniformly in [sunrise_min, sunrise_max] * day_length;
+  /// sunset mirrors it at the end of the day.
+  double sunrise_min = 0.05;
+  double sunrise_max = 0.20;
+
+  void validate() const;
+};
+IrradianceTrace diurnal_arc(Rng& rng, const DiurnalArcParams& params);
+
+/// A diurnal arc shaded by a random cloud field: cloud arrivals are a
+/// renewal process (exponential gaps), each cloud a rectangular dip with
+/// sampled duration and depth — the stochastic generalization of the
+/// paper's "light dimmed due to an obstacle" step events.
+struct CloudFieldParams {
+  DiurnalArcParams day{};
+  Seconds mean_gap{0.03};       ///< mean clear-sky interval between clouds
+  Seconds mean_duration{0.01};  ///< mean cloud transit time
+  double depth_min = 0.3;       ///< lightest shading (thin cloud)
+  double depth_max = 0.95;      ///< heaviest shading (dark cumulus)
+
+  void validate() const;
+};
+IrradianceTrace cloud_field(Rng& rng, const CloudFieldParams& params);
+
+/// Indoor node under duty-cycled artificial lighting: the room light switches
+/// on and off with jittered dwell times, between a dim ambient floor and a
+/// sampled "lights on" level in the indoor range of Fig. 2.
+struct IndoorDutyParams {
+  Seconds duration{0.25};   ///< trace span to fill with on/off intervals
+  Seconds mean_on{0.04};    ///< mean lights-on dwell
+  Seconds mean_off{0.02};   ///< mean lights-off dwell
+  double g_on_min = 0.02;   ///< office lighting
+  double g_on_max = 0.06;   ///< bright task lighting near a window
+  double g_off = 0.002;     ///< ambient spill when the lights are off
+
+  void validate() const;
+};
+IrradianceTrace indoor_duty(Rng& rng, const IndoorDutyParams& params);
+
+}  // namespace hemp

@@ -1,0 +1,23 @@
+// Trace recorder: sample an IrradianceTrace to a CSV file that
+// IrradianceTrace::from_csv can load back.
+//
+// Closes the loop between the stochastic generators and recorded-trace
+// replay: a generated sky can be archived (or hand-edited) as a CSV and
+// later drive both the single-node simulator and a whole fleet, exactly as
+// a field-logged daylight recording would.
+#pragma once
+
+#include <string>
+
+#include "common/units.hpp"
+#include "harvester/light_environment.hpp"
+
+namespace hemp {
+
+/// Sample `trace` every `step` over [0, duration] (inclusive of both ends)
+/// and write `time_s,irradiance` rows to `path`.  Returns the sample count.
+/// Values are written clamped to [0, 1] — the contract from_csv enforces.
+std::size_t write_trace_csv(const IrradianceTrace& trace, Seconds duration,
+                            Seconds step, const std::string& path);
+
+}  // namespace hemp

@@ -1,0 +1,119 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace hemp {
+namespace {
+
+TEST(Splitmix64, MatchesReferenceVectors) {
+  // Reference test vectors for splitmix64 with x = 1234567 (the vectors
+  // shipped with the public-domain reference implementation).
+  std::uint64_t x = 1234567;
+  EXPECT_EQ(splitmix64(x), 6457827717110365317ULL);
+  EXPECT_EQ(splitmix64(x), 3203168211198807973ULL);
+  EXPECT_EQ(splitmix64(x), 9817491932198370423ULL);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInHalfOpenUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+  EXPECT_THROW(rng.uniform(1.0, 0.0), ModelError);
+}
+
+TEST(Rng, UniformMeanNearCenter) {
+  Rng rng(99);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(3);
+  std::vector<int> seen(7, 0);
+  for (int i = 0; i < 7000; ++i) ++seen[rng.below(7)];
+  for (const int count : seen) EXPECT_GT(count, 0);
+  EXPECT_THROW(rng.below(0), ModelError);
+}
+
+TEST(Rng, NormalMomentsSane) {
+  Rng rng(11);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sum2 += z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+  EXPECT_NEAR(rng.normal(10.0, 0.0), 10.0, 1e-12);
+  EXPECT_THROW(rng.normal(0.0, -1.0), ModelError);
+}
+
+TEST(Rng, WeightedFollowsWeights) {
+  Rng rng(5);
+  const double weights[] = {0.0, 3.0, 1.0};
+  std::vector<int> seen(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++seen[rng.weighted(weights, 3)];
+  EXPECT_EQ(seen[0], 0);
+  EXPECT_NEAR(static_cast<double>(seen[1]) / n, 0.75, 0.02);
+  EXPECT_NEAR(static_cast<double>(seen[2]) / n, 0.25, 0.02);
+  const double bad[] = {0.0, 0.0};
+  EXPECT_THROW(rng.weighted(bad, 2), ModelError);
+}
+
+TEST(Rng, ForkIsIndependentOfDrawPosition) {
+  Rng a(42);
+  Rng b(42);
+  (void)b.next_u64();  // advance b; forks must not care
+  Rng fa = a.fork(17);
+  Rng fb = b.fork(17);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(fa.next_u64(), fb.next_u64());
+}
+
+TEST(Rng, ForkStreamsAreDecorrelated) {
+  Rng base(42);
+  Rng f0 = base.fork(0);
+  Rng f1 = base.fork(1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += f0.next_u64() == f1.next_u64();
+  EXPECT_EQ(same, 0);
+}
+
+}  // namespace
+}  // namespace hemp

@@ -120,6 +120,62 @@ TEST(EnergyManager, MinEnergyModeUsesLessPowerThanPerfMode) {
   EXPECT_LT(epc_eco, epc_perf);
 }
 
+// --- Light step events: brownout, recovery, re-acquired MPP -----------------
+
+TEST(EnergyManagerLightSteps, DeepStepDownBrownsOut) {
+  Fixture f;
+  EnergyManager mgr(f.model, {});
+  SocSystem soc = f.make_soc();
+  // Settle at full sun, then the lamp goes out entirely: the storage caps
+  // drain and the core must brown out instead of limping along.
+  const SimResult r =
+      soc.run(IrradianceTrace::step(1.0, 0.0, 60.0_ms), mgr, 200.0_ms);
+  EXPECT_GE(r.totals.brownouts, 1);
+  EXPECT_GT(r.totals.halted_time.value(), 0.0);
+  EXPECT_FALSE(r.final_state.processor_running);
+  // All the progress came from the lit interval plus the cap ride-through.
+  EXPECT_GT(r.waveform.value_at("cycles", 60.0_ms), 0.0);
+}
+
+TEST(EnergyManagerLightSteps, StepUpLeavesBypassAndReacquiresMpp) {
+  Fixture f;
+  EnergyManager mgr(f.model, {});
+  SocSystem soc = f.make_soc();
+  // Dim dawn (manager sits in the low-light bypass), then full sun: it must
+  // move back onto the regulator and settle at the new light level's MPP.
+  const SimResult r =
+      soc.run(IrradianceTrace::step(0.02, 1.0, 80.0_ms), mgr, 300.0_ms);
+  EXPECT_FALSE(mgr.in_bypass());
+  EXPECT_TRUE(r.final_state.processor_running);
+  const MaxPowerPoint mpp = find_mpp(f.cell, 1.0);
+  EXPECT_NEAR(r.final_state.v_solar.value(), mpp.voltage.value(), 0.1);
+  // Nearly all forward progress comes after the step.
+  const double before_step = r.waveform.value_at("cycles", 80.0_ms);
+  EXPECT_GT(r.totals.cycles, 2.0 * before_step + 1.0);
+}
+
+TEST(EnergyManagerLightSteps, RecoversMppAfterNightInterval) {
+  Fixture f;
+  EnergyManager mgr(f.model, {});
+  SocSystem soc = f.make_soc();
+  const IrradianceTrace trace(
+      [](Seconds t) {
+        if (t.value() < 0.06) return 1.0;  // morning
+        if (t.value() < 0.14) return 0.0;  // blackout
+        return 1.0;                        // second day
+      },
+      "day-night-day");
+  const SimResult r = soc.run(trace, mgr, 300.0_ms);
+  // The blackout browns the node out...
+  EXPECT_GE(r.totals.brownouts, 1);
+  // ...but the second day re-acquires the MPP and resumes retiring work.
+  EXPECT_FALSE(mgr.in_bypass());
+  const MaxPowerPoint mpp = find_mpp(f.cell, 1.0);
+  EXPECT_NEAR(r.final_state.v_solar.value(), mpp.voltage.value(), 0.1);
+  const double after_dawn = r.waveform.value_at("cycles", 160.0_ms);
+  EXPECT_GT(r.totals.cycles, after_dawn);
+}
+
 TEST(EnergyManager, SubmitValidation) {
   Fixture f;
   EnergyManager mgr(f.model, {});

@@ -1,0 +1,119 @@
+#include "fleet/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace hemp {
+namespace {
+
+TEST(FleetScenario, DefaultsValidate) {
+  FleetScenario s;
+  EXPECT_NO_THROW(s.validate());
+}
+
+TEST(FleetScenario, ParsesFullDescription) {
+  const FleetScenario s = FleetScenario::from_string(R"(
+# fleet smoke scenario
+name = smoke
+nodes = 12
+seed = 99
+day_length_s = 0.1        # compressed day
+time_step_us = 10
+waveform_interval_us = 500
+trace = clouds
+shared_trace = true
+pv_scale_min = 0.8
+pv_scale_max = 1.2
+solar_cap_min_uf = 33
+solar_cap_max_uf = 68
+vdd_cap_uf = 4.7
+corner_ss = 0.1
+corner_tt = 0.8
+corner_ff = 0.1
+temperature_mean_c = 30
+temperature_sigma_c = 4
+min_energy_fraction = 0.5
+job_cycles = 1e6
+job_period_ms = 20
+job_deadline_ms = 5
+)");
+  EXPECT_EQ(s.name, "smoke");
+  EXPECT_EQ(s.nodes, 12);
+  EXPECT_EQ(s.seed, 99u);
+  EXPECT_DOUBLE_EQ(s.day_length.value(), 0.1);
+  EXPECT_DOUBLE_EQ(s.time_step.value(), 10e-6);
+  EXPECT_DOUBLE_EQ(s.waveform_interval.value(), 500e-6);
+  EXPECT_EQ(s.trace_kind, TraceKind::kClouds);
+  EXPECT_TRUE(s.shared_trace);
+  EXPECT_DOUBLE_EQ(s.pv_scale_max, 1.2);
+  EXPECT_DOUBLE_EQ(s.solar_cap_min.value(), 33e-6);
+  EXPECT_DOUBLE_EQ(s.vdd_cap.value(), 4.7e-6);
+  EXPECT_DOUBLE_EQ(s.corner_weights[1], 0.8);
+  EXPECT_DOUBLE_EQ(s.temperature_mean_c, 30.0);
+  EXPECT_DOUBLE_EQ(s.min_energy_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(s.job_cycles, 1e6);
+  EXPECT_DOUBLE_EQ(s.job_period.value(), 0.02);
+  EXPECT_DOUBLE_EQ(s.job_deadline.value(), 0.005);
+}
+
+TEST(FleetScenario, UnknownKeyThrows) {
+  EXPECT_THROW(FleetScenario::from_string("nodez = 10\n"), ModelError);
+}
+
+TEST(FleetScenario, MalformedLineThrows) {
+  EXPECT_THROW(FleetScenario::from_string("nodes 10\n"), ModelError);
+  EXPECT_THROW(FleetScenario::from_string("nodes = ten\n"), ModelError);
+  EXPECT_THROW(FleetScenario::from_string("shared_trace = maybe\n"), ModelError);
+}
+
+TEST(FleetScenario, TraceKindRoundTrips) {
+  for (const auto kind :
+       {TraceKind::kConstant, TraceKind::kDiurnal, TraceKind::kClouds,
+        TraceKind::kIndoor, TraceKind::kCsv}) {
+    EXPECT_EQ(trace_kind_from_string(to_string(kind)), kind);
+  }
+  EXPECT_THROW(trace_kind_from_string("sunny"), ModelError);
+}
+
+TEST(FleetScenario, ValidationCatchesBadRanges) {
+  FleetScenario s;
+  s.nodes = 0;
+  EXPECT_THROW(s.validate(), ModelError);
+
+  s = FleetScenario{};
+  s.trace_kind = TraceKind::kCsv;  // no trace_csv path
+  EXPECT_THROW(s.validate(), ModelError);
+
+  s = FleetScenario{};
+  s.pv_scale_min = 1.5;
+  s.pv_scale_max = 1.0;
+  EXPECT_THROW(s.validate(), ModelError);
+
+  s = FleetScenario{};
+  s.corner_weights = {0.0, 0.0, 0.0};
+  EXPECT_THROW(s.validate(), ModelError);
+
+  s = FleetScenario{};
+  s.min_energy_fraction = 1.5;
+  EXPECT_THROW(s.validate(), ModelError);
+
+  s = FleetScenario{};
+  s.job_cycles = 1e6;
+  s.job_period = Seconds(0.0);
+  EXPECT_THROW(s.validate(), ModelError);
+
+  s = FleetScenario{};
+  s.waveform_interval = Seconds(1e-6);  // below time_step
+  EXPECT_THROW(s.validate(), ModelError);
+}
+
+TEST(FleetScenario, JobsCanBeDisabled) {
+  FleetScenario s;
+  s.job_cycles = 0.0;
+  s.job_period = Seconds(0.0);  // ignored when the workload is off
+  EXPECT_NO_THROW(s.validate());
+}
+
+}  // namespace
+}  // namespace hemp

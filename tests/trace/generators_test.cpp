@@ -1,0 +1,135 @@
+#include "trace/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hemp {
+namespace {
+
+/// Max |a - b| over a uniform scan of both traces.
+double max_divergence(const IrradianceTrace& a, const IrradianceTrace& b,
+                      double duration) {
+  double worst = 0.0;
+  for (int i = 0; i <= 1000; ++i) {
+    const Seconds t(duration * i / 1000.0);
+    worst = std::max(worst, std::abs(a.at(t) - b.at(t)));
+  }
+  return worst;
+}
+
+TEST(DiurnalArc, SameSeedSameTrace) {
+  Rng a(123), b(123);
+  const DiurnalArcParams params{};
+  const IrradianceTrace ta = diurnal_arc(a, params);
+  const IrradianceTrace tb = diurnal_arc(b, params);
+  EXPECT_EQ(max_divergence(ta, tb, params.day_length.value()), 0.0);
+}
+
+TEST(DiurnalArc, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  const DiurnalArcParams params{};
+  const IrradianceTrace ta = diurnal_arc(a, params);
+  const IrradianceTrace tb = diurnal_arc(b, params);
+  EXPECT_GT(max_divergence(ta, tb, params.day_length.value()), 1e-3);
+}
+
+TEST(DiurnalArc, DarkAtNightPeakedAtNoon) {
+  Rng rng(7);
+  const DiurnalArcParams params{};
+  const IrradianceTrace trace = diurnal_arc(rng, params);
+  const double T = params.day_length.value();
+  EXPECT_DOUBLE_EQ(trace.at(Seconds(0.0)), 0.0);
+  EXPECT_DOUBLE_EQ(trace.at(Seconds(T)), 0.0);
+  const double noon = trace.at(Seconds(T / 2));
+  EXPECT_GE(noon, params.peak_min);
+  EXPECT_LE(noon, params.peak_max);
+  EXPECT_GT(noon, trace.at(Seconds(T / 4)));
+}
+
+TEST(DiurnalArc, ParamValidation) {
+  Rng rng(1);
+  DiurnalArcParams p;
+  p.peak_min = 1.2;
+  p.peak_max = 1.3;  // beyond full sun
+  EXPECT_THROW(diurnal_arc(rng, p), ModelError);
+  p = DiurnalArcParams{};
+  p.sunrise_max = 0.6;  // sunrise after noon
+  EXPECT_THROW(diurnal_arc(rng, p), ModelError);
+}
+
+TEST(CloudField, SameSeedSameTrace) {
+  Rng a(55), b(55);
+  const CloudFieldParams params{};
+  const IrradianceTrace ta = cloud_field(a, params);
+  const IrradianceTrace tb = cloud_field(b, params);
+  EXPECT_EQ(max_divergence(ta, tb, params.day.day_length.value()), 0.0);
+}
+
+TEST(CloudField, ShadesButNeverBrightensTheClearSky) {
+  // Pin the sky so its envelope is analytic; only the cloud deck is random.
+  CloudFieldParams params;
+  params.day.peak_min = params.day.peak_max = 1.0;
+  params.day.sunrise_min = params.day.sunrise_max = 0.1;
+  Rng rng(9);
+  const IrradianceTrace cloudy = cloud_field(rng, params);
+  const double T = params.day.day_length.value();
+  const double sunrise = 0.1 * T, sunset = 0.9 * T;
+  auto clear_sky = [&](double t) {
+    if (t <= sunrise || t >= sunset) return 0.0;
+    const double s = std::sin(3.141592653589793 * (t - sunrise) / (sunset - sunrise));
+    return s * s;
+  };
+  int shaded = 0;
+  for (int i = 0; i <= 2000; ++i) {
+    const double t = T * i / 2000.0;
+    const double g = cloudy.at(Seconds(t));
+    EXPECT_GE(g, 0.0);
+    EXPECT_LE(g, clear_sky(t) + 1e-12);
+    if (g < clear_sky(t) - 1e-9) ++shaded;
+  }
+  EXPECT_GT(shaded, 0);  // the deck must actually shade part of the day
+}
+
+TEST(IndoorDuty, SameSeedSameTrace) {
+  Rng a(77), b(77);
+  const IndoorDutyParams params{};
+  const IrradianceTrace ta = indoor_duty(a, params);
+  const IrradianceTrace tb = indoor_duty(b, params);
+  EXPECT_EQ(max_divergence(ta, tb, params.duration.value()), 0.0);
+}
+
+TEST(IndoorDuty, TogglesBetweenTwoLevels) {
+  Rng rng(31);
+  const IndoorDutyParams params{};
+  const IrradianceTrace trace = indoor_duty(rng, params);
+  bool saw_on = false, saw_off = false;
+  for (int i = 0; i <= 5000; ++i) {
+    const Seconds t(params.duration.value() * i / 5000.0);
+    const double g = trace.at(t);
+    if (g == params.g_off) {
+      saw_off = true;
+    } else {
+      EXPECT_GE(g, params.g_on_min);
+      EXPECT_LE(g, params.g_on_max);
+      saw_on = true;
+    }
+  }
+  EXPECT_TRUE(saw_on);
+  EXPECT_TRUE(saw_off);
+}
+
+TEST(IndoorDuty, ParamValidation) {
+  Rng rng(1);
+  IndoorDutyParams p;
+  p.g_off = 0.5;  // brighter than the lights-on floor
+  EXPECT_THROW(indoor_duty(rng, p), ModelError);
+  p = IndoorDutyParams{};
+  p.mean_on = Seconds(0.0);
+  EXPECT_THROW(indoor_duty(rng, p), ModelError);
+}
+
+}  // namespace
+}  // namespace hemp
