@@ -106,7 +106,10 @@ void bench_optimizers(microbench::Suite& suite, bench::ScRig& rig,
             min_seconds);
 }
 
-void bench_soc_run(microbench::Suite& suite, double simulated_seconds) {
+void bench_soc_run(microbench::Suite& suite, double simulated_seconds,
+                   bool quick) {
+  // One transient run is seconds of wall time, so the batch is pinned at a
+  // single iteration; the repeat loop still reruns it and reports the median.
   suite.run(
       "soc_run_" + std::to_string(static_cast<int>(simulated_seconds * 1e3)) + "ms",
       [&] {
@@ -117,7 +120,7 @@ void bench_soc_run(microbench::Suite& suite, double simulated_seconds) {
         microbench::keep(soc.run(IrradianceTrace::constant(1.0), ctrl,
                                  Seconds(simulated_seconds)));
       },
-      /*min_seconds=*/0.0, /*max_iters=*/1);
+      /*min_seconds=*/0.0, /*max_iters=*/1, /*min_repeats=*/quick ? 3 : 5);
 }
 
 void bench_parallel_sweep(microbench::Suite& suite, bench::ScRig& rig,
@@ -174,7 +177,7 @@ int main(int argc, char** argv) {
   bench_mpp(suite, rig, surfaces, min_seconds);
   bench_light_sweep(suite, rig, surfaces, min_seconds);
   bench_optimizers(suite, rig, surfaces, min_seconds);
-  bench_soc_run(suite, sim_seconds);
+  bench_soc_run(suite, sim_seconds, quick);
   bench_parallel_sweep(suite, rig, surfaces, min_seconds);
 
   suite.print();

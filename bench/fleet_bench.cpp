@@ -1,22 +1,37 @@
-// Fleet perf trajectory: time the fleet simulator serial vs parallel and
-// merge a "fleet_bench" suite into BENCH_perf.json next to bench_perf's.
+// Fleet perf trajectory: time the reference fleet simulator and the batched
+// event-driven kernel, and merge a "fleet_bench" suite into BENCH_perf.json
+// next to bench_perf's.
 //
-// The fleet is the repo's coarsest-grained parallel workload — one whole
-// SocSystem transient per work item — so its serial/parallel ratio is the
-// cleanest read on thread-pool scaling (on a single-core host the honest
-// answer is ~1.0x, and recording that is the point).  The suite also tracks
-// node throughput and asserts the determinism witness: the serial and
-// parallel runs must produce the same summary hash, or the bench aborts.
+// Two workloads are timed:
 //
-// Usage: fleet_bench [--quick] [--out PATH]
-//   --quick   fewer nodes / shorter day (CI smoke job)
-//   --out     JSON output path (default: BENCH_perf.json in the cwd)
+//   * A smoke-scale scenario runs through both engines, giving the honest
+//     batch-vs-reference speedup on identical work plus the thread-pool
+//     scaling ratio (on a single-core host ~1.0x, and recording that is the
+//     point).
+//
+//   * The day1000 scenario (1000 nodes, compressed day) runs through the
+//     batch kernel only — the reference path needs ~10 s/run there, which is
+//     exactly why the kernel exists.  Its single-core run-only throughput is
+//     the headline `batch_nodes_per_sec` metric tracked by bench/baseline.json.
+//
+// Construction (trace flattening, surface builds) is timed separately from
+// run(): the kernel is built once and reused, so the per-run figure is pure
+// stepping throughput.  Both engines must reproduce their own summary hash
+// across serial/parallel runs, or the bench aborts.
+//
+// Usage: fleet_bench [--quick] [--out PATH] [--day1000 PATH]
+//   --quick    fewer nodes / fewer repeats (CI smoke job)
+//   --out      JSON output path (default: BENCH_perf.json in the cwd)
+//   --day1000  day1000 scenario path (default: scenarios/day1000.scn)
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <string>
 
 #include "bench_common.hpp"
 #include "common/thread_pool.hpp"
+#include "fleet/batch_kernel.hpp"
 #include "fleet/fleet_sim.hpp"
 #include "microbench.hpp"
 
@@ -37,6 +52,14 @@ hemp::FleetScenario bench_scenario(bool quick) {
   return s;
 }
 
+bool check_hash(const char* what, std::uint64_t a, std::uint64_t b) {
+  if (a == b) return true;
+  std::fprintf(stderr, "fleet_bench: determinism violation — %s: %s vs %s\n",
+               what, hemp::hash_hex(a).c_str(),
+               hemp::hash_hex(b).c_str());
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -44,19 +67,25 @@ int main(int argc, char** argv) {
 
   bool quick = false;
   std::string out_path = "BENCH_perf.json";
+  std::string day1000_path = "scenarios/day1000.scn";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--day1000") == 0 && i + 1 < argc) {
+      day1000_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: fleet_bench [--quick] [--out PATH]\n");
+      std::fprintf(stderr,
+                   "usage: fleet_bench [--quick] [--out PATH] "
+                   "[--day1000 PATH]\n");
       return 2;
     }
   }
+  const int repeats = quick ? 3 : 5;
 
   bench::header("fleet_bench",
-                "fleet simulator scaling (merged into BENCH_perf.json)");
+                "fleet engine scaling, reference vs batch (BENCH_perf.json)");
   const FleetScenario scenario = bench_scenario(quick);
   const FleetSimulator sim(scenario);
 
@@ -70,7 +99,7 @@ int main(int argc, char** argv) {
         serial_hash = r.summary_hash;
         microbench::keep(r.total_cycles);
       },
-      /*min_seconds=*/0.0, /*max_iters=*/1);
+      /*min_seconds=*/0.0, /*max_iters=*/1, repeats);
   const auto parallel = suite.run(
       "fleet_run_parallel",
       [&] {
@@ -78,31 +107,94 @@ int main(int argc, char** argv) {
         parallel_hash = r.summary_hash;
         microbench::keep(r.total_cycles);
       },
-      /*min_seconds=*/0.0, /*max_iters=*/1);
-
-  if (serial_hash != parallel_hash) {
-    std::fprintf(stderr,
-                 "fleet_bench: determinism violation — serial %s vs "
-                 "parallel %s\n",
-                 hash_hex(serial_hash).c_str(), hash_hex(parallel_hash).c_str());
+      /*min_seconds=*/0.0, /*max_iters=*/1, repeats);
+  if (!check_hash("reference serial vs parallel", serial_hash, parallel_hash)) {
     return 1;
+  }
+
+  // Batch kernel on the same scenario.  Construction (trace flattening and
+  // surface builds, exact solves allowed) is timed once; the timed run() is
+  // pure event-driven stepping.
+  const auto batch_build_start = std::chrono::steady_clock::now();
+  const BatchFleetKernel kernel(scenario);
+  const double batch_build_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    batch_build_start)
+          .count();
+  std::uint64_t batch_serial_hash = 0;
+  std::uint64_t batch_parallel_hash = 0;
+  const auto batch_serial = suite.run(
+      "batch_run_serial",
+      [&] {
+        const FleetReport r = kernel.run({.parallel = false});
+        batch_serial_hash = r.summary_hash;
+        microbench::keep(r.total_cycles);
+      },
+      /*min_seconds=*/0.0, /*max_iters=*/1, repeats);
+  (void)suite.run(
+      "batch_run_parallel",
+      [&] {
+        const FleetReport r = kernel.run({.parallel = true});
+        batch_parallel_hash = r.summary_hash;
+        microbench::keep(r.total_cycles);
+      },
+      /*min_seconds=*/0.0, /*max_iters=*/1, repeats);
+  if (!check_hash("batch serial vs parallel", batch_serial_hash,
+                  batch_parallel_hash)) {
+    return 1;
+  }
+
+  // Headline metric: batch kernel on the day1000 scenario, single core.
+  // Quick mode trims the population — per-node throughput is what the
+  // baseline gate bands, and it is roughly population-independent.
+  double day1000_nodes_per_sec = 0.0;
+  int day1000_nodes = 0;
+  std::uint64_t day1000_hash = 0;
+  try {
+    FleetScenario day = FleetScenario::from_file(day1000_path);
+    if (quick) day.nodes = 64;
+    day.validate();
+    day1000_nodes = day.nodes;
+    const BatchFleetKernel day_kernel(day);
+    const auto day_run = suite.run(
+        "batch_day1000_serial",
+        [&] {
+          const FleetReport r = day_kernel.run({.parallel = false});
+          day1000_hash = r.summary_hash;
+          microbench::keep(r.total_cycles);
+        },
+        /*min_seconds=*/0.0, /*max_iters=*/1, repeats);
+    day1000_nodes_per_sec = day.nodes / day_run.seconds_per_batch();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr,
+                 "fleet_bench: skipping day1000 (%s): %s\n"
+                 "  (run from the repo root or pass --day1000)\n",
+                 day1000_path.c_str(), e.what());
   }
 
   suite.note("fleet_nodes", scenario.nodes);
   suite.note("fleet_day_length_s", scenario.day_length.value());
   suite.note("fleet_nodes_per_sec",
-             scenario.nodes / (parallel.total_seconds > 0.0
-                                   ? parallel.total_seconds
-                                   : 1.0));
+             scenario.nodes / parallel.seconds_per_batch());
   suite.note("fleet_parallel_speedup",
-             parallel.total_seconds > 0.0
-                 ? serial.total_seconds / parallel.total_seconds
-                 : 0.0);
+             serial.seconds_per_batch() / parallel.seconds_per_batch());
+  suite.note("batch_build_s", batch_build_s);
+  suite.note("batch_vs_reference_speedup",
+             serial.seconds_per_batch() / batch_serial.seconds_per_batch());
+  suite.note("batch_day1000_nodes", day1000_nodes);
+  suite.note("batch_nodes_per_sec", day1000_nodes_per_sec);
   suite.note("thread_pool_size", ThreadPool::shared().size());
 
   suite.print();
-  std::printf("\n  determinism: serial == parallel (%s)\n",
+  std::printf("\n  determinism: reference serial == parallel (%s)\n",
               hash_hex(serial_hash).c_str());
+  std::printf("  determinism: batch serial == parallel (%s)\n",
+              hash_hex(batch_serial_hash).c_str());
+  if (day1000_nodes > 0) {
+    std::printf("  day1000[%d nodes]: %.0f nodes/s single-core (%s)\n",
+                day1000_nodes, day1000_nodes_per_sec,
+                hash_hex(day1000_hash).c_str());
+  }
   if (!suite.write_json_merged(out_path)) {
     std::fprintf(stderr, "fleet_bench: failed to write %s\n", out_path.c_str());
     return 1;

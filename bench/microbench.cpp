@@ -5,6 +5,7 @@
 #include <fstream>
 #include <optional>
 #include <sstream>
+#include <vector>
 
 namespace hemp::microbench {
 
@@ -131,27 +132,49 @@ std::string reindent(const std::string& object, const std::string& indent) {
 }  // namespace
 
 Result Suite::run(const std::string& name, const std::function<void()>& fn,
-                  double min_seconds, std::int64_t max_iters) {
+                  double min_seconds, std::int64_t max_iters,
+                  int min_repeats) {
+  min_repeats = std::max(min_repeats, 1);
+  // Split the measurement budget across the repeats so the total wall time
+  // stays ~min_seconds for fast kernels.
+  const double batch_target = min_seconds / static_cast<double>(min_repeats);
   std::int64_t batch = 1;
   double elapsed = 0.0;
   for (;;) {
     const auto start = std::chrono::steady_clock::now();
     for (std::int64_t i = 0; i < batch; ++i) fn();
     elapsed = seconds_since(start);
-    if (elapsed >= min_seconds || batch >= max_iters) break;
-    // Aim past min_seconds with headroom, growing at least 2x.
+    if (elapsed >= batch_target || batch >= max_iters) break;
+    // Aim past the per-batch target with headroom, growing at least 2x.
     const std::int64_t grow =
         elapsed > 0.0
-            ? static_cast<std::int64_t>(batch * (1.5 * min_seconds / elapsed))
+            ? static_cast<std::int64_t>(batch * (1.5 * batch_target / elapsed))
             : batch * 2;
     batch = std::min(max_iters, std::max(batch * 2, grow));
   }
+  // The final calibration batch doubles as the first timing sample; measure
+  // the remaining repeats at the same batch size and take the median.
+  std::vector<double> samples{elapsed};
+  while (static_cast<int>(samples.size()) < min_repeats) {
+    const auto start = std::chrono::steady_clock::now();
+    for (std::int64_t i = 0; i < batch; ++i) fn();
+    samples.push_back(seconds_since(start));
+  }
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t mid = sorted.size() / 2;
+  const double median = sorted.size() % 2 == 1
+                            ? sorted[mid]
+                            : 0.5 * (sorted[mid - 1] + sorted[mid]);
+  double total = 0.0;
+  for (const double s : samples) total += s;
   Result r;
   r.name = name;
   r.iterations = batch;
-  r.total_seconds = elapsed;
-  r.ns_per_iter = elapsed / static_cast<double>(batch) * 1e9;
-  r.iters_per_sec = elapsed > 0.0 ? static_cast<double>(batch) / elapsed : 0.0;
+  r.repeats = static_cast<int>(samples.size());
+  r.total_seconds = total;
+  r.ns_per_iter = median / static_cast<double>(batch) * 1e9;
+  r.iters_per_sec = median > 0.0 ? static_cast<double>(batch) / median : 0.0;
   results_.push_back(r);
   return r;
 }
@@ -166,7 +189,8 @@ std::string Suite::render(const std::string& indent) const {
   for (std::size_t i = 0; i < results_.size(); ++i) {
     const Result& r = results_[i];
     out << "    {\"name\": \"" << escape(r.name) << "\", \"iterations\": "
-        << r.iterations << ", \"ns_per_iter\": " << r.ns_per_iter
+        << r.iterations << ", \"repeats\": " << r.repeats
+        << ", \"ns_per_iter\": " << r.ns_per_iter
         << ", \"iters_per_sec\": " << r.iters_per_sec << "}"
         << (i + 1 < results_.size() ? "," : "") << "\n";
   }
@@ -213,10 +237,11 @@ bool Suite::write_json_merged(const std::string& path) const {
 }
 
 void Suite::print() const {
-  std::printf("\n%-40s %14s %16s\n", name_.c_str(), "ns/iter", "iters/sec");
+  std::printf("\n%-40s %14s %16s %8s\n", name_.c_str(), "ns/iter",
+              "iters/sec", "repeats");
   for (const Result& r : results_) {
-    std::printf("%-40s %14.1f %16.1f\n", r.name.c_str(), r.ns_per_iter,
-                r.iters_per_sec);
+    std::printf("%-40s %14.1f %16.1f %8d\n", r.name.c_str(), r.ns_per_iter,
+                r.iters_per_sec, r.repeats);
   }
   for (const auto& [key, value] : notes_) {
     std::printf("  %-38s %14.2f\n", key.c_str(), value);

@@ -18,21 +18,35 @@ namespace hemp::microbench {
 
 struct Result {
   std::string name;
+  /// Iterations per timed batch (not the grand total across repeats).
   std::int64_t iterations = 0;
+  /// Timed batches measured at the final batch size; ns_per_iter is the
+  /// median across them, so one descheduled batch cannot skew the figure.
+  int repeats = 0;
+  /// Wall time summed over every measured batch (repeats * batch time).
   double total_seconds = 0.0;
   double ns_per_iter = 0.0;
   double iters_per_sec = 0.0;
+  /// Median wall-clock seconds for one full batch (= ns_per_iter * iters).
+  [[nodiscard]] double seconds_per_batch() const {
+    return ns_per_iter * 1e-9 * static_cast<double>(iterations);
+  }
 };
 
 class Suite {
  public:
   explicit Suite(std::string name) : name_(std::move(name)) {}
 
-  /// Time `fn` by doubling the batch size until one batch runs for at least
-  /// `min_seconds`, then report that batch (standard self-calibrating timing
-  /// loop).  `max_iters` caps calibration for very slow kernels.
+  /// Time `fn` with a self-calibrating batch loop: double the batch size
+  /// until one batch runs for at least `min_seconds / min_repeats`, then
+  /// measure `min_repeats` batches at that size and report the median.
+  /// `max_iters` caps the batch size for slow kernels — a kernel that blows
+  /// through `min_seconds` in a single call still gets `min_repeats` timed
+  /// runs, so single-shot benches (`iterations: 1`) report a stable median
+  /// instead of one unrepeated wall-clock sample.
   Result run(const std::string& name, const std::function<void()>& fn,
-             double min_seconds = 0.1, std::int64_t max_iters = 1 << 22);
+             double min_seconds = 0.1, std::int64_t max_iters = 1 << 22,
+             int min_repeats = 5);
 
   /// Record a derived metric (e.g. a speedup ratio between two results).
   void note(const std::string& key, double value);

@@ -1,0 +1,63 @@
+// Process-wide counters for the exact (iterative) model solvers.
+//
+// The steady-state layer memoizes the expensive Brent/grid solves behind
+// bilinear surfaces (core/model_surfaces).  Hot loops — above all the batch
+// fleet kernel — must never fall back to the exact solvers: one stray call
+// per node per step erases the surface speedup.  These counters make that
+// property testable: bracket a run with `snapshot()` and assert the deltas
+// are zero.
+//
+// The counters are relaxed atomics — they order nothing, they only count —
+// so the instrumentation costs one uncontended atomic increment per exact
+// solve, which is noise next to the solve itself.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace hemp::solver_stats {
+
+/// Counter of exact MPP solves (iv_curve find_mpp grid+refine search).
+inline std::atomic<std::uint64_t>& exact_mpp_solves() {
+  static std::atomic<std::uint64_t> count{0};
+  return count;
+}
+
+/// Counter of exact regulated-performance solves (PerformanceOptimizer
+/// surplus root-finding against the full model, i.e. the non-surface path).
+inline std::atomic<std::uint64_t>& exact_regulated_solves() {
+  static std::atomic<std::uint64_t> count{0};
+  return count;
+}
+
+/// A point-in-time reading of both counters.
+struct Snapshot {
+  std::uint64_t mpp_solves = 0;
+  std::uint64_t regulated_solves = 0;
+
+  [[nodiscard]] std::uint64_t total() const {
+    return mpp_solves + regulated_solves;
+  }
+};
+
+inline Snapshot snapshot() {
+  return {exact_mpp_solves().load(std::memory_order_relaxed),
+          exact_regulated_solves().load(std::memory_order_relaxed)};
+}
+
+/// Solves performed since `before` was taken.
+inline Snapshot delta_since(const Snapshot& before) {
+  const Snapshot now = snapshot();
+  return {now.mpp_solves - before.mpp_solves,
+          now.regulated_solves - before.regulated_solves};
+}
+
+inline void count_exact_mpp_solve() {
+  exact_mpp_solves().fetch_add(1, std::memory_order_relaxed);
+}
+
+inline void count_exact_regulated_solve() {
+  exact_regulated_solves().fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace hemp::solver_stats

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/numeric.hpp"
+#include "common/solver_stats.hpp"
 #include "core/model_surfaces.hpp"
 
 namespace hemp {
@@ -70,6 +71,10 @@ PerfPoint PerformanceOptimizer::unregulated(double g) const {
 PerfPoint PerformanceOptimizer::regulated(double g) const {
   const Processor& proc = model_->processor();
   if (g <= 0.0) return {};
+  // Only the exact-model path counts as an expensive solve: the surface
+  // variant reads the memoized bilinear grids and stays off the hot-path
+  // audit (common/solver_stats).
+  if (surfaces_ == nullptr) solver_stats::count_exact_regulated_solve();
 
   const double v_lo = proc.min_voltage().value();
   const double v_hi = proc.max_voltage().value();

@@ -1,0 +1,1646 @@
+#include "fleet/batch_kernel.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/interpolation.hpp"
+#include "common/numeric.hpp"
+#include "common/rng.hpp"
+#include "common/solver_stats.hpp"
+#include "core/regulator_selector.hpp"
+#include "core/sprint_scheduler.hpp"
+#include "core/system_model.hpp"
+#include "harvester/iv_curve.hpp"
+#include "harvester/pv_cell.hpp"
+#include "processor/corners.hpp"
+#include "processor/processor.hpp"
+#include "regulator/switched_cap.hpp"
+#include "sim/soc_system.hpp"
+#include "trace/generators.hpp"
+
+namespace hemp {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Flattened model constants.  Every value mirrors the corresponding component
+// default (PvCellParams, SwitchedCapParams, SpeedModelParams, PowerModelParams,
+// SocConfig, EnergyManagerParams, MppTrackerParams); the batch kernel is an
+// integrator over the same closed forms, so the constants must stay in sync
+// with those structs.  The fleet never overrides them (fleet_sim.cpp builds
+// every node from the defaults plus the sampled scale factors).
+// ---------------------------------------------------------------------------
+
+// PV cell (make_ixys_kxob22_cell): only Isc is scaled per node.
+constexpr double kVoc = 1.5;
+constexpr double kIscFullSun = 15e-3;
+constexpr double kNvt = 3 * 1.5 * 0.02585;  // junctions * ideality * Vt
+constexpr double kRs = 2.0;
+constexpr double kRsh = 12e3;
+
+// Switched-capacitor regulator.
+constexpr double kScRatios[3] = {4.0 / 5.0, 2.0 / 3.0, 1.0 / 2.0};
+constexpr double kScMargin = 0.02;
+constexpr double kScControlPower = 0.64e-3;
+constexpr double kScSwitchLoss = 0.304;
+constexpr double kScMinOut = 0.25;
+constexpr double kScRatedLoad = 12e-3;
+
+// Processor speed/power model (typical corner; corners shift copies).
+constexpr double kAlpha = 1.05;
+constexpr double kVref = 1.0;
+constexpr double kFref = 1.2e9;
+constexpr double kVthBase = 0.30;
+constexpr double kNearThMargin = 0.06;
+constexpr double kSubSlope = 0.05;
+constexpr double kVminProc = 0.20;
+constexpr double kVmaxProc = 1.2;
+constexpr double kCeff = 45e-12;
+constexpr double kLeakBase = 0.38e-3;
+constexpr double kDibl = 0.4;
+
+// SoC node and power-path physics.
+constexpr double kVSolarStart = 1.2;
+constexpr double kVddStart = 0.5;
+constexpr double kTau = 50e-6;      // regulation_time_constant
+constexpr double kBypassR = 1.0;    // BypassParams::on_resistance
+
+// Energy manager / MPP tracker policy constants.
+constexpr double kRecoverV = 1.05;
+constexpr double kBypassEnterRatio = 0.9;
+constexpr double kBypassExitRatio = 1.2;
+constexpr double kReassessPeriod = 2e-3;
+constexpr double kSprintFactor = 0.2;
+constexpr double kControlPeriod = 500e-6;
+constexpr double kDeadband = 0.02;
+constexpr double kSlewTol = 0.002;
+constexpr double kVHigh = 1.0;
+constexpr double kVLow = 0.9;
+constexpr double kTrackerCap = 47e-6;  // the tracker's *assumed* C (Eq. 7)
+constexpr int kLadderSteps = 48;
+constexpr double kVddCeiling = 0.8;
+constexpr double kCompHalfHyst = 0.0025;  // Comparator hysteresis 5 mV -> +-2.5
+constexpr double kSagMargin = 0.05;
+constexpr double kSagEnableTime = 1e-4;
+
+// Event-driven stepping knobs (kernel-only; see DESIGN.md).
+constexpr double kDtMax = 250e-6;          // hard ceiling on one step
+constexpr double kRailBand = 2e-3;         // |v_dd - target| band that ...
+constexpr double kRailSettleCap = 100e-6;  // ... caps dt at 2*tau while open
+constexpr double kBypassDvCap = 4e-3;      // max rail swing/step in bypass
+constexpr double kVminHysteresis = 5e-3;   // re-enable band above Vmin (bypass)
+constexpr double kWatchVFloor = 0.05;      // discharge-current bound floor
+constexpr double kWatchDeadband = 1e-3;  // keeps dt finite at equilibria;
+                                         // must stay < kCompHalfHyst so a
+                                         // crossing is still caught inside
+                                         // its comparator hysteresis band
+
+// Surface resolution (shared across the fleet; exact solves, ctor only).
+constexpr int kSurfaceSKnots = 13;
+constexpr int kSurfaceGKnots = 61;
+constexpr double kSurfaceGMin = 0.005;
+constexpr double kSurfaceGMax = 1.25;
+constexpr int kCrossTempKnots = 6;
+constexpr int kCrossSKnots = 7;
+constexpr double kCrossMinG = 0.045;  // below resolution: "no crossover"
+
+// Terminal-current surface i(v, g): the stepped loop's only cell-model
+// evaluation (bilinear in (v, g), scale-blended across two pv-scale slices).
+// 1.7 V covers the largest open-circuit voltage any sampled cell reaches;
+// the v pitch (~11 mV) keeps the bilinear error on the diode knee (curvature
+// scale n*Vt ~ 116 mV) well under a percent.
+constexpr int kIvVKnots = 160;
+constexpr double kIvVMax = 1.7;
+constexpr int kIvGKnots = 64;
+
+// MppLut surrogate sampling (mirrors MppLut's defaults).
+constexpr int kLutSamples = 48;
+constexpr double kLutGMin = 0.02;
+constexpr double kLutGMax = 1.2;
+
+// ---------------------------------------------------------------------------
+// Flattened component math.
+// ---------------------------------------------------------------------------
+
+/// Per-node PV constants (only Isc scales with pv_scale; same Voc/Rs/Rsh).
+struct PvFlat {
+  double iph_full = 0.0;  ///< Isc at full sun, scaled
+  double i0 = 0.0;        ///< saturation current for the scaled cell
+};
+
+PvFlat make_pv_flat(double pv_scale) {
+  PvFlat pv;
+  pv.iph_full = kIscFullSun * pv_scale;
+  // Mirrors PvCell::saturation_current for the scaled Isc.
+  pv.i0 = (pv.iph_full - kVoc / kRsh) / std::expm1(kVoc / kNvt);
+  return pv;
+}
+
+/// Terminal current of the single-diode cell: safeguarded Newton on the same
+/// implicit KCL PvCell::current solves with Brent, including its edge cases.
+/// `warm` carries the previous solution as the start iterate.
+double pv_current(const PvFlat& pv, double v, double g, double& warm) {
+  const double iph = pv.iph_full * g;
+  if (iph == 0.0) return 0.0;
+  // Short-circuit early-out with no exp: f(iph) = -(i0*expm1(vj/nvt) +
+  // vj/Rsh) with vj = v + iph*Rs, and the bracketed term is strictly
+  // increasing through zero, so f(iph) >= 0 exactly when vj <= 0.
+  if (v + iph * kRs <= 0.0) return iph;
+  double lo = -iph;
+  double hi = iph;
+  bool lo_probed = false;
+  double i = std::clamp(warm, lo, hi);
+  for (int iter = 0; iter < 60; ++iter) {
+    const double vj = v + i * kRs;
+    const double e = std::exp(vj / kNvt);
+    const double fi = iph - pv.i0 * (e - 1.0) - vj / kRsh - i;
+    if (fi > 0.0) {
+      lo = i;
+    } else {
+      hi = i;
+    }
+    const double dfi = -pv.i0 * e * kRs / kNvt - kRs / kRsh - 1.0;
+    double next = i - fi / dfi;
+    if (!(next > lo && next < hi)) {
+      if (next <= lo && !lo_probed && lo == -iph) {
+        // Newton wants to leave the physical bracket downward: the root may
+        // sit below -iph (terminal voltage above open circuit).  One probe
+        // of the boundary settles it instead of a long bisection collapse.
+        lo_probed = true;
+        const double vjl = v - iph * kRs;
+        if (iph - pv.i0 * std::expm1(vjl / kNvt) - vjl / kRsh + iph < 0.0) {
+          return 0.0;
+        }
+      }
+      next = 0.5 * (lo + hi);
+    }
+    if (std::fabs(next - i) < 1e-12) {
+      i = next;
+      break;
+    }
+    i = next;
+  }
+  warm = i;
+  return std::max(i, 0.0);
+}
+
+/// Regulator envelope: mirrors Regulator::supports via output_range.
+bool sc_supports(double vin, double vout) {
+  return vout >= kScMinOut && vout <= kScRatios[0] * vin - kScMargin;
+}
+
+/// Mirrors SwitchedCapRegulator::active_ratio (assumes sc_supports holds).
+double sc_active_ratio(double vin, double vout) {
+  double best = 0.0;
+  for (double r : kScRatios) {
+    if (r * vin >= vout + kScMargin) best = r;
+  }
+  return best;
+}
+
+/// Mirrors SwitchedCapRegulator::efficiency (assumes sc_supports holds).
+double sc_efficiency(double vin, double vout, double pout) {
+  if (pout == 0.0) return 0.0;
+  const double r = sc_active_ratio(vin, vout);
+  if (r <= 0.0) return 0.0;
+  const double eta_lin = vout / (r * vin);
+  const double loss = kScControlPower + kScSwitchLoss * pout;
+  const double eta_sw = pout / (pout + loss);
+  return eta_lin * eta_sw;
+}
+
+/// Per-node processor constants resolved from the sampled corner/temperature
+/// exactly as make_test_chip_at + SpeedModel's constructor do.
+struct ProcFlat {
+  double vth = 0.0;
+  double gain = 0.0;
+  double onset = 0.0;     ///< vth + near-threshold margin
+  double f_onset = 0.0;   ///< alpha-law frequency at the onset voltage
+  double leak_base = 0.0;
+};
+
+ProcFlat make_proc_flat(ProcessCorner corner, double temperature_c) {
+  double vth_shift = 0.0;
+  double drive_scale = 1.0;
+  double leak_scale = 1.0;
+  switch (corner) {
+    case ProcessCorner::kSlowSlow:
+      vth_shift = +0.04;
+      drive_scale = 0.85;
+      leak_scale = 0.4;
+      break;
+    case ProcessCorner::kTypical:
+      break;
+    case ProcessCorner::kFastFast:
+      vth_shift = -0.04;
+      drive_scale = 1.15;
+      leak_scale = 2.5;
+      break;
+  }
+  const double dt = temperature_c - 25.0;
+  vth_shift -= 1e-3 * dt;
+  leak_scale *= std::exp2(dt / 30.0);
+
+  ProcFlat p;
+  p.vth = kVthBase + vth_shift;
+  const double fref = kFref * drive_scale;
+  p.gain = fref * kVref / std::pow(kVref - p.vth, kAlpha);
+  p.onset = p.vth + kNearThMargin;
+  p.f_onset = p.gain * std::pow(p.onset - p.vth, kAlpha) / p.onset;
+  p.leak_base = kLeakBase * leak_scale;
+  return p;
+}
+
+/// Mirrors SpeedModel::max_frequency for v inside [kVminProc, kVmaxProc].
+double proc_fmax(const ProcFlat& p, double v) {
+  if (v >= p.onset) return p.gain * std::pow(v - p.vth, kAlpha) / v;
+  return p.f_onset * std::exp((v - p.onset) / kSubSlope);
+}
+
+double proc_leak(const ProcFlat& p, double v) {
+  return v * p.leak_base * std::exp(v / kDibl);
+}
+
+/// Mirrors PowerModel::total_power.
+double proc_power(const ProcFlat& p, double v, double f) {
+  return kCeff * v * v * f + proc_leak(p, v);
+}
+
+/// Mirrors Processor::max_power (full speed at v).
+double proc_max_power(const ProcFlat& p, double v) {
+  return proc_power(p, v, proc_fmax(p, v));
+}
+
+/// Mirrors Processor::energy_per_cycle at full speed.
+double proc_epc(const ProcFlat& p, double v) {
+  return kCeff * v * v + proc_leak(p, v) / proc_fmax(p, v);
+}
+
+// ---------------------------------------------------------------------------
+// Flattened irradiance trace: the controller-facing std::function profile is
+// pre-sampled onto a knot grid (uniform coverage plus every breakpoint,
+// double-sampled just around each so steps survive the linearization).  The
+// knots double as the event-stepper's "trace may kink here" bound: between
+// two knots G(t) is exactly linear, so extrema sit at the interval endpoints.
+// ---------------------------------------------------------------------------
+
+struct FlatTrace {
+  bool constant = false;
+  double g_const = 0.0;
+  std::vector<double> ts;
+  std::vector<double> gs;
+
+  /// Linear interpolation with a monotone-biased cursor hint.
+  [[nodiscard]] double at(double t, std::size_t& cur) const {
+    if (constant) return g_const;
+    while (cur + 1 < ts.size() && ts[cur + 1] <= t) ++cur;
+    while (cur > 0 && ts[cur] > t) --cur;
+    if (t <= ts.front()) return gs.front();
+    if (cur + 1 >= ts.size()) return gs.back();
+    const double t0 = ts[cur];
+    const double t1 = ts[cur + 1];
+    const double frac = t1 > t0 ? (t - t0) / (t1 - t0) : 0.0;
+    return gs[cur] + frac * (gs[cur + 1] - gs[cur]);
+  }
+
+  /// First knot strictly after `t` (infinity when none / constant).
+  [[nodiscard]] double next_knot(double t, std::size_t& cur) const {
+    if (constant) return std::numeric_limits<double>::infinity();
+    while (cur + 1 < ts.size() && ts[cur + 1] <= t) ++cur;
+    while (cur > 0 && ts[cur] > t) --cur;
+    for (std::size_t k = cur; k < ts.size(); ++k) {
+      if (ts[k] > t + 1e-15) return ts[k];
+    }
+    return std::numeric_limits<double>::infinity();
+  }
+};
+
+FlatTrace flatten_trace(const IrradianceTrace& trace, double day_length) {
+  FlatTrace flat;
+  std::vector<double> knots;
+  constexpr int kUniform = 256;
+  knots.reserve(kUniform + 1 + 3 * trace.breakpoints().size());
+  for (int i = 0; i <= kUniform; ++i) {
+    knots.push_back(day_length * i / kUniform);
+  }
+  for (const Seconds bp : trace.breakpoints()) {
+    const double b = bp.value();
+    if (b < -1e-9 || b > day_length + 1e-9) continue;
+    knots.push_back(std::clamp(b - 1e-9, 0.0, day_length));
+    knots.push_back(std::clamp(b, 0.0, day_length));
+    knots.push_back(std::clamp(b + 1e-9, 0.0, day_length));
+  }
+  std::sort(knots.begin(), knots.end());
+  knots.erase(std::unique(knots.begin(), knots.end()), knots.end());
+  flat.ts = std::move(knots);
+  flat.gs.reserve(flat.ts.size());
+  for (const double t : flat.ts) flat.gs.push_back(trace.at(Seconds(t)));
+  return flat;
+}
+
+FlatTrace flatten_constant(double g) {
+  FlatTrace flat;
+  flat.constant = true;
+  flat.g_const = g;
+  return flat;
+}
+
+// ---------------------------------------------------------------------------
+// Shared (pv_scale, irradiance) MPP surfaces.
+// ---------------------------------------------------------------------------
+
+std::vector<double> linspace(double lo, double hi, int n) {
+  std::vector<double> xs(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    xs[static_cast<std::size_t>(i)] = lo + (hi - lo) * i / (n - 1);
+  }
+  return xs;
+}
+
+/// Degenerate sampled ranges (pv_scale_min == pv_scale_max) still need two
+/// distinct grid knots.
+std::pair<double, double> widen_if_degenerate(double lo, double hi) {
+  if (hi - lo < 1e-12) hi = lo + 1e-6;
+  return {lo, hi};
+}
+
+PvCell make_scaled_cell(double pv_scale) {
+  PvCellParams p;
+  p.isc_full_sun = p.isc_full_sun * pv_scale;
+  return PvCell(p);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Shared state: everything precomputed once per scenario.
+// ---------------------------------------------------------------------------
+
+struct BatchFleetKernel::Shared {
+  FleetScenario scenario;
+  bool shared_sky = false;
+  FlatTrace sky;  ///< valid when shared_sky
+
+  // SoA node-parameter plane (index-parallel arrays).
+  std::vector<NodeSample> samples;
+  std::vector<PvFlat> pv;
+  std::vector<ProcFlat> proc;
+  std::vector<double> crossover_power;  ///< 0 = no low-light crossover
+  std::vector<FlatTrace> traces;        ///< empty when shared_sky
+  std::vector<Processor> processors;    ///< kept for exact sprint planning
+
+  // Shared MPP surfaces over (pv_scale, irradiance).
+  std::vector<double> s_knots, g_knots;
+  std::optional<BilinearGrid> vmpp_grid, pmpp_grid;
+
+  // Shared terminal-current surface [scale][v][g] (g fastest); see cell_i.
+  std::vector<double> iv_vals;
+  double iv_dv = 0.0, iv_dg = 0.0;
+
+  // Exact cell/regulator the sprint scheduler's SystemModel plumbs through
+  // (plan() only touches the processor, but the model wants references).
+  PvCell ref_cell{PvCellParams{}};
+  SwitchedCapRegulator ref_reg;
+
+  [[nodiscard]] double vmpp_at(double s, double g) const {
+    if (g <= 0.0) return 0.0;
+    return (*vmpp_grid)(s, std::max(g, kSurfaceGMin));
+  }
+
+  [[nodiscard]] double pmpp_at(double s, double g) const {
+    if (g <= 0.0) return 0.0;
+    if (g < kSurfaceGMin) {
+      // P_mpp ~ G at low light (photocurrent-limited): scale the edge column.
+      return (*pmpp_grid)(s, kSurfaceGMin) * (g / kSurfaceGMin);
+    }
+    return (*pmpp_grid)(s, g);
+  }
+};
+
+BatchFleetKernel::BatchFleetKernel(FleetScenario scenario) {
+  auto shared = std::make_shared<Shared>();
+  Shared& sh = *shared;
+  sh.scenario = std::move(scenario);
+  sh.scenario.validate();
+  const FleetScenario& sc = sh.scenario;
+
+  // --- Shared MPP surfaces: exact find_mpp, sampled once for the fleet. ----
+  const auto [s_lo, s_hi] =
+      widen_if_degenerate(sc.pv_scale_min, sc.pv_scale_max);
+  sh.s_knots = linspace(s_lo, s_hi, kSurfaceSKnots);
+  sh.g_knots.resize(kSurfaceGKnots);
+  for (int j = 0; j < kSurfaceGKnots; ++j) {
+    sh.g_knots[static_cast<std::size_t>(j)] =
+        kSurfaceGMin *
+        std::pow(kSurfaceGMax / kSurfaceGMin,
+                 static_cast<double>(j) / (kSurfaceGKnots - 1));
+  }
+  std::vector<double> vmpp_vals(sh.s_knots.size() * sh.g_knots.size());
+  std::vector<double> pmpp_vals(vmpp_vals.size());
+  for (std::size_t i = 0; i < sh.s_knots.size(); ++i) {
+    const PvCell cell = make_scaled_cell(sh.s_knots[i]);
+    for (std::size_t j = 0; j < sh.g_knots.size(); ++j) {
+      const MaxPowerPoint mpp = find_mpp(cell, sh.g_knots[j]);
+      vmpp_vals[i * sh.g_knots.size() + j] = mpp.voltage.value();
+      pmpp_vals[i * sh.g_knots.size() + j] = mpp.power.value();
+    }
+  }
+  sh.vmpp_grid.emplace(sh.s_knots, sh.g_knots, std::move(vmpp_vals));
+  sh.pmpp_grid.emplace(sh.s_knots, sh.g_knots, std::move(pmpp_vals));
+
+  // --- Terminal-current surface: the safeguarded Newton solve sampled per
+  // pv-scale knot so the stepped loop only ever reads bilinearly. ----------
+  sh.iv_dv = kIvVMax / (kIvVKnots - 1);
+  sh.iv_dg = kSurfaceGMax / (kIvGKnots - 1);
+  sh.iv_vals.resize(sh.s_knots.size() * kIvVKnots * kIvGKnots);
+  for (std::size_t i = 0; i < sh.s_knots.size(); ++i) {
+    const PvFlat flat = make_pv_flat(sh.s_knots[i]);
+    double* slice = &sh.iv_vals[i * kIvVKnots * kIvGKnots];
+    for (int vi = 0; vi < kIvVKnots; ++vi) {
+      double warm = 0.0;
+      for (int gi = 0; gi < kIvGKnots; ++gi) {
+        slice[vi * kIvGKnots + gi] =
+            pv_current(flat, vi * sh.iv_dv, gi * sh.iv_dg, warm);
+      }
+    }
+  }
+
+  // --- Low-light crossover tables: exact RegulatorSelector bisection per
+  // corner over a coarse (temperature, pv_scale) grid; interpolated per node.
+  const std::vector<double> temp_knots = linspace(-20.0, 85.0, kCrossTempKnots);
+  const std::vector<double> cross_s_knots = linspace(s_lo, s_hi, kCrossSKnots);
+  constexpr ProcessCorner kAllCorners[] = {ProcessCorner::kSlowSlow,
+                                           ProcessCorner::kTypical,
+                                           ProcessCorner::kFastFast};
+  std::array<std::optional<BilinearGrid>, 3> cross_grids;
+  for (int c = 0; c < 3; ++c) {
+    std::vector<double> vals(temp_knots.size() * cross_s_knots.size());
+    for (std::size_t i = 0; i < temp_knots.size(); ++i) {
+      for (std::size_t j = 0; j < cross_s_knots.size(); ++j) {
+        const PvCell cell = make_scaled_cell(cross_s_knots[j]);
+        const SwitchedCapRegulator reg;
+        const Processor proc =
+            make_test_chip_at({kAllCorners[c], temp_knots[i]});
+        const SystemModel model(cell, reg, proc);
+        RegulatorSelector selector(model);
+        const auto g_cross = selector.crossover_irradiance();
+        vals[i * cross_s_knots.size() + j] = g_cross.value_or(0.0);
+      }
+    }
+    cross_grids[static_cast<std::size_t>(c)].emplace(temp_knots, cross_s_knots,
+                                                     std::move(vals));
+  }
+
+  // --- Node identity sampling: exactly FleetSimulator's draw order, so the
+  // per-node RNG stream continues into the same trace draws afterwards. -----
+  sh.shared_sky = sc.shared_trace || sc.trace_kind == TraceKind::kCsv ||
+                  sc.trace_kind == TraceKind::kConstant;
+  const auto make_trace = [&sc](Rng& rng) -> IrradianceTrace {
+    switch (sc.trace_kind) {
+      case TraceKind::kConstant:
+        return IrradianceTrace::constant(sc.constant_g);
+      case TraceKind::kDiurnal: {
+        DiurnalArcParams params;
+        params.day_length = sc.day_length;
+        return diurnal_arc(rng, params);
+      }
+      case TraceKind::kClouds: {
+        CloudFieldParams params;
+        params.day.day_length = sc.day_length;
+        const double stretch = sc.day_length.value() / 0.25;
+        params.mean_gap = Seconds(0.03 * stretch);
+        params.mean_duration = Seconds(0.01 * stretch);
+        return cloud_field(rng, params);
+      }
+      case TraceKind::kIndoor: {
+        IndoorDutyParams params;
+        params.duration = sc.day_length;
+        const double stretch = sc.day_length.value() / 0.25;
+        params.mean_on = Seconds(0.04 * stretch);
+        params.mean_off = Seconds(0.02 * stretch);
+        return indoor_duty(rng, params);
+      }
+      case TraceKind::kCsv:
+        return IrradianceTrace::from_csv(sc.trace_csv);
+    }
+    throw ModelError("BatchFleetKernel: unknown trace kind");
+  };
+
+  if (sh.shared_sky) {
+    Rng sky_rng = Rng(sc.seed).fork(~0ULL);
+    const IrradianceTrace trace = make_trace(sky_rng);
+    sh.sky = sc.trace_kind == TraceKind::kConstant
+                 ? flatten_constant(sc.constant_g)
+                 : flatten_trace(trace, sc.day_length.value());
+  }
+
+  const std::size_t n = static_cast<std::size_t>(sc.nodes);
+  sh.samples.resize(n);
+  sh.pv.resize(n);
+  sh.proc.resize(n);
+  sh.crossover_power.resize(n);
+  sh.processors.reserve(n);
+  if (!sh.shared_sky) sh.traces.resize(n);
+
+  static constexpr ProcessCorner kCorners[] = {ProcessCorner::kSlowSlow,
+                                               ProcessCorner::kTypical,
+                                               ProcessCorner::kFastFast};
+  for (std::size_t i = 0; i < n; ++i) {
+    Rng rng = Rng(sc.seed).fork(static_cast<std::uint64_t>(i));
+    NodeSample& s = sh.samples[i];
+    s.index = static_cast<int>(i);
+    s.pv_scale = rng.uniform(sc.pv_scale_min, sc.pv_scale_max);
+    s.solar_capacitance =
+        Farads(std::exp(rng.uniform(std::log(sc.solar_cap_min.value()),
+                                    std::log(sc.solar_cap_max.value()))));
+    s.conditions.corner = kCorners[rng.weighted(sc.corner_weights.data(),
+                                                sc.corner_weights.size())];
+    s.conditions.temperature_c =
+        std::clamp(rng.normal(sc.temperature_mean_c, sc.temperature_sigma_c),
+                   -20.0, 85.0);
+    s.min_energy = rng.uniform() < sc.min_energy_fraction;
+    s.job_phase = sc.job_cycles > 0.0
+                      ? Seconds(rng.uniform(0.0, sc.job_period.value()))
+                      : Seconds(0.0);
+    if (!sh.shared_sky) {
+      sh.traces[i] = flatten_trace(make_trace(rng), sc.day_length.value());
+    }
+
+    sh.pv[i] = make_pv_flat(s.pv_scale);
+    sh.proc[i] = make_proc_flat(s.conditions.corner, s.conditions.temperature_c);
+    sh.processors.push_back(make_test_chip_at(s.conditions));
+
+    const int corner_ix = s.conditions.corner == ProcessCorner::kSlowSlow ? 0
+                          : s.conditions.corner == ProcessCorner::kTypical ? 1
+                                                                           : 2;
+    const double g_cross = (*cross_grids[static_cast<std::size_t>(corner_ix)])(
+        s.conditions.temperature_c, s.pv_scale);
+    sh.crossover_power[i] =
+        g_cross >= kCrossMinG ? sh.pmpp_at(s.pv_scale, g_cross) : 0.0;
+  }
+
+  shared_ = std::move(shared);
+}
+
+BatchFleetKernel::~BatchFleetKernel() = default;
+
+const FleetScenario& BatchFleetKernel::scenario() const {
+  return shared_->scenario;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Per-node lane: the full controller + physics state, integrated to
+// completion one node at a time (everything lives in registers / L1).
+// ---------------------------------------------------------------------------
+
+enum class MgrState { kTracking, kSprinting, kRecovering };
+
+struct MepSlot {
+  bool computed = false;
+  bool feasible = false;
+  double vdd = 0.0;
+  double freq = 0.0;
+};
+
+struct SprintPlanFlat {
+  bool computed = false;
+  bool feasible = false;
+  double cycles = 0.0;
+  double deadline = 0.0;
+  double phase_time = 0.0;
+  double slow_v = 0.0, slow_f = 0.0;
+  double fast_v = 0.0, fast_f = 0.0;
+};
+
+struct NodeRunner {
+  const BatchFleetKernel::Shared& sh;
+  const NodeSample& s;
+  const PvFlat& pv;
+  const ProcFlat& pc;
+  const FlatTrace& trace;
+  double c_solar;   ///< node storage capacitance
+  double c_vdd;     ///< rail capacitance
+  double day;       ///< day length
+  double dt_min;    ///< scenario time_step: the reference tick = event slack
+  double crossover_power;
+  std::vector<BatchComparatorEvent>* events = nullptr;  // traced mode
+
+  // --- physics state
+  double t = 0.0;
+  double v_s = kVSolarStart;
+  double v_d = kVddStart;
+  std::size_t cur = 0;       ///< trace cursor
+
+  // --- command latch (SocCommand)
+  PowerPath cmd_path = PowerPath::kRegulated;
+  double cmd_vdd = kVddStart;
+  double cmd_freq = 100e6;
+  bool cmd_run = true;
+
+  // --- energy manager
+  MgrState mgr = MgrState::kTracking;
+  bool bypass = false;
+  double prev_v_mgr = kVSolarStart;
+  double next_reassess = 0.0;
+  bool has_pest = false;
+  double p_est = 0.0;
+
+  // --- sprint
+  SprintPlanFlat plan{};
+  bool sprinting = false;
+  double sprint_started = 0.0;
+  double sprint_start_cycles = 0.0;
+  bool sprint_bypassed = false;
+
+  // --- MPP tracker
+  double v_target = 0.0;
+  long level = 0;
+  double next_control = 0.0;
+  double prev_v_trk = 0.0;
+  bool th_high_out = false, th_low_out = false;
+  bool th_armed = false;
+  double th_armed_at = 0.0;
+  bool timer_watched = false;  ///< tracker ran this eval -> watch its levels
+
+  // --- periodic jobs
+  int queue = 0;
+  double next_submit = 0.0;
+  int jobs_submitted = 0, jobs_completed = 0, jobs_missed = 0;
+
+  // --- run/fault bookkeeping
+  double p_processor = 0.0;  ///< previous step's load (controller observable)
+  double f_eff = 0.0;
+  bool can_run = false;
+  bool was_running = false;
+  bool fault_latch = false;
+  bool vmin_latch = false;
+
+  // --- totals
+  double cycles = 0.0;
+  double harvested = 0.0;
+  double delivered = 0.0;
+  double halted = 0.0;
+  int brownouts = 0;
+  int timing_faults = 0;
+  double mppt_num = 0.0, mppt_den = 0.0;
+
+  // --- caches
+  std::array<MepSlot, 32> mep_cache{};
+  std::optional<PiecewiseLinear> lut_p2v{}, lut_p2p{};
+  std::array<double, kLadderSteps> ladder_v{}, ladder_f{};
+
+  // --- solar-node comparator bank (traced mode only)
+  std::array<bool, 8> bank_out{};
+  std::size_t bank_size = 0;
+
+  // --- terminal-current surface slices for this node (set in on_start)
+  const double* iv_lo = nullptr;
+  const double* iv_hi = nullptr;
+  double iv_w = 0.0;  ///< blend weight of the hi scale slice
+
+  // ---------------------------------------------------------------------
+  // Setup
+  // ---------------------------------------------------------------------
+
+  /// Stepped-loop cell evaluation: bilinear (v, g) read of the shared
+  /// terminal-current surface, blended across the node's two bracketing
+  /// pv-scale slices.  Optionally returns the in-cell d(i)/d(v) slope for
+  /// the implicit midpoint Jacobian.
+  double cell_i(double v, double g, double* didv = nullptr) const {
+    double x = v / sh.iv_dv;
+    double y = g / sh.iv_dg;
+    x = std::clamp(x, 0.0, static_cast<double>(kIvVKnots - 1) - 1e-9);
+    y = std::clamp(y, 0.0, static_cast<double>(kIvGKnots - 1) - 1e-9);
+    const auto xi = static_cast<std::size_t>(x);
+    const auto yi = static_cast<std::size_t>(y);
+    const double fx = x - static_cast<double>(xi);
+    const double fy = y - static_cast<double>(yi);
+    const std::size_t a = xi * kIvGKnots + yi;
+    const std::size_t b = a + kIvGKnots;
+    const double lo0 = iv_lo[a] + (iv_lo[a + 1] - iv_lo[a]) * fy;
+    const double lo1 = iv_lo[b] + (iv_lo[b + 1] - iv_lo[b]) * fy;
+    const double hi0 = iv_hi[a] + (iv_hi[a + 1] - iv_hi[a]) * fy;
+    const double hi1 = iv_hi[b] + (iv_hi[b + 1] - iv_hi[b]) * fy;
+    const double i0 = lo0 + (hi0 - lo0) * iv_w;
+    const double i1 = lo1 + (hi1 - lo1) * iv_w;
+    if (didv != nullptr) *didv = (i1 - i0) / sh.iv_dv;
+    return i0 + (i1 - i0) * fx;
+  }
+
+  void bind_iv_slices() {
+    const auto& ks = sh.s_knots;
+    const double ds = ks[1] - ks[0];
+    double x = (s.pv_scale - ks[0]) / ds;
+    x = std::clamp(x, 0.0, static_cast<double>(ks.size() - 1) - 1e-9);
+    const auto k = static_cast<std::size_t>(x);
+    iv_w = x - static_cast<double>(k);
+    iv_lo = &sh.iv_vals[k * kIvVKnots * kIvGKnots];
+    iv_hi = &sh.iv_vals[(k + 1) * kIvVKnots * kIvGKnots];
+  }
+
+  void build_ladder() {
+    const double lo = kVminProc;
+    const double hi = std::min(kVddCeiling, kVmaxProc);
+    for (int i = 0; i < kLadderSteps; ++i) {
+      const double v = lo + (hi - lo) * i / (kLadderSteps - 1);
+      ladder_v[static_cast<std::size_t>(i)] = v;
+      ladder_f[static_cast<std::size_t>(i)] = proc_fmax(pc, v);
+    }
+  }
+
+  /// MppLut surrogate: sample the cell at the mid-threshold voltage with the
+  /// fast Newton solve, map power -> (Vmpp, Pmpp) via the shared surfaces.
+  void build_lut() {
+    const double v_meas = 0.5 * (kVHigh + kVLow);
+    std::vector<double> p, vmpp, pmpp;
+    double last_p = -1.0;
+    double warm = 0.0;
+    for (int i = 0; i < kLutSamples; ++i) {
+      const double g = kLutGMin + (kLutGMax - kLutGMin) * i / (kLutSamples - 1);
+      const double p_meas = v_meas * pv_current(pv, v_meas, g, warm);
+      if (p_meas <= last_p) continue;
+      p.push_back(p_meas);
+      vmpp.push_back(sh.vmpp_at(s.pv_scale, g));
+      pmpp.push_back(sh.pmpp_at(s.pv_scale, g));
+      last_p = p_meas;
+    }
+    lut_p2v.emplace(p, vmpp);
+    lut_p2p.emplace(p, pmpp);
+  }
+
+  void reset_timer(double v) {
+    th_high_out = v > kVHigh;
+    th_low_out = v > kVLow;
+    th_armed = false;
+  }
+
+  void on_start() {
+    bind_iv_slices();
+    build_ladder();
+    build_lut();
+    next_submit = s.job_phase.value();
+    // MppTrackingController::on_start
+    v_target = sh.vmpp_at(s.pv_scale, 1.0);
+    reset_timer(v_s);
+    level = 0;
+    cmd_path = PowerPath::kRegulated;
+    cmd_run = true;
+    ladder_apply();
+    // EnergyManager::on_start
+    prev_v_mgr = v_s;
+    enter_tracking();
+    if (events != nullptr) {
+      bank_size = std::min<std::size_t>(8, 3);
+      bank_out = {};
+      // SocConfig default bank {1.1, 1.0, 0.9}; reset at the start voltage.
+      for (std::size_t i = 0; i < bank_size; ++i) {
+        bank_out[i] = v_s > bank_threshold(i);
+      }
+    }
+  }
+
+  [[nodiscard]] static double bank_threshold(std::size_t i) {
+    constexpr double kBank[3] = {1.1, 1.0, 0.9};
+    return kBank[i];
+  }
+
+  void update_bank() {
+    for (std::size_t i = 0; i < bank_size; ++i) {
+      const double th = bank_threshold(i);
+      if (!bank_out[i] && v_s > th + kCompHalfHyst) {
+        bank_out[i] = true;
+        events->push_back({static_cast<int>(i), true, Seconds(t)});
+      } else if (bank_out[i] && v_s < th - kCompHalfHyst) {
+        bank_out[i] = false;
+        events->push_back({static_cast<int>(i), false, Seconds(t)});
+      }
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  // Controller (flattened PeriodicJobController + EnergyManager +
+  // MppTrackingController; branch order mirrors the reference sources).
+  // ---------------------------------------------------------------------
+
+  void ladder_apply() {
+    level = std::clamp<long>(level, 0, kLadderSteps - 1);
+    cmd_vdd = ladder_v[static_cast<std::size_t>(level)];
+    cmd_freq = ladder_f[static_cast<std::size_t>(level)];
+  }
+
+  void ladder_step(int delta) {
+    level += delta;
+    ladder_apply();
+  }
+
+  void apply_mep(double g_estimate) {
+    const int bucket = static_cast<int>(g_estimate * 20.0 + 0.5);
+    MepSlot& slot = mep_cache[static_cast<std::size_t>(
+        std::clamp(bucket, 0, 31))];
+    if (!slot.computed) {
+      slot.computed = true;
+      const double g = std::max(bucket, 1) / 20.0;
+      const double vmpp = sh.vmpp_at(s.pv_scale, g);
+      auto objective = [&](double v) {
+        if (!sc_supports(vmpp, v)) {
+          return std::numeric_limits<double>::infinity();
+        }
+        const double eta = sc_efficiency(vmpp, v, proc_max_power(pc, v));
+        if (eta <= 0.0) return std::numeric_limits<double>::infinity();
+        return proc_epc(pc, v) / eta;
+      };
+      const auto r = numeric::grid_refine_minimize(
+          objective, kVminProc, kVmaxProc, {.x_tol = 1e-6, .grid_points = 160});
+      if (std::isfinite(r.value)) {
+        slot.feasible = true;
+        slot.vdd = r.x;
+        slot.freq = proc_fmax(pc, r.x);
+      }
+    }
+    if (slot.feasible) {
+      cmd_vdd = slot.vdd;
+      cmd_freq = slot.freq;
+    }
+  }
+
+  void enter_tracking() {
+    mgr = MgrState::kTracking;
+    cmd_path = bypass ? PowerPath::kBypass : PowerPath::kRegulated;
+    cmd_run = true;
+    if (s.min_energy && !bypass) apply_mep(0.5);
+  }
+
+  void refresh_light_estimate() {
+    if (t < next_reassess) return;
+    next_reassess = t + kReassessPeriod;
+    const double dv = std::fabs(v_s - prev_v_mgr);
+    prev_v_mgr = v_s;
+    if (dv > 0.01) return;
+    double p_draw = p_processor;
+    if (!bypass && p_draw > 0.0 && sc_supports(v_s, cmd_vdd)) {
+      const double eta = sc_efficiency(v_s, cmd_vdd, p_draw);
+      if (eta > 0.0) p_draw /= eta;
+    }
+    if (p_draw > 0.0) {
+      p_est = p_draw;
+      has_pest = true;
+    }
+    if (has_pest && crossover_power > 0.0) {
+      if (!bypass && p_est < kBypassEnterRatio * crossover_power) {
+        bypass = true;
+      } else if (bypass && p_est > kBypassExitRatio * crossover_power) {
+        bypass = false;
+      }
+    }
+  }
+
+  void seed_for_budget(double budget) {
+    std::size_t chosen = 0;
+    for (std::size_t i = 0; i < kLadderSteps; ++i) {
+      const double v = ladder_v[i];
+      if (!sc_supports(v_s, v)) continue;
+      const double pout = proc_max_power(pc, v);
+      const double eta = sc_efficiency(v_s, v, pout);
+      if (eta <= 0.0) continue;
+      if (pout / eta <= budget) chosen = i;
+    }
+    level = static_cast<long>(chosen);
+    ladder_apply();
+  }
+
+  /// ThresholdTimer::update flattened; returns the measured fall interval.
+  std::optional<double> timer_update() {
+    bool high_fall = false, high_rise = false, low_fall = false;
+    if (!th_high_out && v_s > kVHigh + kCompHalfHyst) {
+      th_high_out = true;
+      high_rise = true;
+    } else if (th_high_out && v_s < kVHigh - kCompHalfHyst) {
+      th_high_out = false;
+      high_fall = true;
+    }
+    if (!th_low_out && v_s > kVLow + kCompHalfHyst) {
+      th_low_out = true;
+    } else if (th_low_out && v_s < kVLow - kCompHalfHyst) {
+      th_low_out = false;
+      low_fall = true;
+    }
+    if (high_fall) {
+      th_armed = true;
+      th_armed_at = t;
+    } else if (high_rise) {
+      th_armed = false;
+    }
+    if (low_fall && th_armed) {
+      th_armed = false;
+      const double interval = t - th_armed_at;
+      if (interval > 0.0) return interval;
+    }
+    return std::nullopt;
+  }
+
+  void tracker_tick() {
+    timer_watched = true;
+    if (const auto fall = timer_update(); fall && *fall > 0.0) {
+      double p_draw = p_processor;
+      if (sc_supports(v_s, cmd_vdd) && p_draw > 0.0) {
+        const double eta = sc_efficiency(v_s, cmd_vdd, p_draw);
+        if (eta > 0.0) p_draw /= eta;
+      }
+      // Eq. 7: subtract the cap's discharge contribution over the interval.
+      const double discharge =
+          0.5 * kTrackerCap * (kVHigh * kVHigh - kVLow * kVLow) / *fall;
+      const double p_in = std::max(p_draw - discharge, 0.0);
+      v_target = (*lut_p2v)(p_in);
+      seed_for_budget((*lut_p2p)(p_in));
+      next_control = t + kControlPeriod;
+      return;
+    }
+    if (th_armed) return;
+    if (t < next_control) return;
+    next_control = t + kControlPeriod;
+    const double err = v_s - v_target;
+    const double dv = v_s - prev_v_trk;
+    prev_v_trk = v_s;
+    if (err > kDeadband && dv > -kSlewTol) {
+      ladder_step(+1);
+    } else if (err < -kDeadband && dv < kSlewTol) {
+      ladder_step(-1);
+    }
+  }
+
+  void start_next_job() {
+    --queue;
+    if (!plan.computed) {
+      plan.computed = true;
+      // Every fleet job is identical, so the exact scheduler runs once per
+      // node; plan() only exercises the processor model (no counted solves).
+      const SystemModel model(sh.ref_cell, sh.ref_reg,
+                              sh.processors[static_cast<std::size_t>(s.index)]);
+      SprintScheduler scheduler(model);
+      const SprintPlan p =
+          scheduler.plan(sh.scenario.job_cycles, sh.scenario.job_deadline,
+                         kSprintFactor);
+      plan.feasible = p.feasible;
+      if (p.feasible) {
+        plan.cycles = p.cycles;
+        plan.deadline = p.deadline.value();
+        plan.phase_time = p.phase_time.value();
+        plan.slow_v = p.slow.vdd.value();
+        plan.slow_f = p.slow.frequency.value();
+        plan.fast_v = p.fast.vdd.value();
+        plan.fast_f = p.fast.frequency.value();
+      }
+    }
+    if (!plan.feasible) {
+      ++jobs_missed;
+      return;
+    }
+    sprinting = true;
+    sprint_started = t;
+    sprint_start_cycles = cycles;
+    sprint_bypassed = false;
+    mgr = MgrState::kSprinting;
+    cmd_path = PowerPath::kRegulated;
+    cmd_vdd = plan.slow_v;
+    cmd_freq = plan.slow_f;
+    cmd_run = true;
+  }
+
+  void tick_tracking() {
+    if (queue > 0) {
+      start_next_job();
+      return;
+    }
+    refresh_light_estimate();
+    if (bypass) {
+      cmd_path = PowerPath::kBypass;
+      if (v_d >= kVminProc && v_d <= kVmaxProc) {
+        cmd_freq = proc_fmax(pc, v_d);
+        cmd_run = true;
+      } else {
+        cmd_run = false;
+      }
+      return;
+    }
+    cmd_path = PowerPath::kRegulated;
+    if (!s.min_energy) {
+      tracker_tick();
+    } else {
+      const double g =
+          has_pest
+              ? std::clamp(p_est / std::max(sh.pmpp_at(s.pv_scale, 1.0), 1e-9),
+                           0.05, 1.0)
+              : 0.5;
+      apply_mep(g);
+    }
+  }
+
+  void end_sprint(bool completed) {
+    if (completed) {
+      ++jobs_completed;
+    } else {
+      ++jobs_missed;
+    }
+    sprinting = false;
+    mgr = MgrState::kRecovering;
+    cmd_run = false;
+    cmd_path = PowerPath::kRegulated;
+  }
+
+  void tick_sprinting() {
+    const double done = cycles - sprint_start_cycles;
+    const double elapsed = t - sprint_started;
+    if (done >= plan.cycles) {
+      end_sprint(true);
+      return;
+    }
+    if (elapsed > plan.deadline * 1.5) {
+      end_sprint(false);
+      return;
+    }
+    if (sprint_bypassed) {
+      if (v_d >= kVminProc) {
+        // The reference would fault above Vmax; the shared node can overshoot
+        // it under strong sun, so the kernel clamps (documented divergence).
+        cmd_freq = proc_fmax(pc, std::min(v_d, kVmaxProc));
+      }
+      return;
+    }
+    const bool slow_phase = elapsed < plan.phase_time;
+    const double op_v = slow_phase ? plan.slow_v : plan.fast_v;
+    cmd_vdd = op_v;
+    cmd_freq = slow_phase ? plan.slow_f : plan.fast_f;
+    const bool no_headroom = !sc_supports(v_s, op_v);
+    const bool sagging = v_d < op_v - kSagMargin && elapsed > kSagEnableTime;
+    if (no_headroom || sagging) {
+      sprint_bypassed = true;
+      cmd_path = PowerPath::kBypass;
+    }
+  }
+
+  void tick_recovering() {
+    cmd_run = false;
+    cmd_path = PowerPath::kRegulated;
+    if (v_s >= kRecoverV || queue > 0) enter_tracking();
+  }
+
+  void controller_eval() {
+    timer_watched = false;
+    if (events != nullptr) update_bank();
+    // PeriodicJobController::on_tick
+    if (sh.scenario.job_cycles > 0.0 && t >= next_submit) {
+      ++queue;
+      ++jobs_submitted;
+      next_submit += sh.scenario.job_period.value();
+    }
+    switch (mgr) {
+      case MgrState::kTracking: tick_tracking(); break;
+      case MgrState::kSprinting: tick_sprinting(); break;
+      case MgrState::kRecovering: tick_recovering(); break;
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  // Event-driven stepping
+  // ---------------------------------------------------------------------
+
+  /// Direction-resolved distance to the nearest armed watch level, floored so
+  /// equilibrium at a level cannot collapse dt (level checks re-fire at every
+  /// eval anyway).  Splitting up/down matters: each direction is bounded by
+  /// the only rate that can move the node that way (a rail 50 mV above its
+  /// sag watch can discharge no faster than the load draw — bounding that
+  /// distance by the 12 mW *rated charge* rate would cap every regulated
+  /// step at a tick or two).
+  struct WatchAccum {
+    double up = std::numeric_limits<double>::infinity();
+    double down = std::numeric_limits<double>::infinity();
+    void level(double v, double trigger) {
+      if (trigger >= v) {
+        up = std::min(up, std::max(trigger - v, kWatchDeadband));
+      } else {
+        down = std::min(down, std::max(v - trigger, kWatchDeadband));
+      }
+    }
+  };
+
+  void solar_watches(WatchAccum& w) const {
+    if (timer_watched) {
+      w.level(v_s, th_high_out ? kVHigh - kCompHalfHyst : kVHigh + kCompHalfHyst);
+      w.level(v_s, th_low_out ? kVLow - kCompHalfHyst : kVLow + kCompHalfHyst);
+    }
+    if (events != nullptr) {
+      for (std::size_t i = 0; i < bank_size; ++i) {
+        const double th = bank_threshold(i);
+        w.level(v_s, bank_out[i] ? th - kCompHalfHyst : th + kCompHalfHyst);
+      }
+    }
+    if (mgr == MgrState::kRecovering) w.level(v_s, kRecoverV);
+    if (cmd_path == PowerPath::kRegulated) {
+      // Ratio boundaries: eta and the supports envelope change across them.
+      for (const double r : kScRatios) {
+        w.level(v_s, (cmd_vdd + kScMargin) / r);
+      }
+    }
+  }
+
+  void rail_watches(WatchAccum& w) const {
+    if (cmd_run) {
+      const double vmin_trip =
+          vmin_latch && cmd_path == PowerPath::kBypass
+              ? kVminProc + kVminHysteresis
+              : kVminProc;
+      w.level(v_d, vmin_trip);
+    }
+    if (cmd_path == PowerPath::kBypass) w.level(v_d, kVmaxProc);
+    if (mgr == MgrState::kSprinting && !sprint_bypassed &&
+        t - sprint_started > kSagEnableTime) {
+      w.level(v_d, cmd_vdd - kSagMargin);
+    }
+  }
+
+  /// Choose the step length: jump to the next timed controller event, capped
+  /// by the analytic no-late-detection bounds dt <= C * dist / i_max for both
+  /// nodes (within a step every voltage is monotone — autonomous scalar
+  /// dynamics under constant step inputs — so endpoint sampling can never
+  /// miss a crossing; the bound keeps detection latency inside one
+  /// comparator hysteresis band).
+  double choose_dt(double g0, double p_load) {
+    double dt = std::min(day - t, kDtMax);
+    auto timed = [&](double when) {
+      if (when > t) dt = std::min(dt, when - t);
+    };
+    timed(trace.next_knot(t, cur));
+    if (sh.scenario.job_cycles > 0.0) timed(next_submit);
+    if (mgr == MgrState::kTracking) {
+      timed(next_reassess);
+      if (timer_watched) timed(next_control);
+      if (queue > 0) dt = dt_min;  // a job starts at the very next eval
+    } else if (mgr == MgrState::kSprinting) {
+      timed(sprint_started + 1.5 * plan.deadline);
+      if (!sprint_bypassed) {
+        timed(sprint_started + plan.phase_time);
+        timed(sprint_started + kSagEnableTime);
+      }
+      if (f_eff > 0.0) {
+        const double remaining = plan.cycles - (cycles - sprint_start_cycles);
+        timed(t + remaining / f_eff);
+      }
+    }
+
+    // Regulated rail restoring upward toward the target while the clock is
+    // running: cap at ~2*tau so the effective frequency clamp f_max(v_dd)
+    // tracks the moving rail.  Only that quadrant needs fine steps: with the
+    // rail at or above its *effective* steady point (one reference tick of
+    // load energy above the commanded target — see integrate()), f_max(v_d)
+    // sits above the commanded frequency and the clamp is inactive, and with
+    // the clock gated off no cycles accrue either way.
+    if (cmd_path == PowerPath::kRegulated) {
+      const double e_t = 0.5 * c_vdd * cmd_vdd * cmd_vdd + p_load * dt_min;
+      const double v_eff = std::sqrt(2.0 * e_t / c_vdd);
+      if (std::fabs(v_d - v_eff) > kRailBand) dt = std::min(dt, kRailSettleCap);
+    }
+    // Analytic watch bounds.  G is linear between knots and dt never crosses
+    // a knot, so max irradiance over the step sits at its endpoints.
+    const double g_end = trace.constant ? g0 : trace.at(t + dt, cur);
+    const double g_hi = std::max(g0, g_end);
+
+    // Max terminal current the cell can source anywhere on an *upward* path
+    // from the present voltage (i_pv is decreasing in v, increasing in g).
+    const double i_pv_now = cell_i(v_s, g_hi);
+
+    // Bypass: the clock rides the shared node, so bound the rail swing per
+    // step to keep the frequency error within ~1%.  The swing rate is the
+    // *net* current into the merged node — near the operating equilibrium it
+    // is tiny, so this is an accuracy cap, not a tick-scale clamp (the watch
+    // bounds below independently guarantee crossing detection).
+    if (cmd_path != PowerPath::kRegulated && can_run) {
+      const double i_load = p_load / std::max(v_d, kWatchVFloor);
+      const double i_net = std::fabs(i_pv_now - i_load);
+      const double rate = (1.5 * i_net + 1e-6) / (c_solar + c_vdd);
+      if (rate > 0.0) dt = std::min(dt, kBypassDvCap / rate);
+    }
+
+    WatchAccum ws, wd;
+    solar_watches(ws);
+    rail_watches(wd);
+    // Every voltage is monotone within a step, so endpoint sampling cannot
+    // *skip* a crossing — the bounds below only control detection latency.
+    // Allowing overshoot up to the comparator half-hysteresis keeps the
+    // detected edge inside its hysteresis band, the same latency class as
+    // the reference's own one-tick quantization, and stops an equilibrium
+    // *at* a watch level from grinding the stepper to single ticks.
+    const double up_s = ws.up + kCompHalfHyst;
+    const double dn_s = ws.down + kCompHalfHyst;
+    // In bypass conduction the two capacitors slew together, so the charge
+    // that moves either node spreads over the merged capacitance.
+    const bool conducting = cmd_path == PowerPath::kBypass && v_s > v_d;
+    const double c_sol_eff = conducting ? c_solar + c_vdd : c_solar;
+    const double c_rail_eff = conducting ? c_solar + c_vdd : c_vdd;
+    // Solar node, upward crossings: only photocurrent charges the node, and
+    // it can never exceed its value at the present (lowest-on-path) voltage.
+    if (std::isfinite(ws.up) && i_pv_now > 0.0) {
+      dt = std::min(dt, c_sol_eff * up_s / i_pv_now);
+    }
+    // Solar node, downward crossings: only the source-side draw discharges
+    // it (p_in = (p_out + fixed loss)/eta_lin grows monotonically with p_out,
+    // and |p_restore| peaks at (E_target - E)/tau in the dt -> 0 limit);
+    // photocurrent only opposes the motion, so it is dropped from the bound.
+    if (std::isfinite(ws.down)) {
+      double i_bound = 0.0;
+      if (cmd_path == PowerPath::kRegulated && sc_supports(v_s, cmd_vdd)) {
+        const double e_t =
+            0.5 * c_vdd * cmd_vdd * cmd_vdd + p_load * dt_min;
+        const double e_0 = 0.5 * c_vdd * v_d * v_d;
+        const double p_out_bound =
+            std::min(kScRatedLoad, p_load + std::fabs(e_t - e_0) / kTau);
+        const double r = sc_active_ratio(v_s, cmd_vdd);
+        if (r > 0.0) {
+          const double eta_lin = cmd_vdd / (r * v_s);
+          const double p_in_bound =
+              ((1.0 + kScSwitchLoss) * p_out_bound + kScControlPower) / eta_lin;
+          i_bound = p_in_bound / std::max(v_s - ws.down, kWatchVFloor);
+        }
+      } else if (cmd_path == PowerPath::kBypass) {
+        i_bound = p_load / std::max(v_d, kWatchVFloor);
+      }
+      if (i_bound > 0.0) dt = std::min(dt, c_sol_eff * dn_s / i_bound);
+    }
+    if (cmd_path == PowerPath::kRegulated) {
+      // Regulated rail: the step integrator follows the exact discrete map
+      // E' = E + (dt_ref/tau)*(E_eff - E) with net power clamped to
+      // [-p_load, rated - p_load], monotone toward the effective target —
+      // so the *initial* net rate is the maximum over the step and the
+      // rate-bound is exact, not a worst-case envelope (rating the bound at
+      // the full 12 mW output would cap every near-equilibrium step at a
+      // tick or two).
+      const bool sup = sc_supports(v_s, cmd_vdd);
+      const double e_t =
+          0.5 * c_vdd * cmd_vdd * cmd_vdd + p_load * dt_min;
+      const double e_0 = 0.5 * c_vdd * v_d * v_d;
+      if (std::isfinite(wd.up) && sup) {
+        const double up_rate =
+            std::min((e_t - e_0) / kTau, kScRatedLoad - p_load);
+        if (up_rate > 0.0) {
+          const double vw = v_d + wd.up + kCompHalfHyst;
+          dt = std::min(dt, (0.5 * c_vdd * vw * vw - e_0) / up_rate);
+        }
+      }
+      if (std::isfinite(wd.down)) {
+        const double down_rate =
+            sup ? std::min((e_0 - e_t) / kTau, p_load) : p_load;
+        if (down_rate > 0.0) {
+          const double vw =
+              std::max(v_d - wd.down - kCompHalfHyst, 0.0);
+          dt = std::min(dt, (e_0 - 0.5 * c_vdd * vw * vw) / down_rate);
+        }
+      }
+    } else {
+      // Bypass rail: only the conducting switch can charge it (at most the
+      // photocurrent bound; a detached rail cannot rise), and only the
+      // processor load can discharge it.
+      if (std::isfinite(wd.up) && conducting && i_pv_now > 0.0) {
+        dt = std::min(dt, c_rail_eff * (wd.up + kCompHalfHyst) / i_pv_now);
+      }
+      if (std::isfinite(wd.down) && p_load > 0.0) {
+        const double i_bound =
+            p_load / std::max(v_d - wd.down, kWatchVFloor);
+        dt = std::min(dt, c_rail_eff * (wd.down + kCompHalfHyst) / i_bound);
+      }
+    }
+
+    // Quantize to whole reference ticks (flooring preserves every bound
+    // above) so controller evals, job adjudication, and the discrete rail
+    // map all land on the same instants the fixed-step loop uses; then
+    // clamp to the day end (the final partial step may be sub-tick).
+    const double ticks = std::max(1.0, std::floor(dt / dt_min + 1e-6));
+    dt = ticks * dt_min;
+    return std::min(dt, day - t);
+  }
+
+  // ---------------------------------------------------------------------
+  // Physics integration (implicit midpoint on the stiff solar node).
+  // ---------------------------------------------------------------------
+
+  /// Advance the solar node by dt under a constant source-side draw `p_in`,
+  /// harvesting from the cell at the midpoint irradiance.  Returns the
+  /// average harvested power over the step.
+  double integrate_solar(double dt, double g_mid, double p_in) {
+    const double v0 = v_s;
+    double v1 = v0;
+    double vm = v0;
+    double i = 0.0;
+    for (int iter = 0; iter < 40; ++iter) {
+      vm = 0.5 * (v0 + v1);
+      if (vm < 0.0) vm = 0.0;
+      double didv = 0.0;
+      i = cell_i(vm, g_mid, &didv);
+      const double F = 0.5 * c_solar * (v1 * v1 - v0 * v0) -
+                       dt * (vm * i - p_in);
+      double dF = c_solar * v1 - dt * 0.5 * (i + vm * didv);
+      if (dF < 1e-12) dF = 1e-12;
+      const double step = F / dF;
+      v1 -= step;
+      if (std::fabs(step) < 1e-10) break;
+    }
+    if (v1 < 0.0) v1 = 0.0;
+    v_s = v1;
+    return vm * i;
+  }
+
+  void integrate(double dt, double g_mid, double p_load) {
+    if (cmd_path == PowerPath::kRegulated) {
+      const bool supports = sc_supports(v_s, cmd_vdd);
+      double p_in = 0.0;
+      double p_out = 0.0;
+      if (supports) {
+        // Closed-form restoration matching the reference tick map exactly.
+        // The reference applies the load *before* computing the restore
+        // power p_restore = (E_t - E_afterload)/tau, so one tick is the
+        // affine map  E' = E + (dt_ref/tau) * (E_t + p_load*dt_ref - E):
+        // plain Euler toward an *effective* target one tick of load energy
+        // above E_t (the steady rail rides at sqrt(vt^2 + 2*p_load*dt_ref/C),
+        // which keeps the commanded frequency off the f_max clamp).  Steps
+        // are grid-quantized, so k ticks compose to a geometric decay with
+        // ratio (1 - dt_ref/tau) — not exp(-dt/tau), whose rate differs by
+        // ~10% at dt_ref/tau = 0.2 and visibly skews the tracker's
+        // post-step slew samples.
+        const double e_t = 0.5 * c_vdd * cmd_vdd * cmd_vdd +
+                           p_load * dt_min;
+        const double e_0 = 0.5 * c_vdd * v_d * v_d;
+        const double rho = 1.0 - dt_min / kTau;
+        // The per-tick output clamp p_out in [0, rated] splits the map into
+        // three regimes by the pre-tick energy e:
+        //   e <  e_hi : p_out pinned at rated    -> linear ramp up
+        //   e >  e_lo : p_out pinned at zero     -> linear drain at p_load
+        //   otherwise : unclamped Euler          -> geometric decay to e_t
+        // Both linear phases march monotonically into the middle band and
+        // the geometric phase never leaves it, so whole ticks compose in
+        // closed form phase by phase (per-tick regime choice uses the
+        // pre-tick energy, exactly like the reference loop).
+        double e_end = e_0;
+        double k = dt / dt_min;  // whole ticks (grid-quantized); final
+                                 // partial step falls through as geometric
+        if (k >= 1.0 && rho > 0.0) {
+          const double e_hi = e_t - kTau * (kScRatedLoad - p_load);
+          const double e_lo = e_t + kTau * p_load;
+          if (e_end < e_hi && kScRatedLoad > p_load) {
+            const double step_e = (kScRatedLoad - p_load) * dt_min;
+            const double k1 =
+                std::min(k, std::ceil((e_hi - e_end) / step_e - 1e-9));
+            e_end += k1 * step_e;
+            k -= k1;
+          } else if (e_end > e_lo && p_load > 0.0) {
+            const double step_e = p_load * dt_min;
+            const double k2 =
+                std::min(k, std::ceil((e_end - e_lo) / step_e - 1e-9));
+            e_end -= k2 * step_e;
+            k -= k2;
+          }
+        }
+        if (k > 0.0) {
+          const double decay = rho > 0.0 ? std::pow(rho, k) : 0.0;
+          e_end = e_t + (e_end - e_t) * decay;
+        }
+        const double p_restore = (e_end - e_0) / dt;
+        p_out = std::clamp(p_load + p_restore, 0.0, kScRatedLoad);
+        if (p_out > 0.0) {
+          const double eta = sc_efficiency(v_s, cmd_vdd, p_out);
+          if (eta > 0.0) {
+            p_in = p_out / eta;
+          } else {
+            p_out = 0.0;  // regulator stalled: no transfer this step
+          }
+        }
+      }
+      harvested += dt * integrate_solar(dt, g_mid, p_in);
+      double e_d = 0.5 * c_vdd * v_d * v_d + (p_out - p_load) * dt;
+      if (e_d < 0.0) e_d = 0.0;
+      v_d = std::sqrt(2.0 * e_d / c_vdd);
+      return;
+    }
+
+    // Bypass (and kOff, which the manager never commands): the switch
+    // conducts solar -> rail when v_s > v_d.  The discrete reference update
+    // rings at tau_RC ~ R*C_parallel ~ 8 us; the kernel integrates the
+    // merged quasi-steady limit instead (charge-conserving, same energy).
+    const bool conducting = cmd_path == PowerPath::kBypass && v_s > v_d;
+    if (!conducting) {
+      harvested += dt * integrate_solar(dt, g_mid, 0.0);
+      double e_d = 0.5 * c_vdd * v_d * v_d - p_load * dt;
+      if (e_d < 0.0) e_d = 0.0;
+      v_d = std::sqrt(2.0 * e_d / c_vdd);
+      return;
+    }
+
+    const double c_tot = c_solar + c_vdd;
+    const double i_load = p_load / std::max(v_d, kWatchVFloor);
+    // Quasi-steady series drop across the switch: the current that keeps
+    // both nodes slewing together is i_R = (C_v*i_pv + C_s*i_load)/C_tot.
+    const double i_pv0 = cell_i(v_s, g_mid);
+    const double i_r = (c_vdd * i_pv0 + c_solar * i_load) / c_tot;
+    if (i_r < 0.0) {
+      // Diode would block: treat as detached for this step.
+      harvested += dt * integrate_solar(dt, g_mid, 0.0);
+      double e_d = 0.5 * c_vdd * v_d * v_d - p_load * dt;
+      if (e_d < 0.0) e_d = 0.0;
+      v_d = std::sqrt(2.0 * e_d / c_vdd);
+      return;
+    }
+    const double delta = kBypassR * i_r;
+    const double off_s = (c_vdd / c_tot) * delta;
+    const double off_d = (c_solar / c_tot) * delta;
+    // Implicit midpoint on the charge-conserving average voltage.
+    const double vbar0 = (c_solar * v_s + c_vdd * v_d) / c_tot;
+    double v1 = vbar0;
+    double vm = vbar0;
+    double i = 0.0;
+    for (int iter = 0; iter < 40; ++iter) {
+      vm = 0.5 * (vbar0 + v1);
+      const double v_cell = std::max(vm + off_s, 0.0);
+      double didv = 0.0;
+      i = cell_i(v_cell, g_mid, &didv);
+      const double F = c_tot * (v1 - vbar0) - dt * (i - i_load);
+      double dF = c_tot - dt * 0.5 * didv;
+      if (dF < 1e-12) dF = 1e-12;
+      const double step = F / dF;
+      v1 -= step;
+      if (std::fabs(step) < 1e-14) break;
+    }
+    harvested += dt * std::max(vm + off_s, 0.0) * i;
+    v_s = std::max(v1 + off_s, 0.0);
+    v_d = std::max(v1 - off_d, 0.0);
+  }
+
+  // ---------------------------------------------------------------------
+  // Main loop
+  // ---------------------------------------------------------------------
+
+  NodeResult run() {
+    on_start();
+    while (t < day - 1e-15) {
+      const double g0 = trace.at(t, cur);
+      controller_eval();
+
+      // Load for this step (reference tick semantics: rail voltage gates the
+      // clock; commanded frequency clamps at f_max(v_dd)).
+      if (v_d < kVminProc) {
+        vmin_latch = true;
+      } else if (v_d >= kVminProc + (cmd_path == PowerPath::kBypass
+                                         ? kVminHysteresis
+                                         : 0.0)) {
+        vmin_latch = false;
+      }
+      can_run = cmd_run && !vmin_latch && v_d <= kVmaxProc;
+      double p_load = 0.0;
+      f_eff = 0.0;
+      if (can_run) {
+        const double fmax_now =
+            proc_fmax(pc, std::clamp(v_d, kVminProc, kVmaxProc));
+        f_eff = cmd_freq;
+        bool clamped = false;
+        if (f_eff > fmax_now) {
+          clamped = true;
+          f_eff = fmax_now;
+        }
+        // The reference counts clamped *ticks*; the kernel counts clamp
+        // episodes (transitions into the clamped condition).
+        if (clamped && !fault_latch) ++timing_faults;
+        fault_latch = clamped;
+        p_load = proc_power(pc, v_d, f_eff);
+      } else {
+        fault_latch = false;
+        if (was_running && cmd_run) ++brownouts;
+      }
+      was_running = can_run;
+
+      const double dt = choose_dt(g0, p_load);
+      const double g_mid = trace.at(t + 0.5 * dt, cur);
+      integrate(dt, g_mid, p_load);
+
+      // Metrics over the step.
+      if (can_run) {
+        cycles += f_eff * dt;
+        delivered += p_load * dt;
+      } else if (cmd_run) {
+        halted += dt;
+      }
+      // MPPT tracking error, dt-weighted (the reference averages uniform
+      // waveform samples under the same predicate).
+      if (cmd_path == PowerPath::kRegulated && f_eff > 0.0 && g0 >= 0.05) {
+        const double g_q = std::round(g0 * 100.0) / 100.0;
+        if (g_q >= 0.05) {
+          const double vmpp = sh.vmpp_at(s.pv_scale, g_q);
+          if (vmpp > 0.0) {
+            mppt_num += dt * std::fabs(v_s - vmpp) / vmpp;
+            mppt_den += dt;
+          }
+        }
+      }
+      p_processor = p_load;
+      t += dt;
+    }
+    if (events != nullptr) update_bank();  // final edge flush at day end
+
+    NodeResult out;
+    out.sample = s;
+    out.cycles = cycles;
+    out.brownouts = brownouts;
+    out.timing_faults = timing_faults;
+    out.jobs_submitted = jobs_submitted;
+    out.jobs_completed = jobs_completed;
+    out.jobs_missed = jobs_missed;
+    const int adjudicated = jobs_completed + jobs_missed;
+    out.deadline_hit_rate =
+        adjudicated > 0 ? static_cast<double>(jobs_completed) / adjudicated
+                        : 1.0;
+    out.mppt_error = mppt_den > 0.0 ? mppt_num / mppt_den : 0.0;
+    out.harvested = Joules(harvested);
+    out.delivered = Joules(delivered);
+    out.halted = Seconds(halted);
+    out.energy_per_job =
+        jobs_completed > 0 ? Joules(delivered / jobs_completed) : Joules(0.0);
+    return out;
+  }
+};
+
+}  // namespace
+
+NodeResult BatchFleetKernel::run_node(int index) const {
+  const Shared& sh = *shared_;
+  HEMP_REQUIRE(index >= 0 && index < sh.scenario.nodes,
+               "BatchFleetKernel: node index out of range");
+  const std::size_t i = static_cast<std::size_t>(index);
+  NodeRunner lane{sh,
+                  sh.samples[i],
+                  sh.pv[i],
+                  sh.proc[i],
+                  sh.shared_sky ? sh.sky : sh.traces[i],
+                  sh.samples[i].solar_capacitance.value(),
+                  sh.scenario.vdd_cap.value(),
+                  sh.scenario.day_length.value(),
+                  sh.scenario.time_step.value(),
+                  sh.crossover_power[i]};
+  return lane.run();
+}
+
+NodeResult BatchFleetKernel::run_node_traced(
+    int index, std::vector<BatchComparatorEvent>& events) const {
+  const Shared& sh = *shared_;
+  HEMP_REQUIRE(index >= 0 && index < sh.scenario.nodes,
+               "BatchFleetKernel: node index out of range");
+  const std::size_t i = static_cast<std::size_t>(index);
+  NodeRunner lane{sh,
+                  sh.samples[i],
+                  sh.pv[i],
+                  sh.proc[i],
+                  sh.shared_sky ? sh.sky : sh.traces[i],
+                  sh.samples[i].solar_capacitance.value(),
+                  sh.scenario.vdd_cap.value(),
+                  sh.scenario.day_length.value(),
+                  sh.scenario.time_step.value(),
+                  sh.crossover_power[i],
+                  &events};
+  return lane.run();
+}
+
+FleetReport BatchFleetKernel::run(const BatchKernelOptions& opts) const {
+  const Shared& sh = *shared_;
+  const auto before = solver_stats::snapshot();
+  const int n = sh.scenario.nodes;
+  std::vector<NodeResult> results(static_cast<std::size_t>(n));
+  const int block = std::max(1, opts.block_size);
+  if (!opts.parallel || n <= block) {
+    for (int i = 0; i < n; ++i) {
+      results[static_cast<std::size_t>(i)] = run_node(i);
+    }
+  } else {
+    const std::size_t blocks =
+        (static_cast<std::size_t>(n) + static_cast<std::size_t>(block) - 1) /
+        static_cast<std::size_t>(block);
+    ThreadPool& pool = opts.pool != nullptr ? *opts.pool : ThreadPool::shared();
+    parallel_for(pool, blocks, [&](std::size_t b) {
+      const int lo = static_cast<int>(b) * block;
+      const int hi = std::min(lo + block, n);
+      for (int i = lo; i < hi; ++i) {
+        results[static_cast<std::size_t>(i)] = run_node(i);
+      }
+    });
+  }
+  if (opts.check_no_exact_solves) {
+    const auto delta = solver_stats::delta_since(before);
+    HEMP_REQUIRE(delta.total() == 0,
+                 "BatchFleetKernel: exact solver invoked during a batch run");
+  }
+  return aggregate(sh.scenario, std::move(results));
+}
+
+}  // namespace hemp

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/numeric.hpp"
+#include "common/solver_stats.hpp"
 
 namespace hemp {
 
@@ -35,6 +36,7 @@ Watts IvCurve::power_at(Volts v) const { return v * current_at(v); }
 
 MaxPowerPoint find_mpp(const PvCell& cell, double irradiance) {
   if (irradiance <= 0.0) return {Volts(0.0), Amps(0.0), Watts(0.0)};
+  solver_stats::count_exact_mpp_solve();
   const Volts voc = cell.open_circuit_voltage(irradiance);
   auto p = [&](double v) { return cell.power(Volts(v), irradiance).value(); };
   const auto r = numeric::grid_refine_maximize(p, 0.0, voc.value(),

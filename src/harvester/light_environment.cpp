@@ -40,9 +40,15 @@ std::vector<LightCondition> all_light_conditions() {
           LightCondition::kIndoorBright, LightCondition::kIndoorDim};
 }
 
-IrradianceTrace::IrradianceTrace(Profile profile, std::string description)
-    : profile_(std::move(profile)), description_(std::move(description)) {
+IrradianceTrace::IrradianceTrace(Profile profile, std::string description,
+                                 std::vector<Seconds> breakpoints)
+    : profile_(std::move(profile)),
+      description_(std::move(description)),
+      breakpoints_(std::move(breakpoints)) {
   HEMP_REQUIRE(static_cast<bool>(profile_), "IrradianceTrace: null profile");
+  std::sort(breakpoints_.begin(), breakpoints_.end());
+  breakpoints_.erase(std::unique(breakpoints_.begin(), breakpoints_.end()),
+                     breakpoints_.end());
 }
 
 double IrradianceTrace::at(Seconds t) const {
@@ -57,7 +63,7 @@ IrradianceTrace IrradianceTrace::constant(double g) {
 
 IrradianceTrace IrradianceTrace::step(double g_before, double g_after, Seconds at) {
   return IrradianceTrace(
-      [=](Seconds t) { return t < at ? g_before : g_after; }, "step");
+      [=](Seconds t) { return t < at ? g_before : g_after; }, "step", {at});
 }
 
 IrradianceTrace IrradianceTrace::ramp(double g_start, double g_end, Seconds start,
@@ -70,7 +76,7 @@ IrradianceTrace IrradianceTrace::ramp(double g_start, double g_end, Seconds star
         if (frac >= 1.0) return g_end;
         return g_start + frac * (g_end - g_start);
       },
-      "ramp");
+      "ramp", {start, start + duration});
 }
 
 IrradianceTrace IrradianceTrace::clouds(double g_base, std::vector<CloudEvent> events) {
@@ -79,6 +85,12 @@ IrradianceTrace IrradianceTrace::clouds(double g_base, std::vector<CloudEvent> e
                  "IrradianceTrace::clouds: depth must be in [0, 1]");
     HEMP_REQUIRE(e.duration.value() > 0.0,
                  "IrradianceTrace::clouds: duration must be positive");
+  }
+  std::vector<Seconds> edges;
+  edges.reserve(2 * events.size());
+  for (const auto& e : events) {
+    edges.push_back(e.start);
+    edges.push_back(e.start + e.duration);
   }
   return IrradianceTrace(
       [g_base, events = std::move(events)](Seconds t) {
@@ -90,7 +102,7 @@ IrradianceTrace IrradianceTrace::clouds(double g_base, std::vector<CloudEvent> e
         }
         return g;
       },
-      "clouds");
+      "clouds", std::move(edges));
 }
 
 IrradianceTrace IrradianceTrace::diurnal(double g_peak, Seconds sunrise, Seconds sunset) {
@@ -102,7 +114,7 @@ IrradianceTrace IrradianceTrace::diurnal(double g_peak, Seconds sunrise, Seconds
         const double s = std::sin(std::numbers::pi * frac);
         return g_peak * s * s;  // raised-cosine-like day shape
       },
-      "diurnal");
+      "diurnal", {sunrise, sunset});
 }
 
 IrradianceTrace IrradianceTrace::piecewise(
@@ -112,6 +124,9 @@ IrradianceTrace IrradianceTrace::piecewise(
     HEMP_REQUIRE(points[i - 1].first < points[i].first,
                  "IrradianceTrace::piecewise: times must be strictly increasing");
   }
+  std::vector<Seconds> knots;
+  knots.reserve(points.size());
+  for (const auto& p : points) knots.push_back(p.first);
   return IrradianceTrace(
       [points = std::move(points)](Seconds t) {
         if (t <= points.front().first) return points.front().second;
@@ -126,7 +141,7 @@ IrradianceTrace IrradianceTrace::piecewise(
         }
         return points.back().second;
       },
-      "piecewise");
+      "piecewise", std::move(knots));
 }
 
 IrradianceTrace IrradianceTrace::from_csv(const std::string& path) {
@@ -150,8 +165,9 @@ IrradianceTrace IrradianceTrace::from_csv(const std::string& path) {
     points.emplace_back(Seconds(t), g);
   }
   IrradianceTrace trace = piecewise(std::move(points));
+  std::vector<Seconds> knots = trace.breakpoints();
   return IrradianceTrace([trace](Seconds t) { return trace.at(t); },
-                         "csv:" + path);
+                         "csv:" + path, std::move(knots));
 }
 
 }  // namespace hemp

@@ -38,10 +38,21 @@ class IrradianceTrace {
  public:
   using Profile = std::function<double(Seconds)>;
 
-  IrradianceTrace(Profile profile, std::string description);
+  /// `breakpoints` lists the times where G(t) is non-smooth (steps, ramp
+  /// endpoints, cloud edges, sunrise/sunset, piecewise knots).  Between two
+  /// consecutive breakpoints the profile is smooth and slowly varying, which
+  /// event-driven integrators exploit to take long steps.  The list is
+  /// sorted and deduplicated on construction; an empty list means "treat the
+  /// whole trace as smooth" and is always safe for correctness-by-sampling
+  /// consumers.
+  IrradianceTrace(Profile profile, std::string description,
+                  std::vector<Seconds> breakpoints = {});
 
   [[nodiscard]] double at(Seconds t) const;
   [[nodiscard]] const std::string& description() const { return description_; }
+  [[nodiscard]] const std::vector<Seconds>& breakpoints() const {
+    return breakpoints_;
+  }
 
   // --- Builders --------------------------------------------------------------
 
@@ -85,6 +96,7 @@ class IrradianceTrace {
  private:
   Profile profile_;
   std::string description_;
+  std::vector<Seconds> breakpoints_;
 };
 
 }  // namespace hemp

@@ -58,6 +58,12 @@ IrradianceTrace cloud_field(Rng& rng, const CloudFieldParams& params) {
     t += duration + exponential(rng, params.mean_gap.value());
   }
   IrradianceTrace sky = diurnal_arc(rng, params.day);
+  std::vector<Seconds> breakpoints = sky.breakpoints();
+  breakpoints.reserve(breakpoints.size() + 2 * events.size());
+  for (const auto& e : events) {
+    breakpoints.push_back(e.start);
+    breakpoints.push_back(e.start + e.duration);
+  }
   return IrradianceTrace(
       [sky = std::move(sky), events = std::move(events)](Seconds now) {
         double g = sky.at(now);
@@ -68,7 +74,7 @@ IrradianceTrace cloud_field(Rng& rng, const CloudFieldParams& params) {
         }
         return g;
       },
-      "cloud field");
+      "cloud field", std::move(breakpoints));
 }
 
 void IndoorDutyParams::validate() const {
@@ -94,6 +100,9 @@ IrradianceTrace indoor_duty(Rng& rng, const IndoorDutyParams& params) {
     on = !on;
     edges.emplace_back(t, on ? g_on : params.g_off);
   }
+  std::vector<Seconds> breakpoints;
+  breakpoints.reserve(edges.size());
+  for (const auto& e : edges) breakpoints.emplace_back(e.first);
   return IrradianceTrace(
       [edges = std::move(edges)](Seconds now) {
         const auto it = std::upper_bound(
@@ -101,7 +110,7 @@ IrradianceTrace indoor_duty(Rng& rng, const IndoorDutyParams& params) {
             [](double v, const std::pair<double, double>& e) { return v < e.first; });
         return std::prev(it)->second;
       },
-      "indoor duty cycle");
+      "indoor duty cycle", std::move(breakpoints));
 }
 
 }  // namespace hemp

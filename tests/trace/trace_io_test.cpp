@@ -34,7 +34,7 @@ TEST(ReadCsv, ParsesHeaderAndRows) {
   ASSERT_EQ(t.rows.size(), 2u);
   EXPECT_DOUBLE_EQ(t.rows[1][1], 0.75);
   EXPECT_EQ(t.column_index("irradiance"), 1u);
-  EXPECT_THROW(t.column_index("missing"), RangeError);
+  EXPECT_THROW((void)t.column_index("missing"), RangeError);
   EXPECT_DOUBLE_EQ(t.column("time_s")[1], 1.0);
 }
 

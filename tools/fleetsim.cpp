@@ -1,11 +1,12 @@
 // fleetsim: run a fleet scenario and write its aggregate report.
 //
-//   fleetsim <scenario.scn> [--nodes N] [--seed S] [--serial]
-//            [--out DIR] [--no-files]
+//   fleetsim <scenario.scn> [--kernel batch|reference] [--nodes N] [--seed S]
+//            [--serial] [--out DIR] [--no-files]
 //
 // Loads the scenario description, simulates the fleet (parallel by default,
-// `--serial` for the bit-identical reference loop), prints the population
-// aggregates plus the determinism witness (`summary_hash`), and writes
+// `--serial` for the single-threaded loop; both orders are bit-identical),
+// prints the population aggregates plus the determinism witness
+// (`summary_hash`), and writes
 // <out>/<name>_summary.json and <out>/<name>_nodes.csv.  Two runs with the
 // same scenario and seed print the same hash and write byte-identical JSON.
 #include <chrono>
@@ -17,14 +18,16 @@
 #include <string>
 
 #include "common/thread_pool.hpp"
+#include "fleet/batch_kernel.hpp"
 #include "fleet/fleet_sim.hpp"
 
 namespace {
 
 void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <scenario.scn> [--nodes N] [--seed S] [--serial]\n"
-               "          [--out DIR] [--no-files]\n",
+               "usage: %s <scenario.scn> [--kernel batch|reference]\n"
+               "          [--nodes N] [--seed S] [--serial] [--out DIR]\n"
+               "          [--no-files]\n",
                argv0);
 }
 
@@ -47,6 +50,7 @@ int main(int argc, char** argv) {
   std::string out_dir = "out";
   bool serial = false;
   bool write_files = true;
+  bool use_batch = false;
   int override_nodes = -1;
   long long override_seed = -1;
 
@@ -61,6 +65,16 @@ int main(int argc, char** argv) {
     };
     if (arg == "--serial") {
       serial = true;
+    } else if (arg == "--kernel") {
+      const std::string kernel = next("--kernel");
+      if (kernel == "batch") {
+        use_batch = true;
+      } else if (kernel == "reference") {
+        use_batch = false;
+      } else {
+        std::fprintf(stderr, "fleetsim: --kernel must be batch or reference\n");
+        return 2;
+      }
     } else if (arg == "--no-files") {
       write_files = false;
     } else if (arg == "--nodes") {
@@ -96,12 +110,17 @@ int main(int argc, char** argv) {
     }
     scenario.validate();
 
-    const FleetSimulator sim(scenario);
-    FleetOptions opts;
-    opts.parallel = !serial;
-
     const auto t0 = std::chrono::steady_clock::now();
-    const FleetReport report = sim.run(opts);
+    FleetReport report;
+    if (use_batch) {
+      const BatchFleetKernel kernel(scenario);
+      report = kernel.run({.parallel = !serial});
+    } else {
+      const FleetSimulator sim(scenario);
+      FleetOptions opts;
+      opts.parallel = !serial;
+      report = sim.run(opts);
+    }
     const auto t1 = std::chrono::steady_clock::now();
     const double wall_s = std::chrono::duration<double>(t1 - t0).count();
 
@@ -112,6 +131,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(report.seed));
     std::printf("day length:    %.6g s (compressed day)\n",
                 report.day_length.value());
+    std::printf("kernel:        %s\n", use_batch ? "batch" : "reference");
     std::printf("execution:     %s, %u pool thread(s), %.3f s wall "
                 "(%.1f nodes/s)\n",
                 serial ? "serial" : "parallel", ThreadPool::shared().size(),
