@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file annotations.hpp
+/// Source annotations consumed by static tooling (tools/hemp_analyzer/).
+///
+/// `HEMP_HOT` marks a function as a steady-state hot-path root: every tick
+/// of a long simulation passes through it, so it must stay free of exact
+/// solver calls, heap allocation, locks, iostream/stdio, and throws.  The
+/// hemp_analyzer `hot-path-purity` check walks the whole-program call graph
+/// from each annotated root and reports any reachable forbidden sink with a
+/// witness call chain; reviewed exceptions carry an inline
+/// `// hemp-analyzer: allow(hot-path-purity) — <reason>` marker.
+///
+/// The attribute spelling only exists under Clang; GCC (-Wpedantic) would
+/// warn on the unknown attribute namespace, so the macro expands to nothing
+/// there.  The analyzer's text backend keys off the `HEMP_HOT` token
+/// itself, the clang backend off the emitted `annotate` attribute — both
+/// see the same roots either way.
+
+#if defined(__clang__)
+#define HEMP_HOT [[clang::annotate("hemp::hot")]]
+#else
+#define HEMP_HOT
+#endif

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/annotations.hpp"
 #include "common/error.hpp"
 
 namespace hemp {
@@ -69,7 +70,7 @@ void EnergyManager::apply_mep_point(SocCommand& cmd, double g_estimate) {
   }
 }
 
-void EnergyManager::on_tick(const SocState& state, SocCommand& cmd) {
+HEMP_HOT void EnergyManager::on_tick(const SocState& state, SocCommand& cmd) {
   switch (state_) {
     case State::kTracking: tick_tracking(state, cmd); break;
     case State::kSprinting: tick_sprinting(state, cmd); break;

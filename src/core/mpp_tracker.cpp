@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/error.hpp"
 
 namespace hemp {
@@ -126,7 +127,7 @@ void MppTrackingController::seed_for_budget(Watts p_budget, const SocState& stat
   cmd.frequency = op.frequency;
 }
 
-void MppTrackingController::on_tick(const SocState& state, SocCommand& cmd) {
+HEMP_HOT void MppTrackingController::on_tick(const SocState& state, SocCommand& cmd) {
   // --- Eq. 7 transient estimator. --------------------------------------------
   if (auto fall = timer_.update(state.v_solar, state.time);
       fall && fall->value() > 0.0) {

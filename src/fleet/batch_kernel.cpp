@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/error.hpp"
 #include "common/interpolation.hpp"
 #include "common/numeric.hpp"
@@ -146,6 +147,7 @@ PvFlat make_pv_flat(double pv_scale) {
 /// Terminal current of the single-diode cell: safeguarded Newton on the same
 /// implicit KCL PvCell::current solves with Brent, including its edge cases.
 /// `warm` carries the previous solution as the start iterate.
+// hemp-analyzer: allow(unit-boundary) — flattened SoA kernel math on raw SI
 double pv_current(const PvFlat& pv, double v, double g, double& warm) {
   const double iph = pv.iph_full * g;
   if (iph == 0.0) return 0.0;
@@ -269,11 +271,13 @@ double proc_leak(const ProcFlat& p, double v) {
 }
 
 /// Mirrors PowerModel::total_power.
+// hemp-analyzer: allow(unit-boundary) — flattened SoA kernel math on raw SI
 double proc_power(const ProcFlat& p, double v, double f) {
   return kCeff * v * v * f + proc_leak(p, v);
 }
 
 /// Mirrors Processor::max_power (full speed at v).
+// hemp-analyzer: allow(unit-boundary) — flattened SoA kernel math on raw SI
 double proc_max_power(const ProcFlat& p, double v) {
   return proc_power(p, v, proc_fmax(p, v));
 }
@@ -715,7 +719,7 @@ struct NodeRunner {
   /// terminal-current surface, blended across the node's two bracketing
   /// pv-scale slices.  Optionally returns the in-cell d(i)/d(v) slope for
   /// the implicit midpoint Jacobian.
-  double cell_i(double v, double g, double* didv = nullptr) const {
+  HEMP_HOT double cell_i(double v, double g, double* didv = nullptr) const {
     double x = v / sh.iv_dv;
     double y = g / sh.iv_dg;
     x = std::clamp(x, 0.0, static_cast<double>(kIvVKnots - 1) - 1e-9);
@@ -818,9 +822,11 @@ struct NodeRunner {
       const double th = bank_threshold(i);
       if (!bank_out[i] && v_s > th + kCompHalfHyst) {
         bank_out[i] = true;
+        // hemp-analyzer: allow(hot-path-purity) — traced diagnostic mode
         events->push_back({static_cast<int>(i), true, Seconds(t)});
       } else if (bank_out[i] && v_s < th - kCompHalfHyst) {
         bank_out[i] = false;
+        // hemp-analyzer: allow(hot-path-purity) — traced diagnostic mode
         events->push_back({static_cast<int>(i), false, Seconds(t)});
       }
     }
@@ -858,6 +864,8 @@ struct NodeRunner {
         if (eta <= 0.0) return std::numeric_limits<double>::infinity();
         return proc_epc(pc, v) / eta;
       };
+      // Memoized: at most 32 buckets per node-day reach this solve.
+      // hemp-analyzer: allow(hot-path-purity) — cold memoized MEP branch
       const auto r = numeric::grid_refine_minimize(
           objective, kVminProc, kVmaxProc, {.x_tol = 1e-6, .grid_points = 160});
       if (std::isfinite(r.value)) {
@@ -987,6 +995,7 @@ struct NodeRunner {
                               sh.processors[static_cast<std::size_t>(s.index)]);
       SprintScheduler scheduler(model);
       const SprintPlan p =
+          // hemp-analyzer: allow(hot-path-purity) — once-per-node plan
           scheduler.plan(sh.scenario.job_cycles, sh.scenario.job_deadline,
                          kSprintFactor);
       plan.feasible = p.feasible;
@@ -1093,7 +1102,7 @@ struct NodeRunner {
     if (v_s >= kRecoverV || queue > 0) enter_tracking();
   }
 
-  void controller_eval() {
+  HEMP_HOT void controller_eval() {
     timer_watched = false;
     if (events != nullptr) update_bank();
     // PeriodicJobController::on_tick
@@ -1173,7 +1182,7 @@ struct NodeRunner {
   /// dynamics under constant step inputs — so endpoint sampling can never
   /// miss a crossing; the bound keeps detection latency inside one
   /// comparator hysteresis band).
-  double choose_dt(double g0, double p_load) {
+  HEMP_HOT double choose_dt(double g0, double p_load) {
     double dt = std::min(day - t, kDtMax);
     auto timed = [&](double when) {
       if (when > t) dt = std::min(dt, when - t);
@@ -1333,7 +1342,7 @@ struct NodeRunner {
   /// Advance the solar node by dt under a constant source-side draw `p_in`,
   /// harvesting from the cell at the midpoint irradiance.  Returns the
   /// average harvested power over the step.
-  double integrate_solar(double dt, double g_mid, double p_in) {
+  HEMP_HOT double integrate_solar(double dt, double g_mid, double p_in) {
     const double v0 = v_s;
     double v1 = v0;
     double vm = v0;
@@ -1356,7 +1365,7 @@ struct NodeRunner {
     return vm * i;
   }
 
-  void integrate(double dt, double g_mid, double p_load) {
+  HEMP_HOT void integrate(double dt, double g_mid, double p_load) {
     if (cmd_path == PowerPath::kRegulated) {
       const bool supports = sc_supports(v_s, cmd_vdd);
       double p_in = 0.0;
@@ -1484,7 +1493,9 @@ struct NodeRunner {
   // Main loop
   // ---------------------------------------------------------------------
 
-  NodeResult run() {
+  HEMP_HOT NodeResult run() {
+    // One-time setup before the stepped loop (builds LUT/ladder buffers).
+    // hemp-analyzer: allow(hot-path-purity) — setup edge, not per-step
     on_start();
     while (t < day - 1e-15) {
       const double g0 = trace.at(t, cur);

@@ -60,7 +60,7 @@ struct FleetScenario {
   double temperature_sigma_c = 8.0;
   /// Fraction of nodes running the min-energy (holistic MEP) policy; the
   /// rest run max-performance MPP tracking.
-  double min_energy_fraction = 0.25;
+  double min_energy_fraction = 0.25;  // unit-lint: dimensionless fraction
 
   // --- Periodic deadline jobs (0 cycles disables the workload).
   double job_cycles = 2e6;

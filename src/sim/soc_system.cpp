@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <utility>
+#include <vector>
 
+#include "common/annotations.hpp"
 #include "common/error.hpp"
 
 namespace hemp {
@@ -29,8 +31,9 @@ SocSystem::SocSystem(SocConfig config, RegulatorPtr regulator, Processor process
   HEMP_REQUIRE(regulator_ != nullptr, "SocSystem: null regulator");
 }
 
-SimResult SocSystem::run(const IrradianceTrace& trace, SocController& controller,
-                         Seconds t_end) {
+HEMP_HOT SimResult SocSystem::run(const IrradianceTrace& trace,
+                                  SocController& controller, Seconds t_end) {
+  // hemp-analyzer: allow(hot-path-purity) — precondition check before the loop
   HEMP_REQUIRE(t_end.value() > 0.0, "SocSystem: non-positive end time");
   const double dt = config_.time_step.value();
 
@@ -55,6 +58,9 @@ SimResult SocSystem::run(const IrradianceTrace& trace, SocController& controller
   const bool audit = config_.audit;
   bool was_running = false;
   double next_sample = 0.0;
+  std::vector<ComparatorEvent> comparator_events;
+  // hemp-analyzer: allow(hot-path-purity) — one-time setup, before the loop
+  comparator_events.reserve(comparators.size());
 
   for (double t = 0.0; t < t_end.value(); t += dt) {
     const Seconds now(t);
@@ -182,7 +188,8 @@ SimResult SocSystem::run(const IrradianceTrace& trace, SocController& controller
     state.processor_running = can_run;
     state.regulator_ok = regulator_ok;
     state.cycles_retired = totals.cycles;
-    for (const ComparatorEvent& e : comparators.update(state.v_solar, now)) {
+    comparators.update_into(state.v_solar, now, comparator_events);
+    for (const ComparatorEvent& e : comparator_events) {
       controller.on_comparator(e, state, cmd);
     }
 

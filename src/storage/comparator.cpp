@@ -51,10 +51,17 @@ ComparatorBank::ComparatorBank(std::vector<Volts> thresholds, Volts hysteresis)
 
 std::vector<ComparatorEvent> ComparatorBank::update(Volts v, Seconds t) {
   std::vector<ComparatorEvent> events;
-  for (auto& c : comparators_) {
-    if (auto e = c.update(v, t)) events.push_back(*e);
-  }
+  update_into(v, t, events);
   return events;
+}
+
+void ComparatorBank::update_into(Volts v, Seconds t,
+                                 std::vector<ComparatorEvent>& out) {
+  out.clear();
+  for (auto& c : comparators_) {
+    // hemp-analyzer: allow(hot-path-purity) — amortized: capacity reused
+    if (auto e = c.update(v, t)) out.push_back(*e);
+  }
 }
 
 void ComparatorBank::reset(Volts v) {

@@ -52,6 +52,10 @@ class ComparatorBank {
   /// Feed a sample to every comparator; returns all toggles this sample.
   std::vector<ComparatorEvent> update(Volts v, Seconds t);
 
+  /// Allocation-free variant for stepped loops: clears `out` and appends
+  /// this sample's toggles, reusing the caller's capacity.
+  void update_into(Volts v, Seconds t, std::vector<ComparatorEvent>& out);
+
   [[nodiscard]] const std::vector<Volts>& thresholds() const { return thresholds_; }
   [[nodiscard]] std::size_t size() const { return comparators_.size(); }
   void reset(Volts v);

@@ -1,0 +1,5 @@
+"""hemp_analyzer: hot-path purity, determinism and unit-boundary lints.
+
+See analyze.py for the CLI, checks.py for the check definitions, and
+fixtures/ + selftest.py for the analyzer's own test suite.
+"""

@@ -1,0 +1,242 @@
+#!/usr/bin/env python3
+"""hemp_analyzer: hot-path purity & determinism static analyzer.
+
+Driven by a CMake-exported compile_commands.json when the libclang Python
+bindings (`clang.cindex`) are importable, and by a pure-Python C++ scanner
+otherwise — the checks and the report format are identical either way (see
+checks.py for the check list and the call-resolution policy).
+
+Usage:
+    python3 tools/hemp_analyzer/analyze.py src \
+        [--compdb build/compile_commands.json] \
+        [--baseline tools/hemp_analyzer/baseline.json] \
+        [--backend auto|clang|text] [--checks c1,c2] \
+        [--json-out report.json] [--update-baseline]
+
+Findings carry stable keys (check|function|sink-kind|sink-name — no line
+numbers, so routine edits do not churn them).  With --baseline, only keys
+absent from the baseline fail the run: the baseline is the grandfathered
+work-list, inline `// hemp-analyzer: allow(<check>) — reason` markers are
+the reviewed permanent exemptions.
+
+Exit status: 0 clean (or baseline-covered), 1 new findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from checks import (check_determinism, check_hot_path_purity,  # noqa: E402
+                    make_unit_boundary_check, ProgramIndex)
+from frontend_text import TextFrontend  # noqa: E402
+
+ALL_CHECKS = ("hot-path-purity", "determinism", "unit-boundary")
+CPP_SUFFIXES = (".cpp", ".cc", ".cxx", ".hpp", ".h", ".hh")
+
+
+def load_is_suspicious():
+    """Share the quantity-name vocabulary with tools/unit_lint.py."""
+    path = Path(__file__).resolve().parent.parent / "unit_lint.py"
+    spec = importlib.util.spec_from_file_location("unit_lint", path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod.is_suspicious
+
+
+def discover_files(paths, compdb):
+    """Source files to analyze: the given paths (dirs globbed), with the
+    compile database only consulted to order/confirm .cpp entries."""
+    files = []
+    seen = set()
+
+    def add(p: Path):
+        rp = p.resolve()
+        if rp in seen or not rp.is_file():
+            return
+        if rp.suffix not in CPP_SUFFIXES:
+            return
+        seen.add(rp)
+        files.append(rp)
+
+    roots = [Path(p).resolve() for p in paths]
+    if compdb is not None and compdb.is_file():
+        try:
+            entries = json.loads(compdb.read_text())
+        except (OSError, ValueError):
+            entries = []
+        for e in entries:
+            f = Path(e.get("directory", ".")) / e.get("file", "")
+            f = Path(os.path.normpath(f))
+            if any(str(f).startswith(str(r) + os.sep) or f == r
+                   for r in roots):
+                add(f)
+    for root in roots:
+        if root.is_dir():
+            for f in sorted(root.rglob("*")):
+                add(f)
+        else:
+            add(root)
+    files.sort()
+    return files
+
+
+def pick_backend(requested):
+    if requested in ("clang", "auto"):
+        try:
+            import frontend_clang  # noqa: F401
+            if frontend_clang.available():
+                return "clang"
+        except Exception as exc:  # pragma: no cover - import/env specific
+            if requested == "clang":
+                print(f"hemp_analyzer: clang backend unavailable: {exc}",
+                      file=sys.stderr)
+                sys.exit(2)
+        if requested == "clang":
+            print("hemp_analyzer: clang backend unavailable "
+                  "(clang.cindex/libclang not importable)", file=sys.stderr)
+            sys.exit(2)
+    return "text"
+
+
+def parse_files(backend, files, compdb, repo_root):
+    irs = []
+    if backend == "clang":
+        import frontend_clang
+        fe = frontend_clang.ClangFrontend(compdb)
+    else:
+        fe = TextFrontend()
+    for f in files:
+        ir = fe.parse(str(f))
+        try:
+            ir.path = str(f.relative_to(repo_root))
+        except ValueError:
+            ir.path = str(f)
+        for fn in ir.functions:
+            fn.file = ir.path
+        for cls in ir.classes:
+            cls.file = ir.path
+        irs.append(ir)
+    return irs
+
+
+def run_checks(irs, which, is_suspicious):
+    findings = []
+    if "hot-path-purity" in which:
+        findings += check_hot_path_purity(ProgramIndex(irs))
+    if "determinism" in which:
+        findings += check_determinism(irs)
+    if "unit-boundary" in which:
+        findings += make_unit_boundary_check(is_suspicious)(irs)
+    return findings
+
+
+def load_baseline(path: Path):
+    if path is None or not path.is_file():
+        return set()
+    data = json.loads(path.read_text())
+    return set(data.get("findings", []))
+
+
+def write_baseline(path: Path, findings):
+    data = {
+        "_comment": (
+            "Grandfathered hemp_analyzer findings: the analyzer fails only "
+            "on keys NOT in this list.  Shrink it by fixing findings; never "
+            "grow it without a review.  Keys are "
+            "check|function|sink-kind|sink-name (line-independent).  "
+            "Regenerate with analyze.py --update-baseline."),
+        "findings": sorted({f.key for f in findings}),
+    }
+    path.write_text(json.dumps(data, indent=2) + "\n")
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(prog="hemp_analyzer",
+                                 description=__doc__.split("\n")[0])
+    ap.add_argument("paths", nargs="+", help="source roots/files to analyze")
+    ap.add_argument("--compdb", type=Path, default=None,
+                    help="compile_commands.json (clang backend flags)")
+    ap.add_argument("--baseline", type=Path, default=None)
+    ap.add_argument("--backend", choices=("auto", "clang", "text"),
+                    default=os.environ.get("HEMP_ANALYZER_BACKEND", "auto"))
+    ap.add_argument("--checks", default=",".join(ALL_CHECKS),
+                    help="comma-separated subset of: " + ", ".join(ALL_CHECKS))
+    ap.add_argument("--repo-root", type=Path,
+                    default=Path(__file__).resolve().parent.parent.parent)
+    ap.add_argument("--json-out", type=Path, default=None)
+    ap.add_argument("--update-baseline", action="store_true")
+    ap.add_argument("--quiet", action="store_true")
+    args = ap.parse_args(argv)
+
+    which = tuple(c.strip() for c in args.checks.split(",") if c.strip())
+    for c in which:
+        if c not in ALL_CHECKS:
+            print(f"hemp_analyzer: unknown check `{c}`", file=sys.stderr)
+            return 2
+
+    files = discover_files(args.paths, args.compdb)
+    if not files:
+        print("hemp_analyzer: no C++ sources found under: "
+              + " ".join(args.paths), file=sys.stderr)
+        return 2
+
+    backend = pick_backend(args.backend)
+    irs = parse_files(backend, files, args.compdb, args.repo_root.resolve())
+    findings = run_checks(irs, which, load_is_suspicious())
+
+    if args.update_baseline:
+        if args.baseline is None:
+            print("hemp_analyzer: --update-baseline needs --baseline",
+                  file=sys.stderr)
+            return 2
+        write_baseline(args.baseline, findings)
+        print(f"hemp_analyzer: baseline rewritten with "
+              f"{len(findings)} finding(s): {args.baseline}")
+        return 0
+
+    baseline = load_baseline(args.baseline)
+    new = [f for f in findings if f.key not in baseline]
+    grandfathered = [f for f in findings if f.key in baseline]
+    stale = baseline - {f.key for f in findings}
+
+    if args.json_out is not None:
+        args.json_out.write_text(json.dumps({
+            "backend": backend,
+            "files": len(files),
+            "new": [vars(f) for f in new],
+            "grandfathered": [vars(f) for f in grandfathered],
+            "stale_baseline": sorted(stale),
+        }, indent=2, default=str) + "\n")
+
+    if new:
+        print(f"hemp_analyzer [{backend}]: {len(new)} NEW finding(s):\n")
+        for f in new:
+            print(f.render())
+            print(f"    key: {f.key}\n")
+    if not args.quiet:
+        if grandfathered:
+            print(f"hemp_analyzer: {len(grandfathered)} baseline-covered "
+                  f"finding(s) (the single-node latency work-list):")
+            for f in grandfathered:
+                print(f"  {f.key}")
+        if stale:
+            print(f"hemp_analyzer: note: {len(stale)} stale baseline "
+                  f"entr(ies) no longer reported — consider pruning:")
+            for k in sorted(stale):
+                print(f"  {k}")
+    status = "FAIL" if new else "OK"
+    print(f"hemp_analyzer [{backend}]: {status} — {len(files)} file(s), "
+          f"{len(findings)} finding(s), {len(new)} new, "
+          f"{len(grandfathered)} baselined")
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

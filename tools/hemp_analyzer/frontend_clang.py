@@ -1,0 +1,208 @@
+"""libclang (clang.cindex) frontend for hemp_analyzer.
+
+Preferred backend when the Python bindings and a libclang shared library are
+available (CI installs them; the dev container may not).  Parses each
+translation unit with the exact flags recorded in compile_commands.json and
+lowers the AST to the same FileIR as frontend_text, so checks and baseline
+keys are backend-independent:
+
+  * functions/methods -> FunctionInfo (qualified names normalized by
+    dropping anonymous-namespace components);
+  * `[[clang::annotate("hemp::hot")]]` (the HEMP_HOT macro) -> the
+    "hemp::hot" annotation;
+  * CALL_EXPR -> CallEvent with the receiver type resolved through the AST;
+  * CXX_NEW_EXPR / CXX_THROW_EXPR and stream/stdio references -> OpEvent.
+
+Headers are parsed as part of the including TU; a FileIR is emitted per
+analyzed file, keyed by the cursor's location file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from model import (NONDET_TOKENS, UNORDERED_TOKENS, CallEvent, ClassInfo,
+                   FileIR, FunctionInfo, MemberInfo, OpEvent, ParamInfo)
+from frontend_text import TextFrontend, IO_TOKENS
+
+
+def available() -> bool:
+    try:
+        import clang.cindex as ci
+        ci.Index.create()
+        return True
+    except Exception:
+        return False
+
+
+def _normalize_qualname(cursor) -> str:
+    parts = []
+    cur = cursor
+    while cur is not None and cur.kind is not None:
+        import clang.cindex as ci
+        if cur.kind == ci.CursorKind.TRANSLATION_UNIT:
+            break
+        name = cur.spelling
+        if name and "anonymous" not in name:
+            parts.append(name)
+        cur = cur.semantic_parent
+    return "::".join(reversed(parts))
+
+
+class ClangFrontend:
+    """Parses files through compile_commands.json flags.
+
+    Falls back to the text frontend for files with no compile command (e.g.
+    standalone fixture files) so a mixed analysis still covers everything.
+    """
+
+    def __init__(self, compdb_path):
+        import clang.cindex as ci
+        self.ci = ci
+        self.index = ci.Index.create()
+        self.commands = {}
+        if compdb_path is not None and Path(compdb_path).is_file():
+            for e in json.loads(Path(compdb_path).read_text()):
+                f = (Path(e.get("directory", ".")) / e["file"]).resolve()
+                args = e.get("arguments")
+                if args is None:
+                    args = e.get("command", "").split()
+                self.commands[str(f)] = [
+                    a for a in args[1:]
+                    if a not in ("-c", "-o") and not a.endswith((".o", ".cpp"))
+                ]
+        self._text = TextFrontend()
+        self._suppress_cache = {}
+
+    # -- suppression markers still live in comments: reuse the text scanner.
+    def _suppressions(self, path):
+        if path not in self._suppress_cache:
+            ir = self._text.parse(path)
+            self._suppress_cache[path] = ir.suppressions
+        return self._suppress_cache[path]
+
+    def parse(self, path: str) -> FileIR:
+        args = self.commands.get(str(Path(path).resolve()))
+        if args is None and path.endswith((".hpp", ".h", ".hh")):
+            # Headers are covered textually: the text IR is already faithful
+            # for declarations, and every definition is re-seen via a TU.
+            return self._text.parse(path)
+        if args is None:
+            args = ["-std=c++20", "-x", "c++"]
+        ci = self.ci
+        try:
+            tu = self.index.parse(path, args=args)
+        except ci.TranslationUnitLoadError:
+            return self._text.parse(path)
+        ir = FileIR(path=path, suppressions=self._suppressions(path))
+        target = str(Path(path).resolve())
+        for cur in tu.cursor.walk_preorder():
+            loc = cur.location
+            if loc.file is None or str(Path(str(loc.file)).resolve()) != \
+                    target:
+                continue
+            if cur.kind in (ci.CursorKind.CLASS_DECL,
+                            ci.CursorKind.STRUCT_DECL) and \
+                    cur.is_definition():
+                ir.classes.append(self._lower_class(cur))
+            elif cur.kind in (ci.CursorKind.FUNCTION_DECL,
+                              ci.CursorKind.CXX_METHOD,
+                              ci.CursorKind.CONSTRUCTOR,
+                              ci.CursorKind.DESTRUCTOR,
+                              ci.CursorKind.FUNCTION_TEMPLATE):
+                ir.functions.append(self._lower_function(cur))
+        return ir
+
+    def _annotations(self, cur):
+        out = set()
+        for child in cur.get_children():
+            if child.kind == self.ci.CursorKind.ANNOTATE_ATTR:
+                out.add(child.spelling)
+        return out
+
+    def _lower_class(self, cur):
+        ci = self.ci
+        cls = ClassInfo(name=cur.spelling, qualname=_normalize_qualname(cur),
+                        file="", line=cur.location.line)
+        for child in cur.get_children():
+            if child.kind == ci.CursorKind.CXX_BASE_SPECIFIER:
+                cls.bases.append(child.type.spelling.split("::")[-1]
+                                 .split("<")[0].strip())
+            elif child.kind == ci.CursorKind.FIELD_DECL:
+                toks = tuple(child.type.spelling.replace("&", " & ")
+                             .replace("*", " * ").replace("<", " < ")
+                             .replace(">", " > ").replace(",", " , ").split())
+                cls.members.append(MemberInfo(type_tokens=toks,
+                                              name=child.spelling,
+                                              line=child.location.line))
+                cls.member_types[child.spelling] = \
+                    child.type.spelling.split("<")[0].split("::")[-1].strip()
+        return cls
+
+    def _lower_function(self, cur):
+        ci = self.ci
+        fn = FunctionInfo(
+            name=cur.spelling.split("<")[0],
+            qualname=_normalize_qualname(cur),
+            class_name=(cur.semantic_parent.spelling
+                        if cur.semantic_parent is not None and
+                        cur.semantic_parent.kind in
+                        (ci.CursorKind.CLASS_DECL, ci.CursorKind.STRUCT_DECL)
+                        else ""),
+            file="", line=cur.location.line,
+            is_definition=cur.is_definition(),
+            annotations=self._annotations(cur),
+            return_tokens=tuple(cur.result_type.spelling.split()),
+        )
+        for arg in cur.get_arguments():
+            fn.params.append(ParamInfo(
+                type_tokens=tuple(arg.type.spelling.replace("&", " & ")
+                                  .split()),
+                name=arg.spelling, line=arg.location.line))
+            base = arg.type.spelling.split("<")[0].split("::")[-1].strip()
+            if arg.spelling and base:
+                fn.local_types[arg.spelling] = base
+        if fn.is_definition:
+            self._scan_body(cur, fn)
+        return fn
+
+    def _scan_body(self, cur, fn):
+        ci = self.ci
+        for node in cur.walk_preorder():
+            k = node.kind
+            line = node.location.line
+            if k == ci.CursorKind.CXX_NEW_EXPR:
+                fn.ops.append(OpEvent(kind="new", detail="new", line=line))
+            elif k == ci.CursorKind.CXX_THROW_EXPR:
+                fn.ops.append(OpEvent(kind="throw", detail="throw",
+                                      line=line))
+            elif k == ci.CursorKind.DECL_REF_EXPR and \
+                    node.spelling in IO_TOKENS:
+                fn.ops.append(OpEvent(kind="io-token", detail=node.spelling,
+                                      line=line))
+            elif k in (ci.CursorKind.TYPE_REF,
+                       ci.CursorKind.TEMPLATE_REF):
+                base = node.spelling.split("<")[0].split("::")[-1].strip()
+                if base in NONDET_TOKENS | UNORDERED_TOKENS:
+                    fn.ops.append(OpEvent(kind="ident", detail=base,
+                                          line=line))
+            elif k == ci.CursorKind.VAR_DECL:
+                base = node.type.spelling.split("<")[0].split("::")[-1]
+                if node.spelling and base:
+                    fn.local_types.setdefault(node.spelling, base.strip())
+            elif k == ci.CursorKind.CALL_EXPR:
+                ref = node.referenced
+                name = (ref.spelling if ref is not None else node.spelling)
+                if not name:
+                    continue
+                qualifier = ""
+                rtype = ""
+                if ref is not None and ref.semantic_parent is not None and \
+                        ref.semantic_parent.kind in \
+                        (ci.CursorKind.CLASS_DECL, ci.CursorKind.STRUCT_DECL):
+                    qualifier = ref.semantic_parent.spelling
+                    rtype = qualifier
+                fn.calls.append(CallEvent(name=name.split("<")[0],
+                                          qualifier=qualifier,
+                                          receiver_type=rtype, line=line))

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""hemp_analyzer self-test over the injected-violation fixtures.
+
+Asserts, on the text backend (the gating configuration everywhere):
+  * every violation class in fixtures/ is detected with its expected
+    stable key — exact-solver/alloc/mutex/io/throw hot-path sinks (direct,
+    transitive, and through virtual dispatch), every determinism source
+    class, and raw-double unit-boundary signatures in a .cpp file;
+  * cold code and the clean fixture produce ZERO findings;
+  * inline `hemp-analyzer: allow(...)` markers fully silence real
+    violations (per-check and `all`).
+
+When clang.cindex + libclang are importable (CI), the hot-path-purity and
+unit-boundary assertions are repeated on the clang backend — the keys are
+backend-independent by design.  Exit 0 on success, 1 on any failure.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from analyze import load_is_suspicious  # noqa: E402
+from checks import (ProgramIndex, check_determinism,  # noqa: E402
+                    check_hot_path_purity, make_unit_boundary_check)
+from frontend_text import TextFrontend  # noqa: E402
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+HOT_EXPECT = {
+    "hot-path-purity|fixture::helper_solver|exact-solver|find_mpp",
+    "hot-path-purity|fixture::hot_direct_alloc|alloc|new",
+    "hot-path-purity|fixture::Locker::hot_mutex|mutex|lock",
+    "hot-path-purity|fixture::hot_io|io|printf",
+    "hot-path-purity|fixture::hot_throw|throw|throw",
+    "hot-path-purity|fixture::VectorController::on_tick|alloc|push_back",
+}
+
+DET_EXPECT = {
+    "determinism|fixture::noisy|call|rand",
+    "determinism|fixture::stamp|call|time",
+    "determinism|fixture::wall_nanos|token|system_clock",
+    "determinism|fixture::unseeded|token|mt19937",
+    "determinism|fixture::entropy|token|random_device",
+    "determinism|fixture::Cache|member-type|unordered_map",
+    "determinism|fixture::lookup_count|token|unordered_map",
+}
+
+UNIT_EXPECT = {
+    "unit-boundary|fixture::input_power|return|input_power",
+    "unit-boundary|fixture::input_power|parameter|bus_v",
+    "unit-boundary|fixture::input_power|parameter|load_current",
+    "unit-boundary|fixture::harvest_energy|return|harvest_energy",
+    "unit-boundary|fixture::harvest_energy|parameter|panel_voltage",
+    "unit-boundary|fixture::harvest_energy|parameter|panel_current",
+}
+
+failures = []
+
+
+def expect(cond, label):
+    print(("  ok:   " if cond else "  FAIL: ") + label)
+    if not cond:
+        failures.append(label)
+
+
+def parse(frontend, name):
+    ir = frontend.parse(str(FIXTURES / name))
+    ir.path = name
+    for fn in ir.functions:
+        fn.file = name
+    for cls in ir.classes:
+        cls.file = name
+    return ir
+
+
+def keys(findings):
+    return {f.key for f in findings}
+
+
+def run_suite(frontend, backend, full):
+    print(f"[{backend} backend]")
+    unit_check = make_unit_boundary_check(load_is_suspicious())
+
+    hot_ir = parse(frontend, "hot_violations.cpp")
+    hot = check_hot_path_purity(ProgramIndex([hot_ir]))
+    got = keys(hot)
+    for k in sorted(HOT_EXPECT):
+        expect(k in got, f"detects {k}")
+    expect(got == HOT_EXPECT,
+           f"no extra hot-path findings (got {sorted(got - HOT_EXPECT)})")
+    expect(not any("cold_alloc" in k for k in got),
+           "cold (non-hot) allocation is not reported")
+    chain = next((f for f in hot if "helper_solver" in f.key), None)
+    expect(chain is not None and
+           any("hot_exact_chain" in hop for hop in chain.witness),
+           "witness chain names the HEMP_HOT root of a transitive finding")
+
+    unit_ir = parse(frontend, "unit_violations.cpp")
+    got = keys(unit_check([unit_ir]))
+    for k in sorted(UNIT_EXPECT):
+        expect(k in got, f"detects {k}")
+    expect(not any("plain_counter" in k for k in got),
+           "non-quantity signature is not reported")
+
+    sup_ir = parse(frontend, "suppressed.cpp")
+    sup = (check_hot_path_purity(ProgramIndex([sup_ir]))
+           + check_determinism([sup_ir]) + unit_check([sup_ir]))
+    expect(keys(sup) == set(),
+           f"inline allow markers silence every violation "
+           f"(got {sorted(keys(sup))})")
+
+    clean_ir = parse(frontend, "clean.cpp")
+    clean = (check_hot_path_purity(ProgramIndex([clean_ir]))
+             + check_determinism([clean_ir]) + unit_check([clean_ir]))
+    expect(keys(clean) == set(),
+           f"clean fixture has zero findings (got {sorted(keys(clean))})")
+
+    if full:
+        det_ir = parse(frontend, "determinism_violations.cpp")
+        got = keys(check_determinism([det_ir]))
+        for k in sorted(DET_EXPECT):
+            expect(k in got, f"detects {k}")
+        expect(got == DET_EXPECT,
+               f"no extra determinism findings "
+               f"(got {sorted(got - DET_EXPECT)})")
+
+
+def main() -> int:
+    run_suite(TextFrontend(), "text", full=True)
+    try:
+        import frontend_clang
+        clang_ok = frontend_clang.available()
+    except Exception:
+        clang_ok = False
+    if clang_ok:
+        # Determinism token kinds may differ through typedef sugar; the
+        # backend-parity contract is hot-path + unit-boundary keys.
+        import frontend_clang
+        run_suite(frontend_clang.ClangFrontend(None), "clang", full=False)
+    else:
+        print("[clang backend] skipped: clang.cindex/libclang not available")
+    if failures:
+        print(f"\nhemp_analyzer selftest: {len(failures)} FAILURE(S)")
+        return 1
+    print("\nhemp_analyzer selftest: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

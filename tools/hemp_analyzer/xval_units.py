@@ -1,0 +1,214 @@
+#!/usr/bin/env python3
+"""Cross-validate the two unit-boundary linters against each other.
+
+The repo has two implementations of the "no raw `double` physical
+quantities" rule:
+
+  * tools/unit_lint.py — the original line-regex scanner over public
+    headers (`src/*/*.hpp`);
+  * tools/hemp_analyzer (check `unit-boundary`) — the AST-shaped
+    re-implementation on parsed declarations, which also covers `.cpp`
+    signatures and multi-line declarations.
+
+Both stay in ctest; this script keeps them honest by running both over the
+same header set and classifying every disagreement.  Known, *by-design*
+discrepancy classes are explained and tolerated:
+
+  * AST-only: the declaration spans lines (`double` and the identifier on
+    different lines) — the line regex cannot see it.  This is exactly the
+    false-negative class that motivated the AST check.
+  * regex-only: the identifier is not a declared API boundary (parameter /
+    return / data member) — typically a local in an inline header body.
+    The AST check deliberately scopes to the API boundary.
+  * regex-only: a standalone (own-line) suppression marker precedes the
+    declaration — the AST linter honors next-line markers, the regex one
+    only honors trailing same-line markers.
+
+Anything outside those classes is an UNEXPLAINED divergence: one of the
+linters regressed.  Exit 1.
+
+History note: this harness caught a real unit_lint bug — `/*` inside a
+`//` comment (a glob like `scenarios/*.scn`) opened a bogus block comment
+and blanked the rest of the file, hiding `FleetScenario` findings.  The
+scanner in unit_lint.strip_block_comments is now `//`-aware; the seeded
+self-check below would fail if that regressed.
+
+Usage:  python3 tools/hemp_analyzer/xval_units.py [src]
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import re
+import sys
+import tempfile
+from pathlib import Path
+
+TOOLS = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(TOOLS / "hemp_analyzer"))
+
+from checks import make_unit_boundary_check  # noqa: E402
+from frontend_text import TextFrontend  # noqa: E402
+
+FINDING_RE = re.compile(r"^(?P<path>.+?):(?P<line>\d+): raw `double (?P<name>\w+)`")
+
+
+def load_unit_lint():
+    spec = importlib.util.spec_from_file_location("unit_lint",
+                                                  TOOLS / "unit_lint.py")
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def regex_findings(unit_lint, header: Path):
+    """(name, line) pairs unit_lint reports for one header."""
+    out = set()
+    for msg in unit_lint.lint_file(header):
+        m = FINDING_RE.match(msg)
+        if m:
+            out.add((m.group("name"), int(m.group("line"))))
+    return out
+
+
+def ast_findings(check, header: Path):
+    """(name, line) pairs the analyzer's unit-boundary check reports."""
+    ir = TextFrontend().parse(str(header))
+    ir.path = str(header)
+    out = set()
+    for f in check([ir]):
+        # key: unit-boundary|owner|kind|name
+        out.add((f.key.rsplit("|", 1)[-1], f.line))
+    return out
+
+
+def declared_names(header: Path):
+    """Every parameter/return/member identifier the AST frontend sees,
+    regardless of type or suspiciousness — used to classify regex-only
+    findings as body locals (not API boundary)."""
+    ir = TextFrontend().parse(str(header))
+    names = set()
+    for fn in ir.functions:
+        names.add(fn.name)
+        names.update(p.name for p in fn.params if p.name)
+    for cls in ir.classes:
+        names.update(m.name for m in cls.members)
+    return names
+
+
+def has_standalone_marker_above(lines, lineno):
+    prev = lines[lineno - 2].strip() if lineno >= 2 else ""
+    return prev.startswith("//") and (
+        "unit-lint:" in prev or "allow(unit-boundary" in prev or
+        "allow(all" in prev)
+
+
+def same_line_decl(lines, name, lineno):
+    return re.search(rf"\bdouble\s+&?\s*{re.escape(name)}\b",
+                     lines[lineno - 1]) is not None
+
+
+def cross_validate(root: Path) -> int:
+    unit_lint = load_unit_lint()
+    check = make_unit_boundary_check(unit_lint.is_suspicious)
+    headers = sorted(root.glob("*/*.hpp"))
+    if not headers:
+        print(f"xval_units: no headers under {root}", file=sys.stderr)
+        return 2
+
+    explained, unexplained = [], []
+    agree = 0
+    for header in headers:
+        rx = regex_findings(unit_lint, header)
+        ast = ast_findings(check, header)
+        if rx == ast:
+            agree += len(rx)
+            continue
+        lines = header.read_text().splitlines()
+        decls = declared_names(header)
+        rx_names = {n for n, _ in rx}
+        ast_names = {n for n, _ in ast}
+        for name, line in sorted(ast - rx):
+            if name in rx_names:
+                agree += 1  # same identifier, different anchor line
+            elif not same_line_decl(lines, name, line):
+                explained.append(f"{header}:{line}: `{name}` AST-only "
+                                 f"(multi-line declaration; regex is "
+                                 f"line-local by design)")
+            else:
+                unexplained.append(f"{header}:{line}: `{name}` found by the "
+                                   f"AST check but missed by unit_lint")
+        for name, line in sorted(rx - ast):
+            if name in ast_names:
+                continue  # counted above: anchor-line disagreement only
+            if name not in decls:
+                explained.append(f"{header}:{line}: `{name}` regex-only "
+                                 f"(body local, outside the API boundary "
+                                 f"the AST check scopes to)")
+            elif has_standalone_marker_above(lines, line):
+                explained.append(f"{header}:{line}: `{name}` regex-only "
+                                 f"(next-line suppression marker: honored "
+                                 f"by the AST linter only)")
+            else:
+                unexplained.append(f"{header}:{line}: `{name}` found by "
+                                   f"unit_lint but missed by the AST check")
+
+    for msg in explained:
+        print(f"xval_units: explained: {msg}")
+    for msg in unexplained:
+        print(f"xval_units: UNEXPLAINED: {msg}")
+    print(f"xval_units: {len(headers)} headers — {agree} agreeing "
+          f"finding(s), {len(explained)} explained discrepanc(ies), "
+          f"{len(unexplained)} unexplained")
+    return 1 if unexplained else 0
+
+
+SEEDED = """\
+// Seeded cross-validation probe (see xval_units.py self_check).
+#pragma once
+struct Probe {
+  double bus_voltage = 0.0;          // both linters must flag this member
+  double gain = 1.0;  // unit-lint: dimensionless ratio — both must skip
+};
+// A `/*` inside a line comment, e.g. scenarios/*.scn, must not open a block
+// comment: the regression this guards against blanked the lines below. */
+inline double input_power(double load_current) { return load_current; }
+"""
+
+
+def self_check() -> int:
+    """Both linters must flag the seeded probe identically — guards against
+    the degenerate 'both report nothing because both broke' agreement."""
+    unit_lint = load_unit_lint()
+    check = make_unit_boundary_check(unit_lint.is_suspicious)
+    with tempfile.TemporaryDirectory() as tmp:
+        probe = Path(tmp) / "probe.hpp"
+        probe.write_text(SEEDED)
+        rx = {n for n, _ in regex_findings(unit_lint, probe)}
+        ast = {n for n, _ in ast_findings(check, probe)}
+    want = {"bus_voltage", "input_power", "load_current"}
+    ok = True
+    for tool, got in (("unit_lint", rx), ("hemp_analyzer", ast)):
+        if got != want:
+            print(f"xval_units: self-check FAILED: {tool} reported "
+                  f"{sorted(got)}, wanted {sorted(want)}", file=sys.stderr)
+            ok = False
+    if ok:
+        print("xval_units: self-check OK (both linters flag the seeded "
+              "probe identically)")
+    return 0 if ok else 1
+
+
+def main(argv) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path("src")
+    if not root.is_dir():
+        print(f"xval_units: no such directory: {root}", file=sys.stderr)
+        return 2
+    rc = self_check()
+    if rc != 0:
+        return rc
+    return cross_validate(root)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

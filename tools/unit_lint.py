@@ -70,20 +70,31 @@ def is_suspicious(name: str) -> bool:
 
 
 def strip_block_comments(text: str) -> str:
-    """Remove /* */ comments, preserving line numbers."""
+    """Remove /* */ comments, preserving line numbers.
+
+    A `/*` inside a `//` line comment (e.g. a glob like `dir/*.scn`) must
+    NOT open a block comment — an earlier version treated it as one and
+    silently blanked everything up to the next `*/`, hiding real findings.
+    `//` comments themselves are kept: lint_file's exemption markers live
+    there.
+    """
     out = []
-    i = 0
-    while i < len(text):
-        start = text.find("/*", i)
-        if start == -1:
-            out.append(text[i:])
-            break
-        end = text.find("*/", start + 2)
-        if end == -1:
-            end = len(text)
-        out.append(text[i:start])
-        out.append("".join(c if c == "\n" else " " for c in text[start:end + 2]))
-        i = end + 2
+    i, n = 0, len(text)
+    while i < n:
+        two = text[i:i + 2]
+        if two == "//":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(text[i:j])
+            i = j
+        elif two == "/*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append("".join(c if c == "\n" else " " for c in text[i:j]))
+            i = j
+        else:
+            out.append(text[i])
+            i += 1
     return "".join(out)
 
 
