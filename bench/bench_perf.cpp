@@ -108,10 +108,13 @@ void bench_optimizers(microbench::Suite& suite, bench::ScRig& rig,
 
 void bench_soc_run(microbench::Suite& suite, double simulated_seconds,
                    bool quick) {
-  // One transient run is seconds of wall time, so the batch is pinned at a
-  // single iteration; the repeat loop still reruns it and reports the median.
-  suite.run(
-      "soc_run_" + std::to_string(static_cast<int>(simulated_seconds * 1e3)) + "ms",
+  const std::string tag =
+      std::to_string(static_cast<int>(simulated_seconds * 1e3)) + "ms";
+  // One dense-reference transient run is seconds of wall time, so the batch is
+  // pinned at a single iteration; the repeat loop still reruns it and reports
+  // the median.
+  const auto ref = suite.run(
+      "soc_run_" + tag,
       [&] {
         SocSystem soc(SocConfig{}, std::make_unique<SwitchedCapRegulator>(),
                       Processor::make_test_chip());
@@ -121,6 +124,34 @@ void bench_soc_run(microbench::Suite& suite, double simulated_seconds,
                                  Seconds(simulated_seconds)));
       },
       /*min_seconds=*/0.0, /*max_iters=*/1, /*min_repeats=*/quick ? 3 : 5);
+
+  // Same transient on the surface-only event-driven engine.  The SocSystem is
+  // hoisted so repeats reuse the cached surfaces, matching the steady-state
+  // sweep use case; the first (cold, surface-building) run is timed separately.
+  SocConfig fast_cfg;
+  fast_cfg.fast_path = true;
+  // In HEMP_AUDIT builds the config default is audit=true, which would force
+  // the dispatcher back onto the dense loop and time the reference twice.
+  fast_cfg.audit = false;
+  SocSystem fast_soc(fast_cfg, std::make_unique<SwitchedCapRegulator>(),
+                     Processor::make_test_chip());
+  FixedPointController fast_ctrl(PowerPath::kRegulated, Volts(0.5),
+                                 Hertz(100e6));
+  const auto cold_start = std::chrono::steady_clock::now();
+  microbench::keep(fast_soc.run(IrradianceTrace::constant(1.0), fast_ctrl,
+                                Seconds(simulated_seconds)));
+  suite.note("soc_fast_cold_ms",
+             std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - cold_start)
+                 .count());
+  const auto fast = suite.run(
+      "soc_run_fast_" + tag,
+      [&] {
+        microbench::keep(fast_soc.run(IrradianceTrace::constant(1.0), fast_ctrl,
+                                      Seconds(simulated_seconds)));
+      },
+      /*min_seconds=*/0.0, /*max_iters=*/1, /*min_repeats=*/quick ? 5 : 9);
+  suite.note("soc_fast_speedup", ref.ns_per_iter / fast.ns_per_iter);
 }
 
 void bench_parallel_sweep(microbench::Suite& suite, bench::ScRig& rig,

@@ -31,13 +31,38 @@ EnergyManager::EnergyManager(const SystemModel& model,
   } else {
     crossover_power_ = Watts(0.0);  // regulator (or bypass) dominates everywhere
   }
+  full_sun_mpp_power_ = model.mpp(1.0).power;
+  queue_.resize(16);
 }
 
 void EnergyManager::submit(const JobRequest& job) {
+  // hemp-analyzer: allow(hot-path-purity) — precondition checks on the submit API
   HEMP_REQUIRE(job.cycles > 0.0, "EnergyManager: job needs positive cycles");
+  // hemp-analyzer: allow(hot-path-purity) — precondition checks on the submit API
   HEMP_REQUIRE(job.relative_deadline.value() > 0.0,
                "EnergyManager: job needs a positive deadline");
-  queue_.push_back(job);
+  if (q_count_ == queue_.size()) {
+    // hemp-analyzer: allow(hot-path-purity) — amortized ring growth past 16 pending jobs
+    grow_queue();
+  }
+  queue_[(q_head_ + q_count_) % queue_.size()] = job;
+  ++q_count_;
+}
+
+JobRequest EnergyManager::pop_job() {
+  const JobRequest job = queue_[q_head_];
+  q_head_ = (q_head_ + 1) % queue_.size();
+  --q_count_;
+  return job;
+}
+
+void EnergyManager::grow_queue() {
+  std::vector<JobRequest> bigger(queue_.size() * 2);
+  for (std::size_t i = 0; i < q_count_; ++i) {
+    bigger[i] = queue_[(q_head_ + i) % queue_.size()];
+  }
+  queue_ = std::move(bigger);
+  q_head_ = 0;
 }
 
 void EnergyManager::on_start(const SocState& state, SocCommand& cmd) {
@@ -61,6 +86,7 @@ void EnergyManager::apply_mep_point(SocCommand& cmd, double g_estimate) {
   const int bucket = static_cast<int>(g_estimate * 20.0 + 0.5);
   auto it = mep_cache_.find(bucket);
   if (it == mep_cache_.end()) {
+    // hemp-analyzer: allow(hot-path-purity) — memoized holistic MEP solve, once per light bucket
     it = mep_cache_.emplace(bucket, mep_.holistic(std::max(bucket, 1) / 20.0)).first;
   }
   const MepPoint& mep = it->second;
@@ -111,8 +137,8 @@ void EnergyManager::refresh_light_estimate(const SocState& state,
 }
 
 void EnergyManager::start_next_job(const SocState& state, SocCommand& cmd) {
-  const JobRequest job = queue_.front();
-  queue_.pop_front();
+  const JobRequest job = pop_job();
+  // hemp-analyzer: allow(hot-path-purity) — per-job sprint planning, once per submitted job
   const SprintPlan plan =
       scheduler_.plan(job.cycles, job.relative_deadline, params_.sprint_factor);
   if (!plan.feasible) {
@@ -128,7 +154,7 @@ void EnergyManager::start_next_job(const SocState& state, SocCommand& cmd) {
 }
 
 void EnergyManager::tick_tracking(const SocState& state, SocCommand& cmd) {
-  if (!queue_.empty()) {
+  if (!queue_empty()) {
     start_next_job(state, cmd);
     return;
   }
@@ -151,7 +177,7 @@ void EnergyManager::tick_tracking(const SocState& state, SocCommand& cmd) {
   } else {
     const double g = p_in_estimate_
                          ? std::clamp(p_in_estimate_->value() /
-                                          std::max(model_->mpp(1.0).power.value(), 1e-9),
+                                          std::max(full_sun_mpp_power_.value(), 1e-9),
                                       0.05, 1.0)
                          : 0.5;
     apply_mep_point(cmd, g);
@@ -206,8 +232,50 @@ void EnergyManager::tick_recovering(const SocState& state, SocCommand& cmd) {
   // cap (paper Sec. VI-B closing remark).
   cmd.run = false;
   cmd.path = PowerPath::kRegulated;
-  if (state.v_solar >= params_.recover_voltage || !queue_.empty()) {
+  if (state.v_solar >= params_.recover_voltage || !queue_empty()) {
     enter_tracking(state, cmd);
+  }
+}
+
+void EnergyManager::step_hint(const SocState& state, SocStepHint& hint) const {
+  hint.event_driven = true;
+  switch (state_) {
+    case State::kTracking:
+      if (!queue_empty()) {
+        hint.deadline(state.time.value());  // job pending: decide immediately
+        return;
+      }
+      hint.deadline(next_reassess_.value());
+      if (!low_light_bypass_ && params_.mode == ManagerMode::kMaxPerformance) {
+        tracker_.step_hint(state, hint);
+      }
+      // Bypass mode rides the shared node; the engine's own physics bounds
+      // (dt cap, comparator levels) limit how stale max_frequency(v_dd) gets.
+      break;
+    case State::kSprinting: {
+      const ActiveSprint& s = *sprint_;
+      hint.deadline((s.started + s.plan.deadline * 1.5).value());
+      if (!s.bypassed) {
+        hint.deadline((s.started + s.plan.phase_time).value());
+        hint.deadline(s.started.value() + 1e-4);  // sag check arms after 100 us
+        const Seconds elapsed = state.time - s.started;
+        const OperatingPoint& op =
+            elapsed < s.plan.phase_time ? s.plan.slow : s.plan.fast;
+        hint.watch_rail(op.vdd.value() - 0.05);  // rail-sag bypass trigger
+      }
+      if (state.frequency.value() > 0.0) {
+        const double remaining =
+            s.plan.cycles - (state.cycles_retired - s.start_cycles);
+        if (remaining > 0.0) {
+          hint.deadline(state.time.value() + remaining / state.frequency.value());
+        }
+      }
+      break;
+    }
+    case State::kRecovering:
+      hint.watch_solar(params_.recover_voltage.value());
+      if (!queue_empty()) hint.deadline(state.time.value());
+      break;
   }
 }
 

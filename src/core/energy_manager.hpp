@@ -11,9 +11,10 @@
 //     at a large duty cycle before resuming steady-state operation.
 #pragma once
 
-#include <deque>
+#include <cstddef>
 #include <map>
 #include <optional>
+#include <vector>
 
 #include "core/mep_optimizer.hpp"
 #include "core/mpp_tracker.hpp"
@@ -61,6 +62,7 @@ class EnergyManager : public SocController {
 
   void on_start(const SocState& state, SocCommand& cmd) override;
   void on_tick(const SocState& state, SocCommand& cmd) override;
+  void step_hint(const SocState& state, SocStepHint& hint) const override;
 
   [[nodiscard]] int jobs_completed() const { return jobs_completed_; }
   [[nodiscard]] int jobs_missed() const { return jobs_missed_; }
@@ -85,6 +87,10 @@ class EnergyManager : public SocController {
   void refresh_light_estimate(const SocState& state, const SocCommand& cmd);
   void apply_mep_point(SocCommand& cmd, double g_estimate);
 
+  [[nodiscard]] bool queue_empty() const { return q_count_ == 0; }
+  [[nodiscard]] JobRequest pop_job();
+  void grow_queue();
+
   const SystemModel* model_;
   EnergyManagerParams params_;
   MppTrackingController tracker_;
@@ -94,13 +100,21 @@ class EnergyManager : public SocController {
   enum class State { kTracking, kSprinting, kRecovering };
   State state_ = State::kTracking;
 
-  std::deque<JobRequest> queue_;
+  /// Pending jobs as a ring buffer: submit() runs from controller hot paths
+  /// (hemp-analyzer hot-path-purity), so the steady state is an indexed write
+  /// into pre-sized storage rather than a per-job allocation.
+  std::vector<JobRequest> queue_;
+  std::size_t q_head_ = 0;
+  std::size_t q_count_ = 0;
   std::optional<ActiveSprint> sprint_;
   int jobs_completed_ = 0;
   int jobs_missed_ = 0;
 
   bool low_light_bypass_ = false;
   Watts crossover_power_{0.0};
+  /// model().mpp(1.0).power solved once at construction — kMinEnergy mode
+  /// normalizes the light estimate against it every tick.
+  Watts full_sun_mpp_power_{0.0};
   /// Holistic MEP solutions memoized per quantized irradiance bucket — the
   /// MEP solve is a grid optimization and must not run every tick.
   std::map<int, MepPoint> mep_cache_;

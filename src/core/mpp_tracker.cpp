@@ -84,13 +84,14 @@ MppTrackingController::MppTrackingController(const SystemModel& model,
       ladder_(make_ladder(model.processor(), params.vdd_ceiling, params.dvfs_steps)),
       timer_(params.v_high, params.v_low) {
   params_.validate();
+  v_mpp_full_sun_ = model.mpp(1.0).voltage;
 }
 
 void MppTrackingController::on_start(const SocState& state, SocCommand& cmd) {
   // Cold start: assume strong light (track toward the full-sun MPP) and begin
   // at a low ladder level; the proportional loop climbs as the node proves it
   // can hold the target.  The first dimming transient re-seeds via Eq. 7.
-  v_target_ = model_->mpp(1.0).voltage;
+  v_target_ = v_mpp_full_sun_;
   timer_.reset(state.v_solar);
   level_ = 0;
   cmd.path = PowerPath::kRegulated;
@@ -163,6 +164,19 @@ HEMP_HOT void MppTrackingController::on_tick(const SocState& state, SocCommand& 
   } else if (err < -params_.deadband.value() && dv < slew) {
     step(-1, cmd);  // node below MPP and not already recovering: back off
   }
+}
+
+void MppTrackingController::step_hint(const SocState& state, SocStepHint& hint) const {
+  (void)state;
+  hint.event_driven = true;
+  // Eq. 7 threshold timer: the node must not cross either window edge
+  // unobserved, in either direction.
+  hint.watch_solar(params_.v_high.value());
+  hint.watch_solar(params_.v_low.value());
+  // While a fall-time measurement is in flight DVFS is held, so the watched
+  // edges are the only wake-ups; otherwise the proportional loop runs on its
+  // control period.
+  if (!timer_.armed()) hint.deadline(next_control_.value());
 }
 
 }  // namespace hemp

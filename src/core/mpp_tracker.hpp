@@ -87,6 +87,7 @@ class MppTrackingController : public SocController {
 
   void on_start(const SocState& state, SocCommand& cmd) override;
   void on_tick(const SocState& state, SocCommand& cmd) override;
+  void step_hint(const SocState& state, SocStepHint& hint) const override;
 
   [[nodiscard]] Volts target_voltage() const { return v_target_; }
   [[nodiscard]] std::optional<Watts> last_power_estimate() const {
@@ -105,6 +106,9 @@ class MppTrackingController : public SocController {
   MppLut lut_;
   DvfsLadder ladder_;
   ThresholdTimer timer_;
+  /// Cold-start MPP target, solved once at construction so on_start (and the
+  /// stepped fast path) never runs the exact MPP solver.
+  Volts v_mpp_full_sun_{0.0};
   std::size_t level_ = 0;
   Volts v_target_{0.0};
   Volts prev_v_solar_{0.0};

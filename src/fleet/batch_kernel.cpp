@@ -23,6 +23,7 @@
 #include "processor/corners.hpp"
 #include "processor/processor.hpp"
 #include "regulator/switched_cap.hpp"
+#include "sim/flat_model.hpp"
 #include "sim/soc_system.hpp"
 #include "trace/generators.hpp"
 
@@ -32,27 +33,21 @@ namespace {
 
 // ---------------------------------------------------------------------------
 // Flattened model constants.  Every value mirrors the corresponding component
-// default (PvCellParams, SwitchedCapParams, SpeedModelParams, PowerModelParams,
-// SocConfig, EnergyManagerParams, MppTrackerParams); the batch kernel is an
-// integrator over the same closed forms, so the constants must stay in sync
-// with those structs.  The fleet never overrides them (fleet_sim.cpp builds
-// every node from the defaults plus the sampled scale factors).
+// default (SpeedModelParams, PowerModelParams, SocConfig, EnergyManagerParams,
+// MppTrackerParams); the batch kernel is an integrator over the shared
+// hemp::flat closed forms, so the constants must stay in sync with those
+// structs.  The fleet never overrides them (fleet_sim.cpp builds every node
+// from the defaults plus the sampled scale factors).  PV, switched-cap, and
+// trace flattening live in sim/flat_model.{hpp,cpp} now, shared with the
+// single-node fast path.
 // ---------------------------------------------------------------------------
 
-// PV cell (make_ixys_kxob22_cell): only Isc is scaled per node.
-constexpr double kVoc = 1.5;
-constexpr double kIscFullSun = 15e-3;
-constexpr double kNvt = 3 * 1.5 * 0.02585;  // junctions * ideality * Vt
-constexpr double kRs = 2.0;
-constexpr double kRsh = 12e3;
-
-// Switched-capacitor regulator.
-constexpr double kScRatios[3] = {4.0 / 5.0, 2.0 / 3.0, 1.0 / 2.0};
-constexpr double kScMargin = 0.02;
-constexpr double kScControlPower = 0.64e-3;
-constexpr double kScSwitchLoss = 0.304;
-constexpr double kScMinOut = 0.25;
-constexpr double kScRatedLoad = 12e-3;
+using flat::FlatTrace;
+using flat::flatten_constant;
+using flat::flatten_trace;
+using PvFlat = flat::FlatPv;
+using ProcFlat = flat::FlatProc;
+using WatchAccum = flat::WatchAccum;
 
 // Processor speed/power model (typical corner; corners shift copies).
 constexpr double kAlpha = 1.05;
@@ -91,17 +86,13 @@ constexpr double kCompHalfHyst = 0.0025;  // Comparator hysteresis 5 mV -> +-2.5
 constexpr double kSagMargin = 0.05;
 constexpr double kSagEnableTime = 1e-4;
 
-// Event-driven stepping knobs (kernel-only; see DESIGN.md).
-constexpr double kDtMax = 250e-6;          // hard ceiling on one step
-constexpr double kRailBand = 2e-3;         // |v_dd - target| band that ...
-constexpr double kRailSettleCap = 100e-6;  // ... caps dt at 2*tau while open
-constexpr double kBypassDvCap = 4e-3;      // max rail swing/step in bypass
-constexpr double kVminHysteresis = 5e-3;   // re-enable band above Vmin (bypass)
-constexpr double kWatchVFloor = 0.05;      // discharge-current bound floor
-constexpr double kWatchDeadband = 1e-3;  // keeps dt finite at equilibria;
-                                         // must stay < kCompHalfHyst so a
-                                         // crossing is still caught inside
-                                         // its comparator hysteresis band
+// Event-driven stepping knobs (shared defaults; see flat_model.hpp).
+constexpr double kDtMax = flat::kDtMax;
+constexpr double kRailBand = flat::kRailBand;
+constexpr double kRailSettleCap = flat::kRailSettleFactor * kTau;
+constexpr double kBypassDvCap = flat::kBypassDvCap;
+constexpr double kVminHysteresis = flat::kVminHysteresis;
+constexpr double kWatchVFloor = flat::kWatchVFloor;
 
 // Surface resolution (shared across the fleet; exact solves, ctor only).
 constexpr int kSurfaceSKnots = 13;
@@ -127,107 +118,31 @@ constexpr double kLutGMin = 0.02;
 constexpr double kLutGMax = 1.2;
 
 // ---------------------------------------------------------------------------
-// Flattened component math.
+// Flattened component math: hemp::flat mirrors, specialized to the fleet's
+// fixed component defaults.
 // ---------------------------------------------------------------------------
 
+// Every fleet node shares the default switched-cap regulator.
+const flat::FlatSc kScFlat = flat::make_flat_sc(SwitchedCapParams{});
+
 /// Per-node PV constants (only Isc scales with pv_scale; same Voc/Rs/Rsh).
-struct PvFlat {
-  double iph_full = 0.0;  ///< Isc at full sun, scaled
-  double i0 = 0.0;        ///< saturation current for the scaled cell
-};
-
 PvFlat make_pv_flat(double pv_scale) {
-  PvFlat pv;
-  pv.iph_full = kIscFullSun * pv_scale;
-  // Mirrors PvCell::saturation_current for the scaled Isc.
-  pv.i0 = (pv.iph_full - kVoc / kRsh) / std::expm1(kVoc / kNvt);
-  return pv;
-}
-
-/// Terminal current of the single-diode cell: safeguarded Newton on the same
-/// implicit KCL PvCell::current solves with Brent, including its edge cases.
-/// `warm` carries the previous solution as the start iterate.
-// hemp-analyzer: allow(unit-boundary) — flattened SoA kernel math on raw SI
-double pv_current(const PvFlat& pv, double v, double g, double& warm) {
-  const double iph = pv.iph_full * g;
-  if (iph == 0.0) return 0.0;
-  // Short-circuit early-out with no exp: f(iph) = -(i0*expm1(vj/nvt) +
-  // vj/Rsh) with vj = v + iph*Rs, and the bracketed term is strictly
-  // increasing through zero, so f(iph) >= 0 exactly when vj <= 0.
-  if (v + iph * kRs <= 0.0) return iph;
-  double lo = -iph;
-  double hi = iph;
-  bool lo_probed = false;
-  double i = std::clamp(warm, lo, hi);
-  for (int iter = 0; iter < 60; ++iter) {
-    const double vj = v + i * kRs;
-    const double e = std::exp(vj / kNvt);
-    const double fi = iph - pv.i0 * (e - 1.0) - vj / kRsh - i;
-    if (fi > 0.0) {
-      lo = i;
-    } else {
-      hi = i;
-    }
-    const double dfi = -pv.i0 * e * kRs / kNvt - kRs / kRsh - 1.0;
-    double next = i - fi / dfi;
-    if (!(next > lo && next < hi)) {
-      if (next <= lo && !lo_probed && lo == -iph) {
-        // Newton wants to leave the physical bracket downward: the root may
-        // sit below -iph (terminal voltage above open circuit).  One probe
-        // of the boundary settles it instead of a long bisection collapse.
-        lo_probed = true;
-        const double vjl = v - iph * kRs;
-        if (iph - pv.i0 * std::expm1(vjl / kNvt) - vjl / kRsh + iph < 0.0) {
-          return 0.0;
-        }
-      }
-      next = 0.5 * (lo + hi);
-    }
-    if (std::fabs(next - i) < 1e-12) {
-      i = next;
-      break;
-    }
-    i = next;
-  }
-  warm = i;
-  return std::max(i, 0.0);
+  PvCellParams p;
+  p.isc_full_sun = p.isc_full_sun * pv_scale;
+  return flat::make_flat_pv(p);
 }
 
 /// Regulator envelope: mirrors Regulator::supports via output_range.
 bool sc_supports(double vin, double vout) {
-  return vout >= kScMinOut && vout <= kScRatios[0] * vin - kScMargin;
+  return flat::sc_supports(kScFlat, vin, vout);
 }
 
-/// Mirrors SwitchedCapRegulator::active_ratio (assumes sc_supports holds).
-double sc_active_ratio(double vin, double vout) {
-  double best = 0.0;
-  for (double r : kScRatios) {
-    if (r * vin >= vout + kScMargin) best = r;
-  }
-  return best;
-}
-
-/// Mirrors SwitchedCapRegulator::efficiency (assumes sc_supports holds).
 double sc_efficiency(double vin, double vout, double pout) {
-  if (pout == 0.0) return 0.0;
-  const double r = sc_active_ratio(vin, vout);
-  if (r <= 0.0) return 0.0;
-  const double eta_lin = vout / (r * vin);
-  const double loss = kScControlPower + kScSwitchLoss * pout;
-  const double eta_sw = pout / (pout + loss);
-  return eta_lin * eta_sw;
+  return flat::sc_efficiency(kScFlat, vin, vout, pout);
 }
 
 /// Per-node processor constants resolved from the sampled corner/temperature
 /// exactly as make_test_chip_at + SpeedModel's constructor do.
-struct ProcFlat {
-  double vth = 0.0;
-  double gain = 0.0;
-  double onset = 0.0;     ///< vth + near-threshold margin
-  double f_onset = 0.0;   ///< alpha-law frequency at the onset voltage
-  double leak_base = 0.0;
-};
-
 ProcFlat make_proc_flat(ProcessCorner corner, double temperature_c) {
   double vth_shift = 0.0;
   double drive_scale = 1.0;
@@ -252,108 +167,18 @@ ProcFlat make_proc_flat(ProcessCorner corner, double temperature_c) {
 
   ProcFlat p;
   p.vth = kVthBase + vth_shift;
+  p.alpha = kAlpha;
   const double fref = kFref * drive_scale;
   p.gain = fref * kVref / std::pow(kVref - p.vth, kAlpha);
   p.onset = p.vth + kNearThMargin;
   p.f_onset = p.gain * std::pow(p.onset - p.vth, kAlpha) / p.onset;
+  p.sub_slope = kSubSlope;
+  p.vmin = kVminProc;
+  p.vmax = kVmaxProc;
+  p.ceff = kCeff;
   p.leak_base = kLeakBase * leak_scale;
+  p.dibl = kDibl;
   return p;
-}
-
-/// Mirrors SpeedModel::max_frequency for v inside [kVminProc, kVmaxProc].
-double proc_fmax(const ProcFlat& p, double v) {
-  if (v >= p.onset) return p.gain * std::pow(v - p.vth, kAlpha) / v;
-  return p.f_onset * std::exp((v - p.onset) / kSubSlope);
-}
-
-double proc_leak(const ProcFlat& p, double v) {
-  return v * p.leak_base * std::exp(v / kDibl);
-}
-
-/// Mirrors PowerModel::total_power.
-// hemp-analyzer: allow(unit-boundary) — flattened SoA kernel math on raw SI
-double proc_power(const ProcFlat& p, double v, double f) {
-  return kCeff * v * v * f + proc_leak(p, v);
-}
-
-/// Mirrors Processor::max_power (full speed at v).
-// hemp-analyzer: allow(unit-boundary) — flattened SoA kernel math on raw SI
-double proc_max_power(const ProcFlat& p, double v) {
-  return proc_power(p, v, proc_fmax(p, v));
-}
-
-/// Mirrors Processor::energy_per_cycle at full speed.
-double proc_epc(const ProcFlat& p, double v) {
-  return kCeff * v * v + proc_leak(p, v) / proc_fmax(p, v);
-}
-
-// ---------------------------------------------------------------------------
-// Flattened irradiance trace: the controller-facing std::function profile is
-// pre-sampled onto a knot grid (uniform coverage plus every breakpoint,
-// double-sampled just around each so steps survive the linearization).  The
-// knots double as the event-stepper's "trace may kink here" bound: between
-// two knots G(t) is exactly linear, so extrema sit at the interval endpoints.
-// ---------------------------------------------------------------------------
-
-struct FlatTrace {
-  bool constant = false;
-  double g_const = 0.0;
-  std::vector<double> ts;
-  std::vector<double> gs;
-
-  /// Linear interpolation with a monotone-biased cursor hint.
-  [[nodiscard]] double at(double t, std::size_t& cur) const {
-    if (constant) return g_const;
-    while (cur + 1 < ts.size() && ts[cur + 1] <= t) ++cur;
-    while (cur > 0 && ts[cur] > t) --cur;
-    if (t <= ts.front()) return gs.front();
-    if (cur + 1 >= ts.size()) return gs.back();
-    const double t0 = ts[cur];
-    const double t1 = ts[cur + 1];
-    const double frac = t1 > t0 ? (t - t0) / (t1 - t0) : 0.0;
-    return gs[cur] + frac * (gs[cur + 1] - gs[cur]);
-  }
-
-  /// First knot strictly after `t` (infinity when none / constant).
-  [[nodiscard]] double next_knot(double t, std::size_t& cur) const {
-    if (constant) return std::numeric_limits<double>::infinity();
-    while (cur + 1 < ts.size() && ts[cur + 1] <= t) ++cur;
-    while (cur > 0 && ts[cur] > t) --cur;
-    for (std::size_t k = cur; k < ts.size(); ++k) {
-      if (ts[k] > t + 1e-15) return ts[k];
-    }
-    return std::numeric_limits<double>::infinity();
-  }
-};
-
-FlatTrace flatten_trace(const IrradianceTrace& trace, double day_length) {
-  FlatTrace flat;
-  std::vector<double> knots;
-  constexpr int kUniform = 256;
-  knots.reserve(kUniform + 1 + 3 * trace.breakpoints().size());
-  for (int i = 0; i <= kUniform; ++i) {
-    knots.push_back(day_length * i / kUniform);
-  }
-  for (const Seconds bp : trace.breakpoints()) {
-    const double b = bp.value();
-    if (b < -1e-9 || b > day_length + 1e-9) continue;
-    knots.push_back(std::clamp(b - 1e-9, 0.0, day_length));
-    knots.push_back(std::clamp(b, 0.0, day_length));
-    knots.push_back(std::clamp(b + 1e-9, 0.0, day_length));
-  }
-  std::sort(knots.begin(), knots.end());
-  knots.erase(std::unique(knots.begin(), knots.end()), knots.end());
-  flat.ts = std::move(knots);
-  flat.gs.reserve(flat.ts.size());
-  for (const double t : flat.ts) flat.gs.push_back(trace.at(Seconds(t)));
-  return flat;
-}
-
-FlatTrace flatten_constant(double g) {
-  FlatTrace flat;
-  flat.constant = true;
-  flat.g_const = g;
-  return flat;
 }
 
 // ---------------------------------------------------------------------------
@@ -400,13 +225,10 @@ struct BatchFleetKernel::Shared {
   std::vector<FlatTrace> traces;        ///< empty when shared_sky
   std::vector<Processor> processors;    ///< kept for exact sprint planning
 
-  // Shared MPP surfaces over (pv_scale, irradiance).
-  std::vector<double> s_knots, g_knots;
-  std::optional<BilinearGrid> vmpp_grid, pmpp_grid;
-
-  // Shared terminal-current surface [scale][v][g] (g fastest); see cell_i.
-  std::vector<double> iv_vals;
-  double iv_dv = 0.0, iv_dg = 0.0;
+  // Shared MPP + terminal-current surfaces over (pv_scale, irradiance),
+  // built by the hemp::flat layer (exact solves, ctor only).
+  flat::MppSurface mpp;
+  flat::IvSurface iv;
 
   // Exact cell/regulator the sprint scheduler's SystemModel plumbs through
   // (plan() only touches the processor, but the model wants references).
@@ -414,17 +236,11 @@ struct BatchFleetKernel::Shared {
   SwitchedCapRegulator ref_reg;
 
   [[nodiscard]] double vmpp_at(double s, double g) const {
-    if (g <= 0.0) return 0.0;
-    return (*vmpp_grid)(s, std::max(g, kSurfaceGMin));
+    return mpp.vmpp_at(s, g);
   }
 
   [[nodiscard]] double pmpp_at(double s, double g) const {
-    if (g <= 0.0) return 0.0;
-    if (g < kSurfaceGMin) {
-      // P_mpp ~ G at low light (photocurrent-limited): scale the edge column.
-      return (*pmpp_grid)(s, kSurfaceGMin) * (g / kSurfaceGMin);
-    }
-    return (*pmpp_grid)(s, g);
+    return mpp.pmpp_at(s, g);
   }
 };
 
@@ -435,46 +251,15 @@ BatchFleetKernel::BatchFleetKernel(FleetScenario scenario) {
   sh.scenario.validate();
   const FleetScenario& sc = sh.scenario;
 
-  // --- Shared MPP surfaces: exact find_mpp, sampled once for the fleet. ----
+  // --- Shared MPP + terminal-current surfaces: exact solves sampled once
+  // for the fleet by the hemp::flat builders. -------------------------------
   const auto [s_lo, s_hi] =
       widen_if_degenerate(sc.pv_scale_min, sc.pv_scale_max);
-  sh.s_knots = linspace(s_lo, s_hi, kSurfaceSKnots);
-  sh.g_knots.resize(kSurfaceGKnots);
-  for (int j = 0; j < kSurfaceGKnots; ++j) {
-    sh.g_knots[static_cast<std::size_t>(j)] =
-        kSurfaceGMin *
-        std::pow(kSurfaceGMax / kSurfaceGMin,
-                 static_cast<double>(j) / (kSurfaceGKnots - 1));
-  }
-  std::vector<double> vmpp_vals(sh.s_knots.size() * sh.g_knots.size());
-  std::vector<double> pmpp_vals(vmpp_vals.size());
-  for (std::size_t i = 0; i < sh.s_knots.size(); ++i) {
-    const PvCell cell = make_scaled_cell(sh.s_knots[i]);
-    for (std::size_t j = 0; j < sh.g_knots.size(); ++j) {
-      const MaxPowerPoint mpp = find_mpp(cell, sh.g_knots[j]);
-      vmpp_vals[i * sh.g_knots.size() + j] = mpp.voltage.value();
-      pmpp_vals[i * sh.g_knots.size() + j] = mpp.power.value();
-    }
-  }
-  sh.vmpp_grid.emplace(sh.s_knots, sh.g_knots, std::move(vmpp_vals));
-  sh.pmpp_grid.emplace(sh.s_knots, sh.g_knots, std::move(pmpp_vals));
-
-  // --- Terminal-current surface: the safeguarded Newton solve sampled per
-  // pv-scale knot so the stepped loop only ever reads bilinearly. ----------
-  sh.iv_dv = kIvVMax / (kIvVKnots - 1);
-  sh.iv_dg = kSurfaceGMax / (kIvGKnots - 1);
-  sh.iv_vals.resize(sh.s_knots.size() * kIvVKnots * kIvGKnots);
-  for (std::size_t i = 0; i < sh.s_knots.size(); ++i) {
-    const PvFlat flat = make_pv_flat(sh.s_knots[i]);
-    double* slice = &sh.iv_vals[i * kIvVKnots * kIvGKnots];
-    for (int vi = 0; vi < kIvVKnots; ++vi) {
-      double warm = 0.0;
-      for (int gi = 0; gi < kIvGKnots; ++gi) {
-        slice[vi * kIvGKnots + gi] =
-            pv_current(flat, vi * sh.iv_dv, gi * sh.iv_dg, warm);
-      }
-    }
-  }
+  sh.mpp = flat::build_mpp_surface(PvCellParams{}, s_lo, s_hi, kSurfaceSKnots,
+                                   kSurfaceGMin, kSurfaceGMax, kSurfaceGKnots);
+  sh.iv = flat::build_iv_surface(linspace(s_lo, s_hi, kSurfaceSKnots),
+                                 PvCellParams{}, kIvVMax, kIvVKnots,
+                                 kSurfaceGMax, kIvGKnots);
 
   // --- Low-light crossover tables: exact RegulatorSelector bisection per
   // corner over a coarse (temperature, pv_scale) grid; interpolated per node.
@@ -706,49 +491,16 @@ struct NodeRunner {
   std::array<bool, 8> bank_out{};
   std::size_t bank_size = 0;
 
-  // --- terminal-current surface slices for this node (set in on_start)
-  const double* iv_lo = nullptr;
-  const double* iv_hi = nullptr;
-  double iv_w = 0.0;  ///< blend weight of the hi scale slice
+  // --- terminal-current surface view for this node (set in on_start)
+  flat::IvSurface::Bound iv{};
 
   // ---------------------------------------------------------------------
   // Setup
   // ---------------------------------------------------------------------
 
-  /// Stepped-loop cell evaluation: bilinear (v, g) read of the shared
-  /// terminal-current surface, blended across the node's two bracketing
-  /// pv-scale slices.  Optionally returns the in-cell d(i)/d(v) slope for
-  /// the implicit midpoint Jacobian.
+  /// Stepped-loop cell evaluation via the node's bound surface view.
   HEMP_HOT double cell_i(double v, double g, double* didv = nullptr) const {
-    double x = v / sh.iv_dv;
-    double y = g / sh.iv_dg;
-    x = std::clamp(x, 0.0, static_cast<double>(kIvVKnots - 1) - 1e-9);
-    y = std::clamp(y, 0.0, static_cast<double>(kIvGKnots - 1) - 1e-9);
-    const auto xi = static_cast<std::size_t>(x);
-    const auto yi = static_cast<std::size_t>(y);
-    const double fx = x - static_cast<double>(xi);
-    const double fy = y - static_cast<double>(yi);
-    const std::size_t a = xi * kIvGKnots + yi;
-    const std::size_t b = a + kIvGKnots;
-    const double lo0 = iv_lo[a] + (iv_lo[a + 1] - iv_lo[a]) * fy;
-    const double lo1 = iv_lo[b] + (iv_lo[b + 1] - iv_lo[b]) * fy;
-    const double hi0 = iv_hi[a] + (iv_hi[a + 1] - iv_hi[a]) * fy;
-    const double hi1 = iv_hi[b] + (iv_hi[b + 1] - iv_hi[b]) * fy;
-    const double i0 = lo0 + (hi0 - lo0) * iv_w;
-    const double i1 = lo1 + (hi1 - lo1) * iv_w;
-    if (didv != nullptr) *didv = (i1 - i0) / sh.iv_dv;
-    return i0 + (i1 - i0) * fx;
-  }
-
-  void bind_iv_slices() {
-    const auto& ks = sh.s_knots;
-    const double ds = ks[1] - ks[0];
-    double x = (s.pv_scale - ks[0]) / ds;
-    x = std::clamp(x, 0.0, static_cast<double>(ks.size() - 1) - 1e-9);
-    const auto k = static_cast<std::size_t>(x);
-    iv_w = x - static_cast<double>(k);
-    iv_lo = &sh.iv_vals[k * kIvVKnots * kIvGKnots];
-    iv_hi = &sh.iv_vals[(k + 1) * kIvVKnots * kIvGKnots];
+    return iv.cell_i(v, g, didv);
   }
 
   void build_ladder() {
@@ -788,7 +540,7 @@ struct NodeRunner {
   }
 
   void on_start() {
-    bind_iv_slices();
+    iv = sh.iv.bind(s.pv_scale);
     build_ladder();
     build_lut();
     next_submit = s.job_phase.value();
@@ -1122,25 +874,6 @@ struct NodeRunner {
   // Event-driven stepping
   // ---------------------------------------------------------------------
 
-  /// Direction-resolved distance to the nearest armed watch level, floored so
-  /// equilibrium at a level cannot collapse dt (level checks re-fire at every
-  /// eval anyway).  Splitting up/down matters: each direction is bounded by
-  /// the only rate that can move the node that way (a rail 50 mV above its
-  /// sag watch can discharge no faster than the load draw — bounding that
-  /// distance by the 12 mW *rated charge* rate would cap every regulated
-  /// step at a tick or two).
-  struct WatchAccum {
-    double up = std::numeric_limits<double>::infinity();
-    double down = std::numeric_limits<double>::infinity();
-    void level(double v, double trigger) {
-      if (trigger >= v) {
-        up = std::min(up, std::max(trigger - v, kWatchDeadband));
-      } else {
-        down = std::min(down, std::max(v - trigger, kWatchDeadband));
-      }
-    }
-  };
-
   void solar_watches(WatchAccum& w) const {
     if (timer_watched) {
       w.level(v_s, th_high_out ? kVHigh - kCompHalfHyst : kVHigh + kCompHalfHyst);
@@ -1155,8 +888,8 @@ struct NodeRunner {
     if (mgr == MgrState::kRecovering) w.level(v_s, kRecoverV);
     if (cmd_path == PowerPath::kRegulated) {
       // Ratio boundaries: eta and the supports envelope change across them.
-      for (const double r : kScRatios) {
-        w.level(v_s, (cmd_vdd + kScMargin) / r);
+      for (std::size_t k = 0; k < kScFlat.n_ratios; ++k) {
+        w.level(v_s, (cmd_vdd + kScFlat.margin) / kScFlat.ratios[k]);
       }
     }
   }
@@ -1241,90 +974,28 @@ struct NodeRunner {
     WatchAccum ws, wd;
     solar_watches(ws);
     rail_watches(wd);
-    // Every voltage is monotone within a step, so endpoint sampling cannot
-    // *skip* a crossing — the bounds below only control detection latency.
-    // Allowing overshoot up to the comparator half-hysteresis keeps the
-    // detected edge inside its hysteresis band, the same latency class as
-    // the reference's own one-tick quantization, and stops an equilibrium
-    // *at* a watch level from grinding the stepper to single ticks.
-    const double up_s = ws.up + kCompHalfHyst;
-    const double dn_s = ws.down + kCompHalfHyst;
-    // In bypass conduction the two capacitors slew together, so the charge
-    // that moves either node spreads over the merged capacitance.
-    const bool conducting = cmd_path == PowerPath::kBypass && v_s > v_d;
-    const double c_sol_eff = conducting ? c_solar + c_vdd : c_solar;
-    const double c_rail_eff = conducting ? c_solar + c_vdd : c_vdd;
-    // Solar node, upward crossings: only photocurrent charges the node, and
-    // it can never exceed its value at the present (lowest-on-path) voltage.
-    if (std::isfinite(ws.up) && i_pv_now > 0.0) {
-      dt = std::min(dt, c_sol_eff * up_s / i_pv_now);
-    }
-    // Solar node, downward crossings: only the source-side draw discharges
-    // it (p_in = (p_out + fixed loss)/eta_lin grows monotonically with p_out,
-    // and |p_restore| peaks at (E_target - E)/tau in the dt -> 0 limit);
-    // photocurrent only opposes the motion, so it is dropped from the bound.
-    if (std::isfinite(ws.down)) {
-      double i_bound = 0.0;
-      if (cmd_path == PowerPath::kRegulated && sc_supports(v_s, cmd_vdd)) {
-        const double e_t =
-            0.5 * c_vdd * cmd_vdd * cmd_vdd + p_load * dt_min;
-        const double e_0 = 0.5 * c_vdd * v_d * v_d;
-        const double p_out_bound =
-            std::min(kScRatedLoad, p_load + std::fabs(e_t - e_0) / kTau);
-        const double r = sc_active_ratio(v_s, cmd_vdd);
-        if (r > 0.0) {
-          const double eta_lin = cmd_vdd / (r * v_s);
-          const double p_in_bound =
-              ((1.0 + kScSwitchLoss) * p_out_bound + kScControlPower) / eta_lin;
-          i_bound = p_in_bound / std::max(v_s - ws.down, kWatchVFloor);
-        }
-      } else if (cmd_path == PowerPath::kBypass) {
-        i_bound = p_load / std::max(v_d, kWatchVFloor);
-      }
-      if (i_bound > 0.0) dt = std::min(dt, c_sol_eff * dn_s / i_bound);
-    }
-    if (cmd_path == PowerPath::kRegulated) {
-      // Regulated rail: the step integrator follows the exact discrete map
-      // E' = E + (dt_ref/tau)*(E_eff - E) with net power clamped to
-      // [-p_load, rated - p_load], monotone toward the effective target —
-      // so the *initial* net rate is the maximum over the step and the
-      // rate-bound is exact, not a worst-case envelope (rating the bound at
-      // the full 12 mW output would cap every near-equilibrium step at a
-      // tick or two).
-      const bool sup = sc_supports(v_s, cmd_vdd);
-      const double e_t =
-          0.5 * c_vdd * cmd_vdd * cmd_vdd + p_load * dt_min;
-      const double e_0 = 0.5 * c_vdd * v_d * v_d;
-      if (std::isfinite(wd.up) && sup) {
-        const double up_rate =
-            std::min((e_t - e_0) / kTau, kScRatedLoad - p_load);
-        if (up_rate > 0.0) {
-          const double vw = v_d + wd.up + kCompHalfHyst;
-          dt = std::min(dt, (0.5 * c_vdd * vw * vw - e_0) / up_rate);
-        }
-      }
-      if (std::isfinite(wd.down)) {
-        const double down_rate =
-            sup ? std::min((e_0 - e_t) / kTau, p_load) : p_load;
-        if (down_rate > 0.0) {
-          const double vw =
-              std::max(v_d - wd.down - kCompHalfHyst, 0.0);
-          dt = std::min(dt, (e_0 - 0.5 * c_vdd * vw * vw) / down_rate);
-        }
-      }
-    } else {
-      // Bypass rail: only the conducting switch can charge it (at most the
-      // photocurrent bound; a detached rail cannot rise), and only the
-      // processor load can discharge it.
-      if (std::isfinite(wd.up) && conducting && i_pv_now > 0.0) {
-        dt = std::min(dt, c_rail_eff * (wd.up + kCompHalfHyst) / i_pv_now);
-      }
-      if (std::isfinite(wd.down) && p_load > 0.0) {
-        const double i_bound =
-            p_load / std::max(v_d - wd.down, kWatchVFloor);
-        dt = std::min(dt, c_rail_eff * (wd.down + kCompHalfHyst) / i_bound);
-      }
-    }
+    // Shared analytic no-late-detection bounds (see flat::watch_bound_dt for
+    // the monotonicity argument and the per-direction rate derivations).
+    flat::WatchBoundIn wb;
+    wb.dt = dt;
+    wb.half_hyst = kCompHalfHyst;
+    wb.v_floor = kWatchVFloor;
+    wb.v_s = v_s;
+    wb.v_d = v_d;
+    wb.c_solar = c_solar;
+    wb.c_vdd = c_vdd;
+    wb.i_pv_now = i_pv_now;
+    wb.p_load = p_load;
+    wb.regulated = cmd_path == PowerPath::kRegulated;
+    wb.conducting = cmd_path == PowerPath::kBypass && v_s > v_d;
+    wb.cmd_vdd = cmd_vdd;
+    wb.e_t = 0.5 * c_vdd * cmd_vdd * cmd_vdd + p_load * dt_min;
+    wb.e_0 = 0.5 * c_vdd * v_d * v_d;
+    wb.tau = kTau;
+    wb.dt_ref = dt_min;
+    wb.sc_ok = sc_supports(v_s, cmd_vdd);
+    wb.sc = &kScFlat;
+    dt = flat::watch_bound_dt(wb, ws, wd);
 
     // Quantize to whole reference ticks (flooring preserves every bound
     // above) so controller evals, job adjudication, and the discrete rail
@@ -1336,34 +1007,9 @@ struct NodeRunner {
   }
 
   // ---------------------------------------------------------------------
-  // Physics integration (implicit midpoint on the stiff solar node).
+  // Physics integration (shared hemp::flat primitives: implicit midpoint on
+  // the stiff solar node, exact closed-form regulated rail).
   // ---------------------------------------------------------------------
-
-  /// Advance the solar node by dt under a constant source-side draw `p_in`,
-  /// harvesting from the cell at the midpoint irradiance.  Returns the
-  /// average harvested power over the step.
-  HEMP_HOT double integrate_solar(double dt, double g_mid, double p_in) {
-    const double v0 = v_s;
-    double v1 = v0;
-    double vm = v0;
-    double i = 0.0;
-    for (int iter = 0; iter < 40; ++iter) {
-      vm = 0.5 * (v0 + v1);
-      if (vm < 0.0) vm = 0.0;
-      double didv = 0.0;
-      i = cell_i(vm, g_mid, &didv);
-      const double F = 0.5 * c_solar * (v1 * v1 - v0 * v0) -
-                       dt * (vm * i - p_in);
-      double dF = c_solar * v1 - dt * 0.5 * (i + vm * didv);
-      if (dF < 1e-12) dF = 1e-12;
-      const double step = F / dF;
-      v1 -= step;
-      if (std::fabs(step) < 1e-10) break;
-    }
-    if (v1 < 0.0) v1 = 0.0;
-    v_s = v1;
-    return vm * i;
-  }
 
   HEMP_HOT void integrate(double dt, double g_mid, double p_load) {
     if (cmd_path == PowerPath::kRegulated) {
@@ -1371,56 +1017,17 @@ struct NodeRunner {
       double p_in = 0.0;
       double p_out = 0.0;
       if (supports) {
-        // Closed-form restoration matching the reference tick map exactly.
-        // The reference applies the load *before* computing the restore
-        // power p_restore = (E_t - E_afterload)/tau, so one tick is the
-        // affine map  E' = E + (dt_ref/tau) * (E_t + p_load*dt_ref - E):
-        // plain Euler toward an *effective* target one tick of load energy
-        // above E_t (the steady rail rides at sqrt(vt^2 + 2*p_load*dt_ref/C),
-        // which keeps the commanded frequency off the f_max clamp).  Steps
-        // are grid-quantized, so k ticks compose to a geometric decay with
-        // ratio (1 - dt_ref/tau) — not exp(-dt/tau), whose rate differs by
-        // ~10% at dt_ref/tau = 0.2 and visibly skews the tracker's
-        // post-step slew samples.
+        // Closed-form restoration matching the reference tick map exactly
+        // (see flat::rail_regulated_step for the 3-regime derivation).  The
+        // steady rail rides at sqrt(vt^2 + 2*p_load*dt_ref/C), which keeps
+        // the commanded frequency off the f_max clamp.
         const double e_t = 0.5 * c_vdd * cmd_vdd * cmd_vdd +
                            p_load * dt_min;
         const double e_0 = 0.5 * c_vdd * v_d * v_d;
-        const double rho = 1.0 - dt_min / kTau;
-        // The per-tick output clamp p_out in [0, rated] splits the map into
-        // three regimes by the pre-tick energy e:
-        //   e <  e_hi : p_out pinned at rated    -> linear ramp up
-        //   e >  e_lo : p_out pinned at zero     -> linear drain at p_load
-        //   otherwise : unclamped Euler          -> geometric decay to e_t
-        // Both linear phases march monotonically into the middle band and
-        // the geometric phase never leaves it, so whole ticks compose in
-        // closed form phase by phase (per-tick regime choice uses the
-        // pre-tick energy, exactly like the reference loop).
-        double e_end = e_0;
-        double k = dt / dt_min;  // whole ticks (grid-quantized); final
-                                 // partial step falls through as geometric
-        if (k >= 1.0 && rho > 0.0) {
-          const double e_hi = e_t - kTau * (kScRatedLoad - p_load);
-          const double e_lo = e_t + kTau * p_load;
-          if (e_end < e_hi && kScRatedLoad > p_load) {
-            const double step_e = (kScRatedLoad - p_load) * dt_min;
-            const double k1 =
-                std::min(k, std::ceil((e_hi - e_end) / step_e - 1e-9));
-            e_end += k1 * step_e;
-            k -= k1;
-          } else if (e_end > e_lo && p_load > 0.0) {
-            const double step_e = p_load * dt_min;
-            const double k2 =
-                std::min(k, std::ceil((e_end - e_lo) / step_e - 1e-9));
-            e_end -= k2 * step_e;
-            k -= k2;
-          }
-        }
-        if (k > 0.0) {
-          const double decay = rho > 0.0 ? std::pow(rho, k) : 0.0;
-          e_end = e_t + (e_end - e_t) * decay;
-        }
+        const double e_end = flat::rail_regulated_step(
+            e_0, e_t, dt, dt_min, kTau, p_load, kScFlat.rated);
         const double p_restore = (e_end - e_0) / dt;
-        p_out = std::clamp(p_load + p_restore, 0.0, kScRatedLoad);
+        p_out = std::clamp(p_load + p_restore, 0.0, kScFlat.rated);
         if (p_out > 0.0) {
           const double eta = sc_efficiency(v_s, cmd_vdd, p_out);
           if (eta > 0.0) {
@@ -1430,7 +1037,7 @@ struct NodeRunner {
           }
         }
       }
-      harvested += dt * integrate_solar(dt, g_mid, p_in);
+      harvested += dt * flat::integrate_solar(iv, c_solar, v_s, dt, g_mid, p_in);
       double e_d = 0.5 * c_vdd * v_d * v_d + (p_out - p_load) * dt;
       if (e_d < 0.0) e_d = 0.0;
       v_d = std::sqrt(2.0 * e_d / c_vdd);
@@ -1441,52 +1048,20 @@ struct NodeRunner {
     // conducts solar -> rail when v_s > v_d.  The discrete reference update
     // rings at tau_RC ~ R*C_parallel ~ 8 us; the kernel integrates the
     // merged quasi-steady limit instead (charge-conserving, same energy).
-    const bool conducting = cmd_path == PowerPath::kBypass && v_s > v_d;
-    if (!conducting) {
-      harvested += dt * integrate_solar(dt, g_mid, 0.0);
-      double e_d = 0.5 * c_vdd * v_d * v_d - p_load * dt;
-      if (e_d < 0.0) e_d = 0.0;
-      v_d = std::sqrt(2.0 * e_d / c_vdd);
-      return;
+    if (cmd_path == PowerPath::kBypass && v_s > v_d) {
+      const flat::BypassStepResult r = flat::integrate_bypass_merged(
+          iv, c_solar, c_vdd, kBypassR, v_s, v_d, dt, g_mid, p_load,
+          kWatchVFloor);
+      if (r.conducted) {
+        harvested += dt * r.p_harvest_avg;
+        return;
+      }
+      // Diode would block: fall through and treat as detached for this step.
     }
-
-    const double c_tot = c_solar + c_vdd;
-    const double i_load = p_load / std::max(v_d, kWatchVFloor);
-    // Quasi-steady series drop across the switch: the current that keeps
-    // both nodes slewing together is i_R = (C_v*i_pv + C_s*i_load)/C_tot.
-    const double i_pv0 = cell_i(v_s, g_mid);
-    const double i_r = (c_vdd * i_pv0 + c_solar * i_load) / c_tot;
-    if (i_r < 0.0) {
-      // Diode would block: treat as detached for this step.
-      harvested += dt * integrate_solar(dt, g_mid, 0.0);
-      double e_d = 0.5 * c_vdd * v_d * v_d - p_load * dt;
-      if (e_d < 0.0) e_d = 0.0;
-      v_d = std::sqrt(2.0 * e_d / c_vdd);
-      return;
-    }
-    const double delta = kBypassR * i_r;
-    const double off_s = (c_vdd / c_tot) * delta;
-    const double off_d = (c_solar / c_tot) * delta;
-    // Implicit midpoint on the charge-conserving average voltage.
-    const double vbar0 = (c_solar * v_s + c_vdd * v_d) / c_tot;
-    double v1 = vbar0;
-    double vm = vbar0;
-    double i = 0.0;
-    for (int iter = 0; iter < 40; ++iter) {
-      vm = 0.5 * (vbar0 + v1);
-      const double v_cell = std::max(vm + off_s, 0.0);
-      double didv = 0.0;
-      i = cell_i(v_cell, g_mid, &didv);
-      const double F = c_tot * (v1 - vbar0) - dt * (i - i_load);
-      double dF = c_tot - dt * 0.5 * didv;
-      if (dF < 1e-12) dF = 1e-12;
-      const double step = F / dF;
-      v1 -= step;
-      if (std::fabs(step) < 1e-14) break;
-    }
-    harvested += dt * std::max(vm + off_s, 0.0) * i;
-    v_s = std::max(v1 + off_s, 0.0);
-    v_d = std::max(v1 - off_d, 0.0);
+    harvested += dt * flat::integrate_solar(iv, c_solar, v_s, dt, g_mid, 0.0);
+    double e_d = 0.5 * c_vdd * v_d * v_d - p_load * dt;
+    if (e_d < 0.0) e_d = 0.0;
+    v_d = std::sqrt(2.0 * e_d / c_vdd);
   }
 
   // ---------------------------------------------------------------------

@@ -44,6 +44,11 @@ void PeriodicJobController::on_comparator(const ComparatorEvent& event,
   manager_->on_comparator(event, state, cmd);
 }
 
+void PeriodicJobController::step_hint(const SocState& state, SocStepHint& hint) const {
+  manager_->step_hint(state, hint);
+  if (job_cycles_ > 0.0) hint.deadline(next_submit_.value());
+}
+
 FleetSimulator::FleetSimulator(FleetScenario scenario)
     : scenario_(std::move(scenario)) {
   scenario_.validate();

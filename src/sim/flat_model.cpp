@@ -1,0 +1,423 @@
+#include "sim/flat_model.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "common/error.hpp"
+#include "harvester/iv_curve.hpp"
+
+namespace hemp::flat {
+
+// ---------------------------------------------------------------------------
+// PV cell.
+// ---------------------------------------------------------------------------
+
+FlatPv make_flat_pv(const PvCellParams& p) {
+  FlatPv pv;
+  pv.iph_full = p.isc_full_sun.value();
+  pv.nvt = p.series_junctions * p.ideality * p.thermal_voltage.value();
+  pv.rs = p.series_resistance.value();
+  pv.rsh = p.shunt_resistance.value();
+  // Mirrors PvCell::saturation_current for the (possibly scaled) Isc.
+  const double voc = p.voc_full_sun.value();
+  pv.i0 = (pv.iph_full - voc / pv.rsh) / std::expm1(voc / pv.nvt);
+  return pv;
+}
+
+// hemp-analyzer: allow(unit-boundary) — flattened kernel math on raw SI
+double pv_current(const FlatPv& pv, double v, double g, double& warm) {
+  const double iph = pv.iph_full * g;
+  if (iph == 0.0) return 0.0;
+  // Short-circuit early-out with no exp: f(iph) = -(i0*expm1(vj/nvt) +
+  // vj/Rsh) with vj = v + iph*Rs, and the bracketed term is strictly
+  // increasing through zero, so f(iph) >= 0 exactly when vj <= 0.
+  if (v + iph * pv.rs <= 0.0) return iph;
+  double lo = -iph;
+  double hi = iph;
+  bool lo_probed = false;
+  double i = std::clamp(warm, lo, hi);
+  for (int iter = 0; iter < 60; ++iter) {
+    const double vj = v + i * pv.rs;
+    const double e = std::exp(vj / pv.nvt);
+    const double fi = iph - pv.i0 * (e - 1.0) - vj / pv.rsh - i;
+    if (fi > 0.0) {
+      lo = i;
+    } else {
+      hi = i;
+    }
+    const double dfi = -pv.i0 * e * pv.rs / pv.nvt - pv.rs / pv.rsh - 1.0;
+    double next = i - fi / dfi;
+    if (!(next > lo && next < hi)) {
+      if (next <= lo && !lo_probed && lo == -iph) {
+        // Newton wants to leave the physical bracket downward: the root may
+        // sit below -iph (terminal voltage above open circuit).  One probe
+        // of the boundary settles it instead of a long bisection collapse.
+        lo_probed = true;
+        const double vjl = v - iph * pv.rs;
+        if (iph - pv.i0 * std::expm1(vjl / pv.nvt) - vjl / pv.rsh + iph <
+            0.0) {
+          return 0.0;
+        }
+      }
+      next = 0.5 * (lo + hi);
+    }
+    if (std::fabs(next - i) < 1e-12) {
+      i = next;
+      break;
+    }
+    i = next;
+  }
+  warm = i;
+  return std::max(i, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Switched-cap regulator / processor flattening.
+// ---------------------------------------------------------------------------
+
+FlatSc make_flat_sc(const SwitchedCapParams& p) {
+  FlatSc sc;
+  sc.n_ratios = std::min(p.ratios.size(), sc.ratios.size());
+  for (std::size_t i = 0; i < sc.n_ratios; ++i) sc.ratios[i] = p.ratios[i];
+  sc.margin = p.regulation_margin.value();
+  sc.control_power = p.control_power.value();
+  sc.switch_loss = p.switching_loss_factor;
+  sc.min_out = p.min_output.value();
+  sc.rated = p.max_load.value();
+  return sc;
+}
+
+FlatProc make_flat_proc(const Processor& proc) {
+  const SpeedModelParams& sp = proc.speed().params();
+  const PowerModelParams& pp = proc.power_model().params();
+  FlatProc p;
+  p.vth = sp.threshold.value();
+  p.alpha = sp.alpha;
+  // Same calibration as SpeedModel's constructor: gain from the reference
+  // (voltage, frequency) point.
+  const double vref = sp.reference_voltage.value();
+  p.gain = sp.reference_frequency.value() * vref /
+           std::pow(vref - p.vth, p.alpha);
+  p.onset = p.vth + sp.near_threshold_margin.value();
+  p.f_onset = p.gain * std::pow(p.onset - p.vth, p.alpha) / p.onset;
+  p.sub_slope = sp.subthreshold_slope.value();
+  p.vmin = sp.min_operating_voltage.value();
+  p.vmax = sp.max_operating_voltage.value();
+  p.ceff = pp.effective_capacitance.value();
+  p.leak_base = pp.leakage_base.value();
+  p.dibl = pp.dibl_voltage.value();
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Trace flattening.
+// ---------------------------------------------------------------------------
+
+FlatTrace flatten_trace(const IrradianceTrace& trace, double t_end) {
+  FlatTrace flat;
+  std::vector<double> knots;
+  constexpr int kUniform = 256;
+  knots.reserve(kUniform + 1 + 3 * trace.breakpoints().size());
+  for (int i = 0; i <= kUniform; ++i) {
+    knots.push_back(t_end * i / kUniform);
+  }
+  for (const Seconds bp : trace.breakpoints()) {
+    const double b = bp.value();
+    if (b < -1e-9 || b > t_end + 1e-9) continue;
+    knots.push_back(std::clamp(b - 1e-9, 0.0, t_end));
+    knots.push_back(std::clamp(b, 0.0, t_end));
+    knots.push_back(std::clamp(b + 1e-9, 0.0, t_end));
+  }
+  std::sort(knots.begin(), knots.end());
+  knots.erase(std::unique(knots.begin(), knots.end()), knots.end());
+  flat.ts = std::move(knots);
+  flat.gs.reserve(flat.ts.size());
+  for (const double t : flat.ts) flat.gs.push_back(trace.at(Seconds(t)));
+  return flat;
+}
+
+FlatTrace flatten_constant(double g) {
+  FlatTrace flat;
+  flat.constant = true;
+  flat.g_const = g;
+  return flat;
+}
+
+// ---------------------------------------------------------------------------
+// Terminal-current surface.
+// ---------------------------------------------------------------------------
+
+IvSurface::Bound IvSurface::bind(double pv_scale) const {
+  Bound b;
+  b.v_knots = v_knots;
+  b.g_knots = g_knots;
+  b.dv = dv;
+  b.dg = dg;
+  const std::size_t slice =
+      static_cast<std::size_t>(v_knots) * static_cast<std::size_t>(g_knots);
+  if (s_knots.size() < 2) {
+    b.lo = b.hi = vals.data();
+    b.w = 0.0;
+    return b;
+  }
+  const double ds = s_knots[1] - s_knots[0];
+  double x = (pv_scale - s_knots[0]) / ds;
+  x = std::clamp(x, 0.0, static_cast<double>(s_knots.size() - 1) - 1e-9);
+  const auto k = static_cast<std::size_t>(x);
+  b.w = x - static_cast<double>(k);
+  b.lo = &vals[k * slice];
+  b.hi = &vals[(k + 1) * slice];
+  return b;
+}
+
+IvSurface build_iv_surface(std::vector<double> s_knots,
+                           const PvCellParams& base, double v_max, int v_knots,
+                           double g_max, int g_knots) {
+  HEMP_REQUIRE(!s_knots.empty() && v_knots >= 2 && g_knots >= 2,
+               "build_iv_surface: degenerate grid");
+  IvSurface iv;
+  iv.s_knots = std::move(s_knots);
+  iv.v_knots = v_knots;
+  iv.g_knots = g_knots;
+  iv.dv = v_max / (v_knots - 1);
+  iv.dg = g_max / (g_knots - 1);
+  const std::size_t slice =
+      static_cast<std::size_t>(v_knots) * static_cast<std::size_t>(g_knots);
+  iv.vals.resize(iv.s_knots.size() * slice);
+  for (std::size_t i = 0; i < iv.s_knots.size(); ++i) {
+    PvCellParams scaled = base;
+    scaled.isc_full_sun = base.isc_full_sun * iv.s_knots[i];
+    const FlatPv flat = make_flat_pv(scaled);
+    double* out = &iv.vals[i * slice];
+    for (int vi = 0; vi < v_knots; ++vi) {
+      double warm = 0.0;
+      for (int gi = 0; gi < g_knots; ++gi) {
+        out[vi * g_knots + gi] =
+            pv_current(flat, vi * iv.dv, gi * iv.dg, warm);
+      }
+    }
+  }
+  return iv;
+}
+
+// ---------------------------------------------------------------------------
+// MPP surface.
+// ---------------------------------------------------------------------------
+
+MppSurface build_mpp_surface(const PvCellParams& base, double s_lo, double s_hi,
+                             int s_count, double g_min, double g_max,
+                             int g_count) {
+  HEMP_REQUIRE(s_count >= 2 && g_count >= 2 && g_min > 0.0 && g_max > g_min,
+               "build_mpp_surface: degenerate grid");
+  MppSurface surf;
+  surf.s_knots.resize(static_cast<std::size_t>(s_count));
+  for (int i = 0; i < s_count; ++i) {
+    surf.s_knots[static_cast<std::size_t>(i)] =
+        s_lo + (s_hi - s_lo) * i / (s_count - 1);
+  }
+  surf.g_knots.resize(static_cast<std::size_t>(g_count));
+  for (int j = 0; j < g_count; ++j) {
+    surf.g_knots[static_cast<std::size_t>(j)] =
+        g_min * std::pow(g_max / g_min, static_cast<double>(j) / (g_count - 1));
+  }
+  std::vector<double> vmpp_vals(surf.s_knots.size() * surf.g_knots.size());
+  std::vector<double> pmpp_vals(vmpp_vals.size());
+  for (std::size_t i = 0; i < surf.s_knots.size(); ++i) {
+    PvCellParams scaled = base;
+    scaled.isc_full_sun = base.isc_full_sun * surf.s_knots[i];
+    const PvCell cell(scaled);
+    for (std::size_t j = 0; j < surf.g_knots.size(); ++j) {
+      const MaxPowerPoint mpp = find_mpp(cell, surf.g_knots[j]);
+      vmpp_vals[i * surf.g_knots.size() + j] = mpp.voltage.value();
+      pmpp_vals[i * surf.g_knots.size() + j] = mpp.power.value();
+    }
+  }
+  surf.vmpp.emplace(surf.s_knots, surf.g_knots, std::move(vmpp_vals));
+  surf.pmpp.emplace(surf.s_knots, surf.g_knots, std::move(pmpp_vals));
+  return surf;
+}
+
+// ---------------------------------------------------------------------------
+// Closed-form stepping primitives.
+// ---------------------------------------------------------------------------
+
+double rail_regulated_step(double e_0, double e_t, double dt, double dt_ref,
+                           double tau, double p_load, double rated) {
+  const double rho = 1.0 - dt_ref / tau;
+  double e_end = e_0;
+  double k = dt / dt_ref;  // whole ticks (grid-quantized); final partial
+                           // step falls through as geometric
+  if (k >= 1.0 && rho > 0.0) {
+    const double e_hi = e_t - tau * (rated - p_load);
+    const double e_lo = e_t + tau * p_load;
+    if (e_end < e_hi && rated > p_load) {
+      const double step_e = (rated - p_load) * dt_ref;
+      const double k1 = std::min(k, std::ceil((e_hi - e_end) / step_e - 1e-9));
+      e_end += k1 * step_e;
+      k -= k1;
+    } else if (e_end > e_lo && p_load > 0.0) {
+      const double step_e = p_load * dt_ref;
+      const double k2 = std::min(k, std::ceil((e_end - e_lo) / step_e - 1e-9));
+      e_end -= k2 * step_e;
+      k -= k2;
+    }
+  }
+  if (k > 0.0) {
+    const double decay = rho > 0.0 ? std::pow(rho, k) : 0.0;
+    e_end = e_t + (e_end - e_t) * decay;
+  }
+  return e_end;
+}
+
+double integrate_solar(const IvSurface::Bound& iv, double c_solar, double& v_s,
+                       double dt, double g_mid, double p_in) {
+  const double v0 = v_s;
+  double v1 = v0;
+  double vm = v0;
+  double i = 0.0;
+  for (int iter = 0; iter < 40; ++iter) {
+    vm = 0.5 * (v0 + v1);
+    if (vm < 0.0) vm = 0.0;
+    double didv = 0.0;
+    i = iv.cell_i(vm, g_mid, &didv);
+    const double F =
+        0.5 * c_solar * (v1 * v1 - v0 * v0) - dt * (vm * i - p_in);
+    double dF = c_solar * v1 - dt * 0.5 * (i + vm * didv);
+    if (dF < 1e-12) dF = 1e-12;
+    const double step = F / dF;
+    v1 -= step;
+    if (std::fabs(step) < 1e-10) break;
+  }
+  if (v1 < 0.0) v1 = 0.0;
+  v_s = v1;
+  return vm * i;
+}
+
+BypassStepResult integrate_bypass_merged(const IvSurface::Bound& iv,
+                                         double c_solar, double c_vdd,
+                                         double r_on, double& v_s, double& v_d,
+                                         double dt, double g_mid, double p_load,
+                                         double v_floor) {
+  BypassStepResult out;
+  const double c_tot = c_solar + c_vdd;
+  const double i_load = p_load / std::max(v_d, v_floor);
+  // Quasi-steady series drop across the switch: the current that keeps both
+  // nodes slewing together is i_R = (C_v*i_pv + C_s*i_load)/C_tot.
+  const double i_pv0 = iv.cell_i(v_s, g_mid);
+  const double i_r = (c_vdd * i_pv0 + c_solar * i_load) / c_tot;
+  out.i_r = i_r;
+  if (i_r < 0.0) return out;  // diode would block: caller detaches the nodes
+  out.conducted = true;
+  const double delta = r_on * i_r;
+  const double off_s = (c_vdd / c_tot) * delta;
+  const double off_d = (c_solar / c_tot) * delta;
+  // Implicit midpoint on the charge-conserving average voltage.
+  const double vbar0 = (c_solar * v_s + c_vdd * v_d) / c_tot;
+  double v1 = vbar0;
+  double vm = vbar0;
+  double i = 0.0;
+  for (int iter = 0; iter < 40; ++iter) {
+    vm = 0.5 * (vbar0 + v1);
+    const double v_cell = std::max(vm + off_s, 0.0);
+    double didv = 0.0;
+    i = iv.cell_i(v_cell, g_mid, &didv);
+    const double F = c_tot * (v1 - vbar0) - dt * (i - i_load);
+    double dF = c_tot - dt * 0.5 * didv;
+    if (dF < 1e-12) dF = 1e-12;
+    const double step = F / dF;
+    v1 -= step;
+    if (std::fabs(step) < 1e-14) break;
+  }
+  out.p_harvest_avg = std::max(vm + off_s, 0.0) * i;
+  v_s = std::max(v1 + off_s, 0.0);
+  v_d = std::max(v1 - off_d, 0.0);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Analytic watch bounds.
+// ---------------------------------------------------------------------------
+
+double watch_bound_dt(const WatchBoundIn& in, const WatchAccum& ws,
+                      const WatchAccum& wd) {
+  double dt = in.dt;
+  // Every voltage is monotone within a step, so endpoint sampling cannot
+  // *skip* a crossing — the bounds below only control detection latency.
+  // Allowing overshoot up to the comparator half-hysteresis keeps the
+  // detected edge inside its hysteresis band, the same latency class as the
+  // reference's own one-tick quantization, and stops an equilibrium *at* a
+  // watch level from grinding the stepper to single ticks.
+  const double up_s = ws.up + in.half_hyst;
+  const double dn_s = ws.down + in.half_hyst;
+  // In bypass conduction the two capacitors slew together, so the charge that
+  // moves either node spreads over the merged capacitance.
+  const double c_sol_eff = in.conducting ? in.c_solar + in.c_vdd : in.c_solar;
+  const double c_rail_eff = in.conducting ? in.c_solar + in.c_vdd : in.c_vdd;
+  // Solar node, upward crossings: only photocurrent charges the node, and it
+  // can never exceed its value at the present (lowest-on-path) voltage.
+  if (std::isfinite(ws.up) && in.i_pv_now > 0.0) {
+    dt = std::min(dt, c_sol_eff * up_s / in.i_pv_now);
+  }
+  // Solar node, downward crossings: only the source-side draw discharges it
+  // (p_in = (p_out + fixed loss)/eta_lin grows monotonically with p_out, and
+  // |p_restore| peaks at (E_target - E)/tau in the dt -> 0 limit);
+  // photocurrent only opposes the motion, so it is dropped from the bound.
+  if (std::isfinite(ws.down)) {
+    double i_bound = 0.0;
+    if (in.regulated && in.sc_ok) {
+      const double p_out_bound =
+          std::min(in.sc->rated, in.p_load + std::fabs(in.e_t - in.e_0) / in.tau);
+      const double r = sc_active_ratio(*in.sc, in.v_s, in.cmd_vdd);
+      if (r > 0.0) {
+        const double eta_lin = in.cmd_vdd / (r * in.v_s);
+        const double p_in_bound =
+            ((1.0 + in.sc->switch_loss) * p_out_bound + in.sc->control_power) /
+            eta_lin;
+        i_bound = p_in_bound / std::max(in.v_s - ws.down, in.v_floor);
+      }
+    } else if (!in.regulated) {
+      i_bound = in.p_load / std::max(in.v_d, in.v_floor);
+    }
+    if (i_bound > 0.0) dt = std::min(dt, c_sol_eff * dn_s / i_bound);
+  }
+  if (in.regulated) {
+    // Regulated rail: the step integrator follows the exact discrete map
+    // E' = E + (dt_ref/tau)*(E_eff - E) with net power clamped to
+    // [-p_load, rated - p_load], monotone toward the effective target — so
+    // the *initial* net rate is the maximum over the step and the rate-bound
+    // is exact, not a worst-case envelope (rating the bound at the full
+    // rated output would cap every near-equilibrium step at a tick or two).
+    if (std::isfinite(wd.up) && in.sc_ok) {
+      const double up_rate =
+          std::min((in.e_t - in.e_0) / in.tau, in.sc->rated - in.p_load);
+      if (up_rate > 0.0) {
+        const double vw = in.v_d + wd.up + in.half_hyst;
+        dt = std::min(dt, (0.5 * in.c_vdd * vw * vw - in.e_0) / up_rate);
+      }
+    }
+    if (std::isfinite(wd.down)) {
+      const double down_rate =
+          in.sc_ok ? std::min((in.e_0 - in.e_t) / in.tau, in.p_load)
+                   : in.p_load;
+      if (down_rate > 0.0) {
+        const double vw = std::max(in.v_d - wd.down - in.half_hyst, 0.0);
+        dt = std::min(dt, (in.e_0 - 0.5 * in.c_vdd * vw * vw) / down_rate);
+      }
+    }
+  } else {
+    // Bypass rail: only the conducting switch can charge it (at most the
+    // photocurrent bound; a detached rail cannot rise), and only the
+    // processor load can discharge it.
+    if (std::isfinite(wd.up) && in.conducting && in.i_pv_now > 0.0) {
+      dt = std::min(dt, c_rail_eff * (wd.up + in.half_hyst) / in.i_pv_now);
+    }
+    if (std::isfinite(wd.down) && in.p_load > 0.0) {
+      const double i_bound =
+          in.p_load / std::max(in.v_d - wd.down, in.v_floor);
+      dt = std::min(dt, c_rail_eff * (wd.down + in.half_hyst) / i_bound);
+    }
+  }
+  return dt;
+}
+
+}  // namespace hemp::flat

@@ -1,0 +1,393 @@
+// Shared surface-only model layer for the stepped simulation engines.
+//
+// Both event-driven engines — the fleet batch kernel (fleet/batch_kernel.cpp)
+// and the single-node fast path (sim/fast_soc.cpp) — integrate the same
+// closed forms over the same precomputed surfaces instead of invoking the
+// exact component models per tick:
+//
+//   * FlatPv / pv_current      — safeguarded warm-started Newton on the
+//     single-diode KCL (ctor/surface-build only; the stepped loops read the
+//     sampled IvSurface instead);
+//   * IvSurface                — terminal-current i(v, g) sampled per
+//     pv-scale knot, read bilinearly with an in-cell Jacobian;
+//   * MppSurface               — (pv_scale, irradiance) -> (Vmpp, Pmpp)
+//     bilinear grids with photocurrent-limited low-light extrapolation;
+//   * FlatSc / FlatProc        — allocation- and throw-free mirrors of the
+//     switched-cap regulator and the processor speed/power models;
+//   * FlatTrace                — the irradiance profile pre-sampled onto a
+//     knot grid (linear between knots, so extrema sit at interval endpoints
+//     and knots double as "trace may kink here" step bounds);
+//   * rail_regulated_step      — the exact piecewise 3-regime closed form of
+//     the reference loop's discrete regulated-rail map;
+//   * integrate_solar / integrate_bypass_merged — implicit-midpoint node
+//     integrators over the IV surface;
+//   * WatchAccum / watch_bound_dt — direction-resolved analytic
+//     no-late-detection step bounds for voltage watch levels.
+//
+// Everything here mirrors the corresponding exact component (PvCell,
+// SwitchedCapRegulator, SpeedModel/PowerModel, SocSystem's tick map); the
+// equivalence suites in tests/fleet and tests/sim are the guardrails that
+// keep the mirrors honest.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "common/interpolation.hpp"
+#include "common/units.hpp"
+#include "harvester/light_environment.hpp"
+#include "harvester/pv_cell.hpp"
+#include "processor/processor.hpp"
+#include "regulator/switched_cap.hpp"
+
+namespace hemp::flat {
+
+// ---------------------------------------------------------------------------
+// Event-stepping knob defaults shared by both engines (see DESIGN.md).
+// ---------------------------------------------------------------------------
+
+inline constexpr double kDtMax = 250e-6;      ///< hard ceiling on one step
+inline constexpr double kRailBand = 2e-3;     ///< |v_dd - target| band that ...
+inline constexpr double kRailSettleFactor = 2.0;  ///< ... caps dt at this * tau
+inline constexpr double kBypassDvCap = 4e-3;  ///< max rail swing/step in bypass
+inline constexpr double kVminHysteresis = 5e-3;  ///< re-enable band above Vmin
+inline constexpr double kWatchVFloor = 0.05;  ///< discharge-current bound floor
+inline constexpr double kWatchDeadband = 1e-3;  ///< keeps dt finite at
+                                                ///< equilibria; must stay under
+                                                ///< the comparator half-
+                                                ///< hysteresis so crossings are
+                                                ///< caught inside their band
+
+// ---------------------------------------------------------------------------
+// PV cell.
+// ---------------------------------------------------------------------------
+
+/// Flattened single-diode cell constants.
+struct FlatPv {
+  double iph_full = 0.0;  ///< photocurrent at full sun
+  double i0 = 0.0;        ///< diode saturation current
+  double nvt = 0.0;       ///< junction-stack thermal scale Ns * n * Vt
+  double rs = 0.0;
+  double rsh = 0.0;
+};
+
+FlatPv make_flat_pv(const PvCellParams& p);
+
+/// Terminal current of the single-diode cell: safeguarded Newton on the same
+/// implicit KCL PvCell::current solves with Brent, including its edge cases.
+/// `warm` carries the previous solution as the start iterate.
+double pv_current(const FlatPv& pv, double v, double g, double& warm);  // unit-lint: flattened kernel math on raw SI
+
+// ---------------------------------------------------------------------------
+// Switched-capacitor regulator.
+// ---------------------------------------------------------------------------
+
+/// Flattened switched-cap constants (ratios descending, as in the params).
+struct FlatSc {
+  std::array<double, 8> ratios{};
+  std::size_t n_ratios = 0;
+  double margin = 0.0;
+  double control_power = 0.0;  // unit-lint: flattened kernel math on raw SI
+  double switch_loss = 0.0;
+  double min_out = 0.0;
+  double rated = 0.0;
+};
+
+FlatSc make_flat_sc(const SwitchedCapParams& p);
+
+/// Mirrors Regulator::supports via the switched-cap output_range.
+inline bool sc_supports(const FlatSc& sc, double vin, double vout) {
+  return vout >= sc.min_out && vout <= sc.ratios[0] * vin - sc.margin;
+}
+
+/// Mirrors SwitchedCapRegulator::active_ratio (assumes sc_supports holds).
+inline double sc_active_ratio(const FlatSc& sc, double vin, double vout) {
+  double best = 0.0;
+  for (std::size_t k = 0; k < sc.n_ratios; ++k) {
+    const double r = sc.ratios[k];
+    if (r * vin >= vout + sc.margin) best = r;
+  }
+  return best;
+}
+
+/// Mirrors SwitchedCapRegulator::efficiency (assumes sc_supports holds).
+inline double sc_efficiency(const FlatSc& sc, double vin, double vout,
+                            double pout) {
+  if (pout == 0.0) return 0.0;
+  const double r = sc_active_ratio(sc, vin, vout);
+  if (r <= 0.0) return 0.0;
+  const double eta_lin = vout / (r * vin);
+  const double loss = sc.control_power + sc.switch_loss * pout;
+  const double eta_sw = pout / (pout + loss);
+  return eta_lin * eta_sw;
+}
+
+// ---------------------------------------------------------------------------
+// Processor speed/power model.
+// ---------------------------------------------------------------------------
+
+/// Flattened speed/power constants (mirrors SpeedModel's calibration).
+struct FlatProc {
+  double vth = 0.0;
+  double alpha = 0.0;
+  double gain = 0.0;      ///< alpha-power-law prefactor
+  double onset = 0.0;     ///< vth + near-threshold margin
+  double f_onset = 0.0;   ///< alpha-law frequency at the onset voltage
+  double sub_slope = 0.0;
+  double vmin = 0.0;
+  double vmax = 0.0;
+  double ceff = 0.0;
+  double leak_base = 0.0;
+  double dibl = 0.0;
+};
+
+FlatProc make_flat_proc(const Processor& proc);
+
+/// Mirrors SpeedModel::max_frequency for v inside [vmin, vmax].
+inline double proc_fmax(const FlatProc& p, double v) {
+  if (v >= p.onset) return p.gain * std::pow(v - p.vth, p.alpha) / v;
+  return p.f_onset * std::exp((v - p.onset) / p.sub_slope);
+}
+
+inline double proc_leak(const FlatProc& p, double v) {
+  return v * p.leak_base * std::exp(v / p.dibl);
+}
+
+/// Mirrors PowerModel::total_power.
+inline double proc_power(const FlatProc& p, double v, double f) {  // unit-lint: flattened kernel math on raw SI
+  return p.ceff * v * v * f + proc_leak(p, v);
+}
+
+/// Mirrors Processor::max_power (full speed at v).
+inline double proc_max_power(const FlatProc& p, double v) {  // unit-lint: flattened kernel math on raw SI
+  return proc_power(p, v, proc_fmax(p, v));
+}
+
+/// Mirrors Processor::energy_per_cycle at full speed.
+inline double proc_epc(const FlatProc& p, double v) {
+  return p.ceff * v * v + proc_leak(p, v) / proc_fmax(p, v);
+}
+
+// ---------------------------------------------------------------------------
+// Flattened irradiance trace: the controller-facing std::function profile is
+// pre-sampled onto a knot grid (uniform coverage plus every breakpoint,
+// double-sampled just around each so steps survive the linearization).
+// ---------------------------------------------------------------------------
+
+struct FlatTrace {
+  bool constant = false;
+  double g_const = 0.0;
+  std::vector<double> ts;
+  std::vector<double> gs;
+
+  /// Linear interpolation with a monotone-biased cursor hint.
+  [[nodiscard]] double at(double t, std::size_t& cur) const {
+    if (constant) return g_const;
+    while (cur + 1 < ts.size() && ts[cur + 1] <= t) ++cur;
+    while (cur > 0 && ts[cur] > t) --cur;
+    if (t <= ts.front()) return gs.front();
+    if (cur + 1 >= ts.size()) return gs.back();
+    const double t0 = ts[cur];
+    const double t1 = ts[cur + 1];
+    const double frac = t1 > t0 ? (t - t0) / (t1 - t0) : 0.0;
+    return gs[cur] + frac * (gs[cur + 1] - gs[cur]);
+  }
+
+  /// First knot strictly after `t` (infinity when none / constant).
+  [[nodiscard]] double next_knot(double t, std::size_t& cur) const {
+    if (constant) return std::numeric_limits<double>::infinity();
+    while (cur + 1 < ts.size() && ts[cur + 1] <= t) ++cur;
+    while (cur > 0 && ts[cur] > t) --cur;
+    for (std::size_t k = cur; k < ts.size(); ++k) {
+      if (ts[k] > t + 1e-15) return ts[k];
+    }
+    return std::numeric_limits<double>::infinity();
+  }
+};
+
+FlatTrace flatten_trace(const IrradianceTrace& trace, double t_end);
+FlatTrace flatten_constant(double g);
+
+// ---------------------------------------------------------------------------
+// Terminal-current surface i(v, g), sampled per pv-scale knot.
+// ---------------------------------------------------------------------------
+
+struct IvSurface {
+  std::vector<double> s_knots;  ///< uniform pv-scale knots (>= 1)
+  std::vector<double> vals;     ///< [scale][v][g], g fastest
+  int v_knots = 0, g_knots = 0;
+  double dv = 0.0, dg = 0.0;
+
+  /// One node's view: two bracketing pv-scale slices plus a blend weight.
+  struct Bound {
+    const double* lo = nullptr;
+    const double* hi = nullptr;
+    double w = 0.0;  ///< blend weight of the hi slice
+    int v_knots = 0, g_knots = 0;
+    double dv = 0.0, dg = 0.0;
+
+    /// Stepped-loop cell evaluation: bilinear (v, g) read, scale-blended.
+    /// Optionally returns the in-cell d(i)/d(v) slope for the implicit
+    /// midpoint Jacobian.
+    double cell_i(double v, double g, double* didv = nullptr) const {
+      double x = v / dv;
+      double y = g / dg;
+      x = std::clamp(x, 0.0, static_cast<double>(v_knots - 1) - 1e-9);
+      y = std::clamp(y, 0.0, static_cast<double>(g_knots - 1) - 1e-9);
+      const auto xi = static_cast<std::size_t>(x);
+      const auto yi = static_cast<std::size_t>(y);
+      const double fx = x - static_cast<double>(xi);
+      const double fy = y - static_cast<double>(yi);
+      const std::size_t a = xi * static_cast<std::size_t>(g_knots) + yi;
+      const std::size_t b = a + static_cast<std::size_t>(g_knots);
+      const double lo0 = lo[a] + (lo[a + 1] - lo[a]) * fy;
+      const double lo1 = lo[b] + (lo[b + 1] - lo[b]) * fy;
+      const double hi0 = hi[a] + (hi[a + 1] - hi[a]) * fy;
+      const double hi1 = hi[b] + (hi[b + 1] - hi[b]) * fy;
+      const double i0 = lo0 + (hi0 - lo0) * w;
+      const double i1 = lo1 + (hi1 - lo1) * w;
+      if (didv != nullptr) *didv = (i1 - i0) / dv;
+      return i0 + (i1 - i0) * fx;
+    }
+  };
+
+  [[nodiscard]] Bound bind(double pv_scale) const;
+};
+
+/// Sample the fast Newton solve over (v, g) for each pv-scale knot.  `base`
+/// supplies every cell parameter except the short-circuit current, which is
+/// scaled per knot.  `s_knots` must be uniformly spaced (or a single knot).
+IvSurface build_iv_surface(std::vector<double> s_knots,
+                           const PvCellParams& base, double v_max, int v_knots,
+                           double g_max, int g_knots);
+
+// ---------------------------------------------------------------------------
+// (pv_scale, irradiance) MPP surfaces: exact find_mpp, sampled once.
+// ---------------------------------------------------------------------------
+
+struct MppSurface {
+  std::vector<double> s_knots, g_knots;
+  std::optional<BilinearGrid> vmpp, pmpp;
+
+  [[nodiscard]] double vmpp_at(double s, double g) const {
+    if (g <= 0.0) return 0.0;
+    return (*vmpp)(s, std::max(g, g_knots.front()));
+  }
+
+  [[nodiscard]] double pmpp_at(double s, double g) const {
+    if (g <= 0.0) return 0.0;
+    if (g < g_knots.front()) {
+      // P_mpp ~ G at low light (photocurrent-limited): scale the edge column.
+      return (*pmpp)(s, g_knots.front()) * (g / g_knots.front());
+    }
+    return (*pmpp)(s, g);
+  }
+};
+
+/// Exact find_mpp sampled over linear pv-scale knots and log-spaced
+/// irradiance knots (ctor-time only; the stepped loops read bilinearly).
+MppSurface build_mpp_surface(const PvCellParams& base, double s_lo, double s_hi,
+                             int s_count, double g_min, double g_max,
+                             int g_count);
+
+// ---------------------------------------------------------------------------
+// Closed-form stepping primitives.
+// ---------------------------------------------------------------------------
+
+/// Advance the reference loop's discrete regulated-rail map by `dt` in closed
+/// form and return the end-of-step rail energy.
+///
+/// The reference applies the load *before* computing the restore power
+/// p_restore = (E_t - E_afterload)/tau, so one tick is the affine map
+/// E' = E + (dt_ref/tau) * (E_t + p_load*dt_ref - E): plain Euler toward an
+/// *effective* target `e_t` one tick of load energy above the commanded
+/// energy.  The per-tick output clamp p_out in [0, rated] splits the map into
+/// three regimes by the pre-tick energy e:
+///   e <  e_hi : p_out pinned at rated    -> linear ramp up
+///   e >  e_lo : p_out pinned at zero     -> linear drain at p_load
+///   otherwise : unclamped Euler          -> geometric decay to e_t with
+///               ratio (1 - dt_ref/tau) per tick — not exp(-dt/tau), whose
+///               rate differs by ~10% at dt_ref/tau = 0.2
+/// Both linear phases march monotonically into the middle band and the
+/// geometric phase never leaves it, so whole ticks compose in closed form
+/// phase by phase (per-tick regime choice uses the pre-tick energy, exactly
+/// like the reference loop).  A final sub-tick remainder falls through as
+/// geometric.
+double rail_regulated_step(double e_0, double e_t, double dt, double dt_ref,
+                           double tau, double p_load, double rated);
+
+/// Advance the solar node by dt under a constant source-side draw `p_in`,
+/// harvesting from the cell at the midpoint irradiance (implicit midpoint on
+/// the stiff node).  Returns the average harvested power over the step.
+double integrate_solar(const IvSurface::Bound& iv, double c_solar, double& v_s,
+                       double dt, double g_mid, double p_in);
+
+/// One step of the conducting-bypass merged-node quasi-steady limit.  When
+/// the diode would block (i_r < 0) nothing is mutated and the caller should
+/// integrate the nodes detached.  Returns the average harvested power and
+/// the quasi-steady switch current.
+struct BypassStepResult {
+  bool conducted = false;
+  double p_harvest_avg = 0.0;
+  double i_r = 0.0;
+};
+BypassStepResult integrate_bypass_merged(const IvSurface::Bound& iv,
+                                         double c_solar, double c_vdd,
+                                         double r_on, double& v_s, double& v_d,
+                                         double dt, double g_mid, double p_load,
+                                         double v_floor);
+
+// ---------------------------------------------------------------------------
+// Analytic watch bounds for event stepping.
+// ---------------------------------------------------------------------------
+
+/// Direction-resolved distance to the nearest armed watch level, floored so
+/// equilibrium at a level cannot collapse dt (level checks re-fire at every
+/// eval anyway).  Splitting up/down matters: each direction is bounded by
+/// the only rate that can move the node that way.
+struct WatchAccum {
+  double up = std::numeric_limits<double>::infinity();
+  double down = std::numeric_limits<double>::infinity();
+  double deadband = kWatchDeadband;
+
+  void level(double v, double trigger) {
+    if (trigger >= v) {
+      up = std::min(up, std::max(trigger - v, deadband));
+    } else {
+      down = std::min(down, std::max(v - trigger, deadband));
+    }
+  }
+};
+
+/// Inputs of watch_bound_dt: the physics of the step about to be taken.
+struct WatchBoundIn {
+  double dt = 0.0;         ///< bound so far (timed events already applied)
+  double half_hyst = 0.0;  ///< comparator half-hysteresis overshoot allowance
+  double v_floor = kWatchVFloor;
+  double v_s = 0.0, v_d = 0.0;
+  double c_solar = 0.0, c_vdd = 0.0;
+  double i_pv_now = 0.0;  ///< cell current at (v_s, max irradiance on step)
+  double p_load = 0.0;
+  bool regulated = false;   ///< commanded path is the regulator
+  bool conducting = false;  ///< bypass commanded and v_s > v_d
+  double cmd_vdd = 0.0;
+  double e_t = 0.0, e_0 = 0.0;  ///< effective target / present rail energy
+  double tau = 0.0, dt_ref = 0.0;
+  bool sc_ok = false;  ///< sc_supports(v_s, cmd_vdd)
+  const FlatSc* sc = nullptr;
+};
+
+/// Tighten `in.dt` by the analytic no-late-detection bounds
+/// dt <= C * dist / i_max for both nodes.  Within a step every voltage is
+/// monotone (autonomous scalar dynamics under constant step inputs), so
+/// endpoint sampling can never *miss* a crossing — these bounds only control
+/// detection latency, keeping it inside one comparator hysteresis band.
+double watch_bound_dt(const WatchBoundIn& in, const WatchAccum& ws,
+                      const WatchAccum& wd);
+
+}  // namespace hemp::flat

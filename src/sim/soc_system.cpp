@@ -31,10 +31,17 @@ SocSystem::SocSystem(SocConfig config, RegulatorPtr regulator, Processor process
   HEMP_REQUIRE(regulator_ != nullptr, "SocSystem: null regulator");
 }
 
-HEMP_HOT SimResult SocSystem::run(const IrradianceTrace& trace,
-                                  SocController& controller, Seconds t_end) {
-  // hemp-analyzer: allow(hot-path-purity) — precondition check before the loop
+SimResult SocSystem::run(const IrradianceTrace& trace, SocController& controller,
+                         Seconds t_end) {
   HEMP_REQUIRE(t_end.value() > 0.0, "SocSystem: non-positive end time");
+  if (config_.fast_path && !config_.audit && fast_eligible()) {
+    return run_fast(trace, controller, t_end);
+  }
+  return run_reference(trace, controller, t_end);
+}
+
+SimResult SocSystem::run_reference(const IrradianceTrace& trace,
+                                   SocController& controller, Seconds t_end) {
   const double dt = config_.time_step.value();
 
   Capacitor solar_cap(config_.solar_capacitance, config_.solar_start_voltage);
@@ -44,6 +51,8 @@ HEMP_HOT SimResult SocSystem::run(const IrradianceTrace& trace,
 
   Waveform waveform({"v_solar", "v_dd", "irradiance", "frequency_hz", "p_harvest_w",
                      "p_processor_w", "path", "cycles"});
+  waveform.reserve_samples(
+      static_cast<std::size_t>(t_end.value() / config_.waveform_interval.value()) + 2);
   SimTotals totals;
   SocState state;
   SocCommand cmd;
@@ -195,10 +204,11 @@ HEMP_HOT SimResult SocSystem::run(const IrradianceTrace& trace,
 
     // --- Waveform decimation. -------------------------------------------------
     if (t >= next_sample) {
-      waveform.sample(now, {state.v_solar.value(), state.v_dd.value(), g,
-                            f_eff.value(), p_harvest.value(), p_load.value(),
-                            static_cast<double>(static_cast<int>(cmd.path)),
-                            totals.cycles});
+      const double row[8] = {state.v_solar.value(), state.v_dd.value(), g,
+                             f_eff.value(), p_harvest.value(), p_load.value(),
+                             static_cast<double>(static_cast<int>(cmd.path)),
+                             totals.cycles};
+      waveform.record(t, row);
       next_sample = t + config_.waveform_interval.value();
     }
 
@@ -206,6 +216,7 @@ HEMP_HOT SimResult SocSystem::run(const IrradianceTrace& trace,
     if (controller.finished(state)) break;
   }
 
+  waveform.finalize();
   return SimResult{std::move(waveform), totals, state};
 }
 
@@ -220,6 +231,13 @@ FixedPointController::FixedPointController(PowerPath path, Volts vdd_target,
 void FixedPointController::on_start(const SocState& state, SocCommand& cmd) {
   (void)state;
   cmd = fixed_;
+}
+
+void FixedPointController::step_hint(const SocState& state, SocStepHint& hint) const {
+  (void)state;
+  // The command never changes: the engine's own physics bounds (trace knots,
+  // comparator levels, rail settling) are the only step limits.
+  hint.event_driven = true;
 }
 
 }  // namespace hemp

@@ -12,7 +12,9 @@
 // and commands the power path, the regulator's Vdd target, and DVFS.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -53,6 +55,11 @@ struct SocConfig {
   /// eta in [0, 1], monotonic time, finite node voltages).  Defaults to the
   /// HEMP_AUDIT compile option; tests may force it on in any build.
   bool audit = audit_compiled_in();
+  /// Opt into the surface-only event-driven engine (zero exact solves in the
+  /// stepped loop).  Falls back to the dense reference loop when the audit is
+  /// on, when the regulator is not the on-chip switched-cap converter, or when
+  /// the controller declines to bound its next state change (see SocStepHint).
+  bool fast_path = false;
 
   void validate() const;
 };
@@ -80,6 +87,34 @@ struct SocCommand {
   bool run = true;  ///< clock enable
 };
 
+/// Controller advice for the event-driven fast path.  After each control
+/// evaluation the engine asks the controller how far it may step: the step is
+/// bounded by the earliest absolute deadline and by analytic no-late-detection
+/// bounds on every watched node level, so no controller-visible event (timer
+/// expiry, comparator edge, tracker window crossing) is observed late.
+struct SocStepHint {
+  /// Controller supports long steps from this state.  Left false (default),
+  /// the engine falls back to dense ticks for this run.
+  bool event_driven = false;
+  double next_deadline_s = std::numeric_limits<double>::infinity();
+  std::array<double, 8> solar_watch{};
+  std::size_t solar_watch_count = 0;
+  std::array<double, 4> rail_watch{};
+  std::size_t rail_watch_count = 0;
+
+  void deadline(double t_s) {
+    if (t_s < next_deadline_s) next_deadline_s = t_s;
+  }
+  void watch_solar(double v) {
+    if (solar_watch_count < solar_watch.size()) solar_watch[solar_watch_count++] = v;
+    else event_driven = false;  // overflow: refuse long steps rather than miss
+  }
+  void watch_rail(double v) {
+    if (rail_watch_count < rail_watch.size()) rail_watch[rail_watch_count++] = v;
+    else event_driven = false;
+  }
+};
+
 class SocController {
  public:
   virtual ~SocController() = default;
@@ -101,6 +136,13 @@ class SocController {
   virtual bool finished(const SocState& state) {
     (void)state;
     return false;
+  }
+  /// Fast-path stepping advice, queried after on_tick / on_comparator.  A
+  /// controller that can bound its next decision point sets event_driven and
+  /// registers deadlines / watch levels; the default refuses long steps.
+  virtual void step_hint(const SocState& state, SocStepHint& hint) const {
+    (void)state;
+    (void)hint;
   }
 };
 
@@ -124,12 +166,20 @@ struct SimResult {
   SocState final_state;
 };
 
+/// Opaque cache of the fast engine's precomputed surfaces (fast_soc.cpp);
+/// built lazily on the first fast run and reused while it still covers the
+/// requested irradiance range.
+struct FastSocContext;
+
 class SocSystem {
  public:
   SocSystem(SocConfig config, RegulatorPtr regulator, Processor processor);
 
   /// Simulate under `trace` until `t_end` or until the controller reports
   /// finished.  The system is reset to the configured start voltages.
+  /// Dispatches to the surface-only event-driven engine when
+  /// SocConfig::fast_path is set and the run is eligible (see the flag), and
+  /// to the dense fixed-timestep reference loop otherwise.
   SimResult run(const IrradianceTrace& trace, SocController& controller,
                 Seconds t_end);
 
@@ -139,11 +189,24 @@ class SocSystem {
   [[nodiscard]] const PvCell& cell() const { return cell_; }
 
  private:
+  /// Dense fixed-timestep loop: one exact model evaluation per tick.  This is
+  /// the audit-capable reference the fast path is validated against.
+  SimResult run_reference(const IrradianceTrace& trace, SocController& controller,
+                          Seconds t_end);
+  /// Surface-only event-driven engine (fast_soc.cpp): precomputed IV / MPP
+  /// surfaces plus closed-form rail stepping, zero exact solves in the loop.
+  SimResult run_fast(const IrradianceTrace& trace, SocController& controller,
+                     Seconds t_end);
+  /// Fast path requires the on-chip switched-cap regulator model (its ratio
+  /// ladder and rated load are baked into the precomputed surfaces).
+  [[nodiscard]] bool fast_eligible() const;
+
   SocConfig config_;
   RegulatorPtr regulator_;
   Processor processor_;
   PvCell cell_;
   BypassSwitch bypass_;
+  std::shared_ptr<FastSocContext> fast_ctx_;
 };
 
 /// Holds the commanded operating point constant (the paper's conventional
@@ -152,6 +215,7 @@ class FixedPointController : public SocController {
  public:
   FixedPointController(PowerPath path, Volts vdd_target, Hertz frequency);
   void on_start(const SocState& state, SocCommand& cmd) override;
+  void step_hint(const SocState& state, SocStepHint& hint) const override;
 
  private:
   SocCommand fixed_;

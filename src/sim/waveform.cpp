@@ -16,11 +16,48 @@ Waveform::Waveform(std::vector<std::string> channels) : channels_(std::move(chan
 
 void Waveform::sample(Seconds t, const std::vector<double>& values) {
   HEMP_REQUIRE(values.size() == channels_.size(), "Waveform: sample width mismatch");
-  if (!times_.empty()) {
-    HEMP_CHECK_RANGE(t.value() >= times_.back(), "Waveform: samples must be time-ordered");
+  if (count_ > 0) {
+    HEMP_CHECK_RANGE(t.value() >= times_[count_ - 1],
+                     "Waveform: samples must be time-ordered");
   }
-  times_.push_back(t.value());
-  for (std::size_t i = 0; i < values.size(); ++i) data_[i].push_back(values[i]);
+  if (count_ == times_.size()) {
+    // No reserved slack: plain amortized append keeps size() == count_ for
+    // callers that never touch the stepped-loop protocol.
+    times_.push_back(t.value());
+    for (std::size_t i = 0; i < values.size(); ++i) data_[i].push_back(values[i]);
+    ++count_;
+  } else {
+    record(t.value(), values.data());
+  }
+}
+
+void Waveform::reserve_samples(std::size_t n) {
+  if (n <= times_.size()) return;
+  times_.resize(n);
+  for (auto& series : data_) series.resize(n);
+}
+
+HEMP_HOT void Waveform::record(double t, const double* values) {
+  if (count_ == times_.size()) {
+    // hemp-analyzer: allow(hot-path-purity) — amortized growth past the reserved horizon
+    grow();
+  }
+  times_[count_] = t;
+  const std::size_t nc = data_.size();
+  for (std::size_t c = 0; c < nc; ++c) data_[c][count_] = values[c];
+  ++count_;
+}
+
+void Waveform::finalize() {
+  if (count_ == times_.size()) return;
+  times_.resize(count_);
+  for (auto& series : data_) series.resize(count_);
+}
+
+void Waveform::grow() {
+  const std::size_t target = count_ + std::max<std::size_t>(std::size_t{64}, count_);
+  times_.resize(target);
+  for (auto& series : data_) series.resize(target);
 }
 
 std::size_t Waveform::channel_index(const std::string& name) const {

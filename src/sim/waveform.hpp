@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/units.hpp"
 
 namespace hemp {
@@ -13,11 +14,27 @@ class Waveform {
  public:
   explicit Waveform(std::vector<std::string> channels);
 
-  /// Append one sample; `values` must match the channel count.
+  /// Append one sample; `values` must match the channel count.  Checked,
+  /// allocating append — the stepped engines pre-size with reserve_samples()
+  /// and append with record()/finalize() instead.
   void sample(Seconds t, const std::vector<double>& values);
 
+  /// Pre-size the record for `n` samples (cold; called once before a stepped
+  /// loop) so record() appends by index without allocating.
+  void reserve_samples(std::size_t n);
+
+  /// Hot-path append: unchecked indexed write of channel_count() values.
+  /// Callers guarantee time order; storage grows (amortized) only when the
+  /// loop outruns the reserved horizon.
+  HEMP_HOT void record(double t, const double* values);
+
+  /// Trim the slack left by reserve_samples()/record() so the raw accessors
+  /// (times(), series(), ...) see exactly sample_count() entries.  Call once
+  /// after the stepped loop, before handing the waveform to readers.
+  void finalize();
+
   [[nodiscard]] std::size_t channel_count() const { return channels_.size(); }
-  [[nodiscard]] std::size_t sample_count() const { return times_.size(); }
+  [[nodiscard]] std::size_t sample_count() const { return count_; }
   [[nodiscard]] const std::vector<std::string>& channels() const { return channels_; }
   [[nodiscard]] const std::vector<double>& times() const { return times_; }
 
@@ -46,9 +63,14 @@ class Waveform {
   void write_csv(const std::string& path) const;
 
  private:
+  void grow();
+
   std::vector<std::string> channels_;
   std::vector<double> times_;
   std::vector<std::vector<double>> data_;  // [channel][sample]
+  // Logical sample count; times_/data_ may carry reserved slack past it
+  // between reserve_samples() and finalize().
+  std::size_t count_ = 0;
 };
 
 }  // namespace hemp

@@ -58,6 +58,8 @@ class ComparatorBank {
 
   [[nodiscard]] const std::vector<Volts>& thresholds() const { return thresholds_; }
   [[nodiscard]] std::size_t size() const { return comparators_.size(); }
+  /// Present latched output of comparator `i` (true = input above threshold).
+  [[nodiscard]] bool output(std::size_t i) const { return comparators_[i].output(); }
   void reset(Volts v);
 
  private:
