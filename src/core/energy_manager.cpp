@@ -24,18 +24,26 @@ EnergyManager::EnergyManager(const SystemModel& model,
       scheduler_(model), mep_(model) {
   params_.validate();
   // Precompute the low-light crossover (Fig. 7a): the incoming power below
-  // which bypassing the regulator delivers more to the core.
-  RegulatorSelector selector(model);
-  if (const auto g_cross = selector.crossover_irradiance()) {
-    crossover_power_ = model.mpp(*g_cross).power;
+  // which bypassing the regulator delivers more to the core.  A zero
+  // crossover power disables the bypass rule entirely (refresh_light_estimate
+  // guards on it), so policies that forbid bypassing skip the solve.
+  if (params_.low_light_bypass_enabled) {
+    RegulatorSelector selector(model);
+    if (const auto g_cross = selector.crossover_irradiance()) {
+      crossover_power_ = model.mpp(*g_cross).power;
+    } else {
+      crossover_power_ = Watts(0.0);  // regulator (or bypass) dominates everywhere
+    }
   } else {
-    crossover_power_ = Watts(0.0);  // regulator (or bypass) dominates everywhere
+    crossover_power_ = Watts(0.0);
   }
   full_sun_mpp_power_ = model.mpp(1.0).power;
   queue_.resize(16);
 }
 
-void EnergyManager::submit(const JobRequest& job) {
+void EnergyManager::submit(const JobRequest& job) { submit_at(job, now_); }
+
+void EnergyManager::submit_at(const JobRequest& job, Seconds now) {
   // hemp-analyzer: allow(hot-path-purity) — precondition checks on the submit API
   HEMP_REQUIRE(job.cycles > 0.0, "EnergyManager: job needs positive cycles");
   // hemp-analyzer: allow(hot-path-purity) — precondition checks on the submit API
@@ -45,19 +53,33 @@ void EnergyManager::submit(const JobRequest& job) {
     // hemp-analyzer: allow(hot-path-purity) — amortized ring growth past 16 pending jobs
     grow_queue();
   }
-  queue_[(q_head_ + q_count_) % queue_.size()] = job;
+  queue_[(q_head_ + q_count_) % queue_.size()] =
+      PendingJob{job, now + job.relative_deadline};
   ++q_count_;
 }
 
-JobRequest EnergyManager::pop_job() {
-  const JobRequest job = queue_[q_head_];
+EnergyManager::PendingJob EnergyManager::pop_job() {
+  std::size_t pick = 0;
+  if (params_.queue_discipline == QueueDiscipline::kEdf) {
+    for (std::size_t i = 1; i < q_count_; ++i) {
+      const std::size_t at = (q_head_ + i) % queue_.size();
+      const std::size_t best = (q_head_ + pick) % queue_.size();
+      if (queue_[at].absolute_deadline < queue_[best].absolute_deadline) pick = i;
+    }
+  }
+  const PendingJob job = queue_[(q_head_ + pick) % queue_.size()];
+  // Close the gap by shifting earlier entries up one slot (FIFO picks the
+  // head, so the loop body never runs and the original pop survives intact).
+  for (std::size_t i = pick; i > 0; --i) {
+    queue_[(q_head_ + i) % queue_.size()] = queue_[(q_head_ + i - 1) % queue_.size()];
+  }
   q_head_ = (q_head_ + 1) % queue_.size();
   --q_count_;
   return job;
 }
 
 void EnergyManager::grow_queue() {
-  std::vector<JobRequest> bigger(queue_.size() * 2);
+  std::vector<PendingJob> bigger(queue_.size() * 2);
   for (std::size_t i = 0; i < q_count_; ++i) {
     bigger[i] = queue_[(q_head_ + i) % queue_.size()];
   }
@@ -66,6 +88,7 @@ void EnergyManager::grow_queue() {
 }
 
 void EnergyManager::on_start(const SocState& state, SocCommand& cmd) {
+  now_ = state.time;
   tracker_.on_start(state, cmd);
   prev_v_solar_ = state.v_solar;
   enter_tracking(state, cmd);
@@ -97,6 +120,7 @@ void EnergyManager::apply_mep_point(SocCommand& cmd, double g_estimate) {
 }
 
 HEMP_HOT void EnergyManager::on_tick(const SocState& state, SocCommand& cmd) {
+  now_ = state.time;
   switch (state_) {
     case State::kTracking: tick_tracking(state, cmd); break;
     case State::kSprinting: tick_sprinting(state, cmd); break;
@@ -137,10 +161,21 @@ void EnergyManager::refresh_light_estimate(const SocState& state,
 }
 
 void EnergyManager::start_next_job(const SocState& state, SocCommand& cmd) {
-  const JobRequest job = pop_job();
+  const PendingJob pending = pop_job();
+  const JobRequest& job = pending.job;
+  Seconds budget = job.relative_deadline;
+  if (params_.queue_discipline == QueueDiscipline::kEdf) {
+    // EDF plans against the wall clock: a job that waited in the queue has
+    // only its remaining slack, and a stale job is dropped rather than run.
+    budget = pending.absolute_deadline - state.time;
+    if (budget.value() <= 0.0) {
+      ++jobs_missed_;
+      return;
+    }
+  }
   // hemp-analyzer: allow(hot-path-purity) — per-job sprint planning, once per submitted job
   const SprintPlan plan =
-      scheduler_.plan(job.cycles, job.relative_deadline, params_.sprint_factor);
+      scheduler_.plan(job.cycles, budget, params_.sprint_factor);
   if (!plan.feasible) {
     ++jobs_missed_;
     return;
@@ -277,6 +312,42 @@ void EnergyManager::step_hint(const SocState& state, SocStepHint& hint) const {
       if (!queue_empty()) hint.deadline(state.time.value());
       break;
   }
+}
+
+PeriodicJobController::PeriodicJobController(EnergyManager& manager,
+                                             double job_cycles, Seconds period,
+                                             Seconds deadline, Seconds phase)
+    : manager_(&manager), job_cycles_(job_cycles), period_(period),
+      deadline_(deadline), next_submit_(phase) {
+  HEMP_REQUIRE(job_cycles >= 0.0, "PeriodicJobController: negative job cycles");
+  if (job_cycles > 0.0) {
+    HEMP_REQUIRE(period.value() > 0.0 && deadline.value() > 0.0,
+                 "PeriodicJobController: jobs need positive period and deadline");
+  }
+}
+
+void PeriodicJobController::on_start(const SocState& state, SocCommand& cmd) {
+  manager_->on_start(state, cmd);
+}
+
+void PeriodicJobController::on_tick(const SocState& state, SocCommand& cmd) {
+  if (job_cycles_ > 0.0 && state.time >= next_submit_) {
+    manager_->submit_at({job_cycles_, deadline_}, state.time);
+    ++jobs_submitted_;
+    next_submit_ += period_;
+  }
+  manager_->on_tick(state, cmd);
+}
+
+void PeriodicJobController::on_comparator(const ComparatorEvent& event,
+                                          const SocState& state,
+                                          SocCommand& cmd) {
+  manager_->on_comparator(event, state, cmd);
+}
+
+void PeriodicJobController::step_hint(const SocState& state, SocStepHint& hint) const {
+  manager_->step_hint(state, hint);
+  if (job_cycles_ > 0.0) hint.deadline(next_submit_.value());
 }
 
 }  // namespace hemp

@@ -30,6 +30,12 @@ enum class ManagerMode {
   kMinEnergy,       ///< hold the holistic MEP (background/maintenance work)
 };
 
+/// Order in which queued deadline jobs are started.
+enum class QueueDiscipline {
+  kFifo,  ///< submission order (the original behavior)
+  kEdf,   ///< earliest absolute deadline first, stale jobs dropped as missed
+};
+
 struct EnergyManagerParams {
   ManagerMode mode = ManagerMode::kMaxPerformance;
   MppTrackerParams tracker{};
@@ -37,12 +43,16 @@ struct EnergyManagerParams {
   double sprint_factor = 0.2;
   /// After a sprint, idle until the solar node recovers above this voltage.
   Volts recover_voltage{1.05};
+  /// false disables the Fig. 7a low-light bypass entirely: the node stays on
+  /// the regulator no matter how dim the sky gets (policy-zoo ablation).
+  bool low_light_bypass_enabled = true;
   /// Hysteresis around the low-light bypass decision (fractions of the
   /// crossover power).
   double bypass_enter_ratio = 0.9;
   double bypass_exit_ratio = 1.2;
   /// How often the steady-state light estimate is refreshed.
   Seconds reassess_period{2e-3};
+  QueueDiscipline queue_discipline = QueueDiscipline::kFifo;
 
   void validate() const;
 };
@@ -57,8 +67,15 @@ class EnergyManager : public SocController {
   EnergyManager(const SystemModel& model, const EnergyManagerParams& params);
 
   /// Queue a deadline job; it starts at the next tick after the current
-  /// activity finishes (or immediately when tracking).
+  /// activity finishes (or immediately when tracking).  The deadline clock
+  /// starts at the last observed tick time (use submit_at from controller
+  /// callbacks, which know the exact current time).
   void submit(const JobRequest& job);
+
+  /// Queue a deadline job whose deadline is absolute at `now + relative`.
+  /// Only the kEdf discipline reads the absolute deadline; under kFifo this
+  /// is byte-for-byte the original submit behavior.
+  void submit_at(const JobRequest& job, Seconds now);
 
   void on_start(const SocState& state, SocCommand& cmd) override;
   void on_tick(const SocState& state, SocCommand& cmd) override;
@@ -87,8 +104,15 @@ class EnergyManager : public SocController {
   void refresh_light_estimate(const SocState& state, const SocCommand& cmd);
   void apply_mep_point(SocCommand& cmd, double g_estimate);
 
+  /// One queued job: the request plus the absolute deadline stamped at
+  /// submission (read only by the kEdf discipline).
+  struct PendingJob {
+    JobRequest job{};
+    Seconds absolute_deadline{0.0};
+  };
+
   [[nodiscard]] bool queue_empty() const { return q_count_ == 0; }
-  [[nodiscard]] JobRequest pop_job();
+  [[nodiscard]] PendingJob pop_job();
   void grow_queue();
 
   const SystemModel* model_;
@@ -103,9 +127,11 @@ class EnergyManager : public SocController {
   /// Pending jobs as a ring buffer: submit() runs from controller hot paths
   /// (hemp-analyzer hot-path-purity), so the steady state is an indexed write
   /// into pre-sized storage rather than a per-job allocation.
-  std::vector<JobRequest> queue_;
+  std::vector<PendingJob> queue_;
   std::size_t q_head_ = 0;
   std::size_t q_count_ = 0;
+  /// Last tick time — the deadline clock for submit() without an explicit now.
+  Seconds now_{0.0};
   std::optional<ActiveSprint> sprint_;
   int jobs_completed_ = 0;
   int jobs_missed_ = 0;
@@ -121,6 +147,31 @@ class EnergyManager : public SocController {
   std::optional<Watts> p_in_estimate_;
   Seconds next_reassess_{0.0};
   Volts prev_v_solar_{0.0};
+};
+
+/// Wraps an EnergyManager and submits one deadline job every `period`,
+/// starting at `phase` — the stand-in for a sense/compute duty cycle used by
+/// the fleet simulator and the managed policies.
+class PeriodicJobController : public SocController {
+ public:
+  PeriodicJobController(EnergyManager& manager, double job_cycles,
+                        Seconds period, Seconds deadline, Seconds phase);
+
+  void on_start(const SocState& state, SocCommand& cmd) override;
+  void on_tick(const SocState& state, SocCommand& cmd) override;
+  void on_comparator(const ComparatorEvent& event, const SocState& state,
+                     SocCommand& cmd) override;
+  void step_hint(const SocState& state, SocStepHint& hint) const override;
+
+  [[nodiscard]] int jobs_submitted() const { return jobs_submitted_; }
+
+ private:
+  EnergyManager* manager_;
+  double job_cycles_;
+  Seconds period_;
+  Seconds deadline_;
+  Seconds next_submit_;
+  int jobs_submitted_ = 0;
 };
 
 }  // namespace hemp

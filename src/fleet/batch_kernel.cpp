@@ -20,6 +20,7 @@
 #include "core/system_model.hpp"
 #include "harvester/iv_curve.hpp"
 #include "harvester/pv_cell.hpp"
+#include "policy/registry.hpp"
 #include "processor/corners.hpp"
 #include "processor/processor.hpp"
 #include "regulator/switched_cap.hpp"
@@ -217,6 +218,13 @@ struct BatchFleetKernel::Shared {
   bool shared_sky = false;
   FlatTrace sky;  ///< valid when shared_sky
 
+  /// Bypass hysteresis window every lane uses.  The defaults are the legacy
+  /// manager constants; a forced scenario policy with a batch spec overrides
+  /// them fleet-wide (per-node policies always agree: the scenario either
+  /// forces one policy or runs the legacy mix, which shares this window).
+  double bypass_enter = kBypassEnterRatio;
+  double bypass_exit = kBypassExitRatio;
+
   // SoA node-parameter plane (index-parallel arrays).
   std::vector<NodeSample> samples;
   std::vector<PvFlat> pv;
@@ -250,6 +258,22 @@ BatchFleetKernel::BatchFleetKernel(FleetScenario scenario) {
   sh.scenario = std::move(scenario);
   sh.scenario.validate();
   const FleetScenario& sc = sh.scenario;
+
+  // --- Forced scenario policy: only policies with a batch spec (an
+  // EnergyManager parameterization the flattened lane implements) can ride
+  // this kernel; everything else must use the reference engine. -------------
+  std::optional<BatchPolicySpec> forced_spec;
+  if (!sc.policy.empty()) {
+    const EnergyPolicy& policy = PolicyRegistry::global().at(sc.policy);
+    forced_spec = policy.batch_spec();
+    if (!forced_spec) {
+      throw ModelError("BatchFleetKernel: policy '" + sc.policy +
+                       "' has no batch-kernel lane; run it on the reference "
+                       "kernel (fleetsim --kernel reference)");
+    }
+    sh.bypass_enter = forced_spec->bypass_enter_ratio;
+    sh.bypass_exit = forced_spec->bypass_exit_ratio;
+  }
 
   // --- Shared MPP + terminal-current surfaces: exact solves sampled once
   // for the fleet by the hemp::flat builders. -------------------------------
@@ -355,6 +379,10 @@ BatchFleetKernel::BatchFleetKernel(FleetScenario scenario) {
         std::clamp(rng.normal(sc.temperature_mean_c, sc.temperature_sigma_c),
                    -20.0, 85.0);
     s.min_energy = rng.uniform() < sc.min_energy_fraction;
+    // The Bernoulli draw above must always happen — the per-node stream
+    // continues into the phase/trace draws — but a forced policy overrides
+    // the sampled mode (the effective mode lands in the report's CSV).
+    if (forced_spec) s.min_energy = forced_spec->min_energy;
     s.job_phase = sc.job_cycles > 0.0
                       ? Seconds(rng.uniform(0.0, sc.job_period.value()))
                       : Seconds(0.0);
@@ -373,6 +401,8 @@ BatchFleetKernel::BatchFleetKernel(FleetScenario scenario) {
         s.conditions.temperature_c, s.pv_scale);
     sh.crossover_power[i] =
         g_cross >= kCrossMinG ? sh.pmpp_at(s.pv_scale, g_cross) : 0.0;
+    // A zero crossover power is exactly how the manager encodes "bypass off".
+    if (forced_spec && !forced_spec->bypass_enabled) sh.crossover_power[i] = 0.0;
   }
 
   shared_ = std::move(shared);
@@ -655,9 +685,9 @@ struct NodeRunner {
       has_pest = true;
     }
     if (has_pest && crossover_power > 0.0) {
-      if (!bypass && p_est < kBypassEnterRatio * crossover_power) {
+      if (!bypass && p_est < sh.bypass_enter * crossover_power) {
         bypass = true;
-      } else if (bypass && p_est > kBypassExitRatio * crossover_power) {
+      } else if (bypass && p_est > sh.bypass_exit * crossover_power) {
         bypass = false;
       }
     }

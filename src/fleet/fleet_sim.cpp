@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "policy/registry.hpp"
 #include "processor/corners.hpp"
 #include "regulator/switched_cap.hpp"
 #include "sim/soc_system.hpp"
@@ -13,45 +14,12 @@
 
 namespace hemp {
 
-PeriodicJobController::PeriodicJobController(EnergyManager& manager,
-                                             double job_cycles, Seconds period,
-                                             Seconds deadline, Seconds phase)
-    : manager_(&manager), job_cycles_(job_cycles), period_(period),
-      deadline_(deadline), next_submit_(phase) {
-  HEMP_REQUIRE(job_cycles >= 0.0, "PeriodicJobController: negative job cycles");
-  if (job_cycles > 0.0) {
-    HEMP_REQUIRE(period.value() > 0.0 && deadline.value() > 0.0,
-                 "PeriodicJobController: jobs need positive period and deadline");
-  }
-}
-
-void PeriodicJobController::on_start(const SocState& state, SocCommand& cmd) {
-  manager_->on_start(state, cmd);
-}
-
-void PeriodicJobController::on_tick(const SocState& state, SocCommand& cmd) {
-  if (job_cycles_ > 0.0 && state.time >= next_submit_) {
-    manager_->submit({job_cycles_, deadline_});
-    ++jobs_submitted_;
-    next_submit_ += period_;
-  }
-  manager_->on_tick(state, cmd);
-}
-
-void PeriodicJobController::on_comparator(const ComparatorEvent& event,
-                                          const SocState& state,
-                                          SocCommand& cmd) {
-  manager_->on_comparator(event, state, cmd);
-}
-
-void PeriodicJobController::step_hint(const SocState& state, SocStepHint& hint) const {
-  manager_->step_hint(state, hint);
-  if (job_cycles_ > 0.0) hint.deadline(next_submit_.value());
-}
-
 FleetSimulator::FleetSimulator(FleetScenario scenario)
     : scenario_(std::move(scenario)) {
   scenario_.validate();
+  if (!scenario_.policy.empty()) {
+    forced_policy_ = &PolicyRegistry::global().at(scenario_.policy);
+  }
   const bool shared =
       scenario_.shared_trace || scenario_.trace_kind == TraceKind::kCsv ||
       scenario_.trace_kind == TraceKind::kConstant;
@@ -179,26 +147,59 @@ NodeResult FleetSimulator::run_node(int index,
   const Processor processor = make_test_chip_at(s.conditions);
   const SystemModel model(cell, model_regulator, processor);
 
-  // --- Controller: sampled policy + the periodic job workload. --------------
-  EnergyManagerParams manager_params;
-  manager_params.mode =
-      s.min_energy ? ManagerMode::kMinEnergy : ManagerMode::kMaxPerformance;
-  EnergyManager manager(model, manager_params);
-  PeriodicJobController controller(manager, scenario_.job_cycles,
-                                   scenario_.job_period, scenario_.job_deadline,
-                                   s.job_phase);
+  // --- Controller: the node's policy + the periodic job workload. -----------
+  // Without a forced scenario policy the legacy sampled mix routes each node
+  // through the ported mpp_track / mep_hold policies — which rebuild exactly
+  // the EnergyManager + PeriodicJobController pair the pre-policy fleet
+  // hardwired, so summary hashes are unchanged.
+  const EnergyPolicy& policy =
+      forced_policy_ != nullptr
+          ? *forced_policy_
+          : PolicyRegistry::global().at(s.min_energy ? "mep_hold" : "mpp_track");
+
+  const IrradianceTrace trace = shared ? *shared : make_trace(rng);
+
+  PolicyContext ctx;
+  ctx.model = &model;
+  ctx.workload = PolicyWorkload{scenario_.job_cycles, scenario_.job_period,
+                                scenario_.job_deadline, s.job_phase};
+  ctx.day_length = scenario_.day_length;
+  ctx.solar_capacitance = cfg.solar_capacitance;
+  ctx.vdd_capacitance = cfg.vdd_capacitance;
+  ctx.solar_start_voltage = cfg.solar_start_voltage;
+  ctx.trace = &trace;
+
+  // Offline policies (the DP oracle) score the node analytically — the fleet
+  // records the score in place of a transient.
+  if (const std::optional<OfflineScore> score = policy.offline(ctx)) {
+    result.cycles = score->cycles;
+    result.jobs_submitted = score->jobs_submitted;
+    result.jobs_completed = score->jobs_completed;
+    result.jobs_missed = score->jobs_missed;
+    result.deadline_hit_rate = score->deadline_hit_rate;
+    result.harvested = score->harvested;
+    result.delivered = score->delivered;
+    result.halted = score->halted;
+    result.energy_per_job =
+        score->jobs_completed > 0
+            ? score->delivered / score->jobs_completed
+            : Joules(0.0);
+    return result;
+  }
 
   // --- One simulated day. ---------------------------------------------------
-  const IrradianceTrace trace = shared ? *shared : make_trace(rng);
+  const std::unique_ptr<PolicyController> controller = policy.make_controller(ctx);
+  cfg.fast_path = policy.fast_path();
   SocSystem soc(cfg, std::make_unique<SwitchedCapRegulator>(), processor);
-  const SimResult sim = soc.run(trace, controller, scenario_.day_length);
+  const SimResult sim = soc.run(trace, *controller, scenario_.day_length);
 
+  const PolicyJobStats jobs = controller->job_stats();
   result.cycles = sim.totals.cycles;
   result.brownouts = sim.totals.brownouts;
   result.timing_faults = sim.totals.timing_faults;
-  result.jobs_submitted = controller.jobs_submitted();
-  result.jobs_completed = manager.jobs_completed();
-  result.jobs_missed = manager.jobs_missed();
+  result.jobs_submitted = jobs.submitted;
+  result.jobs_completed = jobs.completed;
+  result.jobs_missed = jobs.missed;
   const int adjudicated = result.jobs_completed + result.jobs_missed;
   result.deadline_hit_rate =
       adjudicated > 0

@@ -17,36 +17,14 @@
 
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
-#include "core/energy_manager.hpp"
+#include "core/energy_manager.hpp"  // PeriodicJobController lives here now
 #include "fleet/report.hpp"
 #include "fleet/scenario.hpp"
 #include "harvester/light_environment.hpp"
 
 namespace hemp {
 
-/// Wraps an EnergyManager and submits one deadline job every `period`,
-/// starting at `phase` — the fleet's stand-in for a sense/compute duty cycle.
-class PeriodicJobController : public SocController {
- public:
-  PeriodicJobController(EnergyManager& manager, double job_cycles,
-                        Seconds period, Seconds deadline, Seconds phase);
-
-  void on_start(const SocState& state, SocCommand& cmd) override;
-  void on_tick(const SocState& state, SocCommand& cmd) override;
-  void on_comparator(const ComparatorEvent& event, const SocState& state,
-                     SocCommand& cmd) override;
-  void step_hint(const SocState& state, SocStepHint& hint) const override;
-
-  [[nodiscard]] int jobs_submitted() const { return jobs_submitted_; }
-
- private:
-  EnergyManager* manager_;
-  double job_cycles_;
-  Seconds period_;
-  Seconds deadline_;
-  Seconds next_submit_;
-  int jobs_submitted_ = 0;
-};
+class EnergyPolicy;
 
 struct FleetOptions {
   /// Pool to shard nodes onto; nullptr uses ThreadPool::shared().
@@ -57,6 +35,8 @@ struct FleetOptions {
 
 class FleetSimulator {
  public:
+  /// Throws ModelError (listing the registered names) when scenario.policy
+  /// names a policy the global registry does not know.
   explicit FleetSimulator(FleetScenario scenario);
 
   /// Run the whole fleet and aggregate.  Safe to call repeatedly; every run
@@ -78,6 +58,10 @@ class FleetSimulator {
   FleetScenario scenario_;
   /// Set when the scenario shares one sky across the fleet (or replays CSV).
   std::shared_ptr<const IrradianceTrace> shared_trace_;
+  /// Resolved scenario.policy — forces every node onto one policy.  nullptr
+  /// keeps the legacy sampled mix (min_energy_fraction Bernoulli per node
+  /// through the ported mpp_track / mep_hold policies).
+  const EnergyPolicy* forced_policy_ = nullptr;
 };
 
 }  // namespace hemp

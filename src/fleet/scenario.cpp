@@ -151,6 +151,8 @@ FleetScenario FleetScenario::from_string(const std::string& text) {
       s.temperature_sigma_c = parse_double(key, value);
     } else if (key == "min_energy_fraction") {
       s.min_energy_fraction = parse_double(key, value);
+    } else if (key == "policy") {
+      s.policy = value;
     } else if (key == "job_cycles") {
       s.job_cycles = parse_double(key, value);
     } else if (key == "job_period_ms") {

@@ -61,6 +61,11 @@ struct FleetScenario {
   /// Fraction of nodes running the min-energy (holistic MEP) policy; the
   /// rest run max-performance MPP tracking.
   double min_energy_fraction = 0.25;  // unit-lint: dimensionless fraction
+  /// Registered energy-policy name forcing every node onto one policy
+  /// (overrides the min_energy mix).  Empty keeps the legacy sampled mix.
+  /// Validated against the policy registry by the consumers (FleetSimulator,
+  /// BatchFleetKernel), not here — the scenario layer stays registry-free.
+  std::string policy;
 
   // --- Periodic deadline jobs (0 cycles disables the workload).
   double job_cycles = 2e6;

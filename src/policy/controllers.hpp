@@ -1,0 +1,132 @@
+// Concrete controllers behind the built-in policy zoo (policy/builtin.cpp).
+//
+// Three shapes:
+//   * ManagedPolicyController — the full EnergyManager state machine behind
+//     the PolicyController interface (ported legacy modes, hysteresis
+//     variants, EDF sprinting);
+//   * GreedyMppController — MPP-tracking DVFS with no management at all
+//     (no MEP hold, no bypass, no sprints): the "chase the sun" ablation;
+//   * DutyCycleController — a fixed on/off duty cycle at the conventional
+//     MEP operating point: the classic duty-cycled-sensor baseline the
+//     related work manages against.
+// GreedyMppController and DutyCycleController execute jobs implicitly (the
+// core runs whenever the policy says run); JobTracker charges retired cycles
+// against the periodic workload to adjudicate deadlines.
+#pragma once
+
+#include "core/energy_manager.hpp"
+#include "core/mep_optimizer.hpp"
+#include "core/mpp_tracker.hpp"
+#include "policy/energy_policy.hpp"
+
+namespace hemp {
+
+/// Charges retired cycles against the periodic deadline workload for
+/// controllers that have no explicit job queue.  Jobs are sequential: cycles
+/// retire against the oldest submitted unfinished job; a job completes on
+/// time when its cycles retire before its absolute deadline (+slack), and a
+/// job whose deadline passes first is dropped as missed (partial work lost).
+/// `slack` absorbs discretization: callers that only observe coarse slot
+/// boundaries (the DP oracle) pass one slot so a job finishing inside the
+/// deadline slot still counts.
+class JobTracker {
+ public:
+  JobTracker(const PolicyWorkload& workload, Seconds slack = Seconds(0.0));
+
+  /// Advance the accounting to `now` given the cumulative retired cycles.
+  void update(Seconds now, double cycles_retired);
+
+  /// Bound the next step: the accounting state next changes at the next
+  /// submission or the active job's deadline.
+  void hint(SocStepHint& hint) const;
+
+  [[nodiscard]] PolicyJobStats stats() const {
+    return {submitted_, completed_, missed_};
+  }
+
+ private:
+  PolicyWorkload workload_;
+  Seconds slack_;
+  Seconds next_submit_;
+  /// Submitted, unadjudicated jobs.  Deadlines are strictly periodic, so the
+  /// queue is just a count plus the oldest job's absolute deadline — no
+  /// per-job storage (keeps update() allocation-free on the hot path).
+  int pending_ = 0;
+  Seconds front_deadline_{0.0};
+  int submitted_ = 0;
+  int completed_ = 0;
+  int missed_ = 0;
+  /// cycles_retired baseline the oldest pending job's progress counts from.
+  double progress_base_ = 0.0;
+  bool base_valid_ = false;
+};
+
+/// The full EnergyManager behind the PolicyController interface: an owned
+/// manager (mode / hysteresis / queue discipline from `params`) fed by the
+/// periodic job workload.  Built exactly like the pre-policy fleet wired it,
+/// so the ported legacy modes reproduce the original summary hashes.
+class ManagedPolicyController final : public PolicyController {
+ public:
+  ManagedPolicyController(const SystemModel& model,
+                          const EnergyManagerParams& params,
+                          const PolicyWorkload& workload);
+
+  void on_start(const SocState& state, SocCommand& cmd) override;
+  void on_tick(const SocState& state, SocCommand& cmd) override;
+  void on_comparator(const ComparatorEvent& event, const SocState& state,
+                     SocCommand& cmd) override;
+  void step_hint(const SocState& state, SocStepHint& hint) const override;
+
+  [[nodiscard]] PolicyJobStats job_stats() const override;
+
+ private:
+  EnergyManager manager_;
+  PeriodicJobController jobs_;
+};
+
+/// MPP-tracking DVFS and nothing else: always regulated, always running,
+/// never bypasses, never sprints — jobs ride the ambient throughput.
+class GreedyMppController final : public PolicyController {
+ public:
+  GreedyMppController(const SystemModel& model, const MppTrackerParams& params,
+                      const PolicyWorkload& workload);
+
+  void on_start(const SocState& state, SocCommand& cmd) override;
+  void on_tick(const SocState& state, SocCommand& cmd) override;
+  void step_hint(const SocState& state, SocStepHint& hint) const override;
+
+  [[nodiscard]] PolicyJobStats job_stats() const override {
+    return jobs_.stats();
+  }
+
+ private:
+  MppTrackingController tracker_;
+  JobTracker jobs_;
+};
+
+/// Fixed duty cycle at the conventional MEP operating point: run the core
+/// for `duty` of every window, idle the rest, independent of the harvest.
+class DutyCycleController final : public PolicyController {
+ public:
+  DutyCycleController(const SystemModel& model, double duty, Seconds window,
+                      const PolicyWorkload& workload);
+
+  void on_start(const SocState& state, SocCommand& cmd) override;
+  void on_tick(const SocState& state, SocCommand& cmd) override;
+  void step_hint(const SocState& state, SocStepHint& hint) const override;
+
+  [[nodiscard]] PolicyJobStats job_stats() const override {
+    return jobs_.stats();
+  }
+
+ private:
+  void apply(const SocState& state, SocCommand& cmd);
+  [[nodiscard]] double next_edge(double t) const;
+
+  double duty_;
+  Seconds window_;
+  MepPoint op_;
+  JobTracker jobs_;
+};
+
+}  // namespace hemp

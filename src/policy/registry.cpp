@@ -1,0 +1,61 @@
+#include "policy/registry.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace hemp {
+
+PolicyRegistry& PolicyRegistry::global() {
+  // Function-local static: built (and filled with the builtin zoo) exactly
+  // once, thread-safely, on first use.
+  static PolicyRegistry* registry = [] {
+    auto* r = new PolicyRegistry();
+    register_builtin_policies(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void PolicyRegistry::add(std::unique_ptr<EnergyPolicy> policy) {
+  HEMP_REQUIRE(policy != nullptr, "PolicyRegistry: null policy");
+  std::string name = policy->name();
+  HEMP_REQUIRE(!name.empty(), "PolicyRegistry: policy with empty name");
+  const auto [it, inserted] = policies_.emplace(std::move(name), std::move(policy));
+  if (!inserted) {
+    throw ModelError("PolicyRegistry: duplicate policy name '" + it->first +
+                     "' (shadowing a registered policy is not allowed)");
+  }
+}
+
+const EnergyPolicy& PolicyRegistry::at(const std::string& name) const {
+  const EnergyPolicy* policy = find(name);
+  if (policy == nullptr) {
+    throw ModelError("PolicyRegistry: unknown policy '" + name +
+                     "' (available: " + names_joined() + ")");
+  }
+  return *policy;
+}
+
+const EnergyPolicy* PolicyRegistry::find(const std::string& name) const {
+  const auto it = policies_.find(name);
+  return it == policies_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> PolicyRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(policies_.size());
+  for (const auto& [name, policy] : policies_) out.push_back(name);
+  return out;  // std::map iterates sorted
+}
+
+std::string PolicyRegistry::names_joined() const {
+  std::string out;
+  for (const auto& [name, policy] : policies_) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+}  // namespace hemp

@@ -1,5 +1,6 @@
 #include "processor/power_model.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -19,15 +20,17 @@ PowerModel::PowerModel(const PowerModelParams& params) : params_(params) {
 }
 
 Watts PowerModel::dynamic_power(Volts vdd, Hertz f) const {
-  HEMP_CHECK_RANGE(vdd.value() >= 0.0, "PowerModel: negative supply");
-  HEMP_CHECK_RANGE(f.value() >= 0.0, "PowerModel: negative frequency");
-  const double v = vdd.value();
-  return Watts(params_.effective_capacitance.value() * v * v * f.value());
+  // Total function: a collapsed (<= 0 V) rail or a stopped clock draws
+  // nothing, so the leaf clamps to the physical domain instead of throwing —
+  // it is reachable from every HEMP_HOT stepped loop (hot-path purity).
+  const double v = std::max(vdd.value(), 0.0);
+  const double hz = std::max(f.value(), 0.0);
+  return Watts(params_.effective_capacitance.value() * v * v * hz);
 }
 
 Watts PowerModel::leakage_power(Volts vdd) const {
-  HEMP_CHECK_RANGE(vdd.value() >= 0.0, "PowerModel: negative supply");
-  const double v = vdd.value();
+  // Total function: no rail, no leakage (see dynamic_power).
+  const double v = std::max(vdd.value(), 0.0);
   return Watts(v * params_.leakage_base.value() *
                std::exp(v / params_.dibl_voltage.value()));
 }

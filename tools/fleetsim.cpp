@@ -1,7 +1,7 @@
 // fleetsim: run a fleet scenario and write its aggregate report.
 //
-//   fleetsim <scenario.scn> [--kernel batch|reference] [--nodes N] [--seed S]
-//            [--serial] [--out DIR] [--no-files]
+//   fleetsim <scenario.scn> [--kernel batch|reference] [--policy NAME]
+//            [--nodes N] [--seed S] [--serial] [--out DIR] [--no-files]
 //
 // Loads the scenario description, simulates the fleet (parallel by default,
 // `--serial` for the single-threaded loop; both orders are bit-identical),
@@ -20,15 +20,23 @@
 #include "common/thread_pool.hpp"
 #include "fleet/batch_kernel.hpp"
 #include "fleet/fleet_sim.hpp"
+#include "policy/registry.hpp"
 
 namespace {
 
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <scenario.scn> [--kernel batch|reference]\n"
-               "          [--nodes N] [--seed S] [--serial] [--out DIR]\n"
-               "          [--no-files]\n",
+               "          [--policy NAME] [--nodes N] [--seed S] [--serial]\n"
+               "          [--out DIR] [--no-files]\n"
+               "\n"
+               "--policy forces every node onto one registered energy policy\n"
+               "(overrides the scenario's min_energy mix / policy key):\n",
                argv0);
+  for (const std::string& name : hemp::PolicyRegistry::global().names()) {
+    std::fprintf(stderr, "  %-15s %s\n", name.c_str(),
+                 hemp::PolicyRegistry::global().at(name).description().c_str());
+  }
 }
 
 void print_metric(const char* name, const hemp::MetricSummary& m) {
@@ -47,6 +55,7 @@ int main(int argc, char** argv) {
   }
 
   std::string scenario_path;
+  std::string forced_policy;
   std::string out_dir = "out";
   bool serial = false;
   bool write_files = true;
@@ -75,6 +84,8 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "fleetsim: --kernel must be batch or reference\n");
         return 2;
       }
+    } else if (arg == "--policy") {
+      forced_policy = next("--policy");
     } else if (arg == "--no-files") {
       write_files = false;
     } else if (arg == "--nodes") {
@@ -108,6 +119,12 @@ int main(int argc, char** argv) {
     if (override_seed >= 0) {
       scenario.seed = static_cast<std::uint64_t>(override_seed);
     }
+    if (!forced_policy.empty()) {
+      // Resolve eagerly so a typo reports the registry's names, not a
+      // kernel-specific error later.
+      (void)PolicyRegistry::global().at(forced_policy);
+      scenario.policy = forced_policy;
+    }
     scenario.validate();
 
     const auto t0 = std::chrono::steady_clock::now();
@@ -132,6 +149,10 @@ int main(int argc, char** argv) {
     std::printf("day length:    %.6g s (compressed day)\n",
                 report.day_length.value());
     std::printf("kernel:        %s\n", use_batch ? "batch" : "reference");
+    if (!scenario.policy.empty()) {
+      std::printf("policy:        %s (forced on every node)\n",
+                  scenario.policy.c_str());
+    }
     std::printf("execution:     %s, %u pool thread(s), %.3f s wall "
                 "(%.1f nodes/s)\n",
                 serial ? "serial" : "parallel", ThreadPool::shared().size(),
