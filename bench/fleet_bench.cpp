@@ -30,6 +30,7 @@
 #include <string>
 
 #include "bench_common.hpp"
+#include "common/solver_stats.hpp"
 #include "common/thread_pool.hpp"
 #include "fleet/batch_kernel.hpp"
 #include "fleet/fleet_sim.hpp"
@@ -150,21 +151,26 @@ int main(int argc, char** argv) {
   double day1000_nodes_per_sec = 0.0;
   int day1000_nodes = 0;
   std::uint64_t day1000_hash = 0;
+  hemp::solver_stats::StepSnapshot day1000_steps{};
+  double day1000_runs = 0.0;
   try {
     FleetScenario day = FleetScenario::from_file(day1000_path);
     if (quick) day.nodes = 64;
     day.validate();
     day1000_nodes = day.nodes;
     const BatchFleetKernel day_kernel(day);
+    const auto steps_before = hemp::solver_stats::step_snapshot();
     const auto day_run = suite.run(
         "batch_day1000_serial",
         [&] {
           const FleetReport r = day_kernel.run({.parallel = false});
           day1000_hash = r.summary_hash;
+          day1000_runs += 1.0;
           microbench::keep(r.total_cycles);
         },
         /*min_seconds=*/0.0, /*max_iters=*/1, repeats);
     day1000_nodes_per_sec = day.nodes / day_run.seconds_per_batch();
+    day1000_steps = hemp::solver_stats::step_delta_since(steps_before);
   } catch (const std::exception& e) {
     std::fprintf(stderr,
                  "fleet_bench: skipping day1000 (%s): %s\n"
@@ -183,6 +189,23 @@ int main(int argc, char** argv) {
              serial.seconds_per_batch() / batch_serial.seconds_per_batch());
   suite.note("batch_day1000_nodes", day1000_nodes);
   suite.note("batch_nodes_per_sec", day1000_nodes_per_sec);
+  // Step-count floor: the event-driven kernel's per-step cost is lean, so
+  // throughput is governed by how many steps a node-day takes.  Tracked by
+  // cause so the floor stays a measured quantity (bench/baseline.json bands
+  // a ceiling on the total).
+  if (day1000_nodes > 0 && day1000_runs > 0.0) {
+    const double node_days = day1000_nodes * day1000_runs;
+    suite.note("steps_per_node_day",
+               static_cast<double>(day1000_steps.total()) / node_days);
+    suite.note("steps_trace_knot",
+               static_cast<double>(day1000_steps.trace_knot()) / node_days);
+    suite.note("steps_deadline",
+               static_cast<double>(day1000_steps.deadline()) / node_days);
+    suite.note("steps_watch_bound",
+               static_cast<double>(day1000_steps.watch_bound()) / node_days);
+    suite.note("steps_settle",
+               static_cast<double>(day1000_steps.settle()) / node_days);
+  }
   suite.note("thread_pool_size", ThreadPool::shared().size());
 
   suite.print();

@@ -60,4 +60,81 @@ inline void count_exact_regulated_solve() {
   exact_regulated_solves().fetch_add(1, std::memory_order_relaxed);
 }
 
+// ---------------------------------------------------------------------------
+// Step accounting for the event-driven engines (batch kernel, fast path).
+//
+// Per-step cost in those engines is already lean — bilinear surface reads
+// only — so throughput is governed by step *count*.  Each engine classifies
+// every step it takes by the constraint that bound its length, accumulates
+// the counts in per-node locals, and flushes them here once per node run, so
+// the stepped loop itself pays nothing.  fleet_bench surfaces the counts as
+// `steps_per_node_day` in BENCH_perf.json and bench/baseline.json bands a
+// ceiling on it — the step-count floor is a tracked metric, not folklore.
+// ---------------------------------------------------------------------------
+
+/// Which constraint decided a step's length.
+enum class StepCause : int {
+  kDeadline = 0,   ///< timed controller event (control/reassess cadence, job
+                   ///< submit, sprint phase, day end, dt_max ceiling)
+  kTraceKnot = 1,  ///< irradiance-trace knot boundary
+  kWatchBound = 2,  ///< analytic watch-level bound or bypass rail-swing cap
+  kSettle = 3,      ///< regulated-rail settle episode endpoint
+};
+
+inline constexpr int kStepCauseCount = 4;
+
+inline std::atomic<std::uint64_t>& step_counter(StepCause cause) {
+  static std::atomic<std::uint64_t> counts[kStepCauseCount]{};
+  return counts[static_cast<int>(cause)];
+}
+
+/// A point-in-time reading of the per-cause step counters.
+struct StepSnapshot {
+  std::uint64_t by_cause[kStepCauseCount] = {};
+
+  [[nodiscard]] std::uint64_t total() const {
+    std::uint64_t sum = 0;
+    for (const std::uint64_t c : by_cause) sum += c;
+    return sum;
+  }
+
+  [[nodiscard]] std::uint64_t deadline() const {
+    return by_cause[static_cast<int>(StepCause::kDeadline)];
+  }
+  [[nodiscard]] std::uint64_t trace_knot() const {
+    return by_cause[static_cast<int>(StepCause::kTraceKnot)];
+  }
+  [[nodiscard]] std::uint64_t watch_bound() const {
+    return by_cause[static_cast<int>(StepCause::kWatchBound)];
+  }
+  [[nodiscard]] std::uint64_t settle() const {
+    return by_cause[static_cast<int>(StepCause::kSettle)];
+  }
+};
+
+inline StepSnapshot step_snapshot() {
+  StepSnapshot s;
+  for (int i = 0; i < kStepCauseCount; ++i) {
+    s.by_cause[i] =
+        step_counter(static_cast<StepCause>(i)).load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+/// Steps taken since `before` was read.
+inline StepSnapshot step_delta_since(const StepSnapshot& before) {
+  const StepSnapshot now = step_snapshot();
+  StepSnapshot d;
+  for (int i = 0; i < kStepCauseCount; ++i) {
+    d.by_cause[i] = now.by_cause[i] - before.by_cause[i];
+  }
+  return d;
+}
+
+/// Flush one node run's locally accumulated step counts (one atomic add per
+/// cause per node, invisible next to the run itself).
+inline void count_steps(StepCause cause, std::uint64_t n) {
+  if (n > 0) step_counter(cause).fetch_add(n, std::memory_order_relaxed);
+}
+
 }  // namespace hemp::solver_stats

@@ -346,12 +346,18 @@ BatchFleetKernel::BatchFleetKernel(FleetScenario scenario) {
     throw ModelError("BatchFleetKernel: unknown trace kind");
   };
 
+  // Adaptive knot coarsening: every flattened trace gives up knots until the
+  // cumulative absorbed-irradiance perturbation hits the scenario's per-day
+  // budget (see flat::FlatTrace::coarsen).  Each surviving knot is a step the
+  // event-driven loop must take, so this directly buys throughput.
+  const double coarsen_budget = sc.trace_coarsen_eps * sc.day_length.value();
   if (sh.shared_sky) {
     Rng sky_rng = Rng(sc.seed).fork(~0ULL);
     const IrradianceTrace trace = make_trace(sky_rng);
     sh.sky = sc.trace_kind == TraceKind::kConstant
                  ? flatten_constant(sc.constant_g)
                  : flatten_trace(trace, sc.day_length.value());
+    if (coarsen_budget > 0.0) sh.sky.coarsen(coarsen_budget);
   }
 
   const std::size_t n = static_cast<std::size_t>(sc.nodes);
@@ -388,6 +394,7 @@ BatchFleetKernel::BatchFleetKernel(FleetScenario scenario) {
                       : Seconds(0.0);
     if (!sh.shared_sky) {
       sh.traces[i] = flatten_trace(make_trace(rng), sc.day_length.value());
+      if (coarsen_budget > 0.0) sh.traces[i].coarsen(coarsen_budget);
     }
 
     sh.pv[i] = make_pv_flat(s.pv_scale);
@@ -499,7 +506,19 @@ struct NodeRunner {
   double p_processor = 0.0;  ///< previous step's load (controller observable)
   double f_eff = 0.0;
   bool can_run = false;
+  bool step_sc_ok = false;  ///< sc_supports(v_s, cmd_vdd), frozen per step
   bool was_running = false;
+  // Exact-key memos for the stepped loop's libm calls.  At steady state the
+  // rail voltage, effective frequency, and episode tick count repeat with
+  // bit-identical inputs step after step, so the std::pow / std::exp calls
+  // in proc_fmax, proc_power, and the rail episode are mostly cache hits; a
+  // key mismatch recomputes, so results never change.
+  flat::PowMemo pow_memo{};
+  double fmax_key = std::numeric_limits<double>::quiet_NaN();
+  double fmax_val = 0.0;
+  double pload_key_v = std::numeric_limits<double>::quiet_NaN();
+  double pload_key_f = 0.0;
+  double pload_val = 0.0;
   bool fault_latch = false;
   bool vmin_latch = false;
 
@@ -511,6 +530,10 @@ struct NodeRunner {
   int brownouts = 0;
   int timing_faults = 0;
   double mppt_num = 0.0, mppt_den = 0.0;
+
+  // --- step accounting (flushed to solver_stats once per node run)
+  solver_stats::StepCause step_cause = solver_stats::StepCause::kDeadline;
+  std::array<std::uint64_t, solver_stats::kStepCauseCount> step_counts{};
 
   // --- caches
   std::array<MepSlot, 32> mep_cache{};
@@ -918,10 +941,29 @@ struct NodeRunner {
     if (mgr == MgrState::kRecovering) w.level(v_s, kRecoverV);
     if (cmd_path == PowerPath::kRegulated) {
       // Ratio boundaries: eta and the supports envelope change across them.
+      // The boundary set moves only when the commanded rail does, so the
+      // divides are cached across steps (ratio_bounds_for).
+      const std::array<double, flat::kScMaxRatios>& rb =
+          ratio_bounds_for(cmd_vdd);
       for (std::size_t k = 0; k < kScFlat.n_ratios; ++k) {
-        w.level(v_s, (cmd_vdd + kScFlat.margin) / kScFlat.ratios[k]);
+        w.level(v_s, rb[k]);
       }
     }
+  }
+
+  // Cached (cmd_vdd + margin) / ratio boundary levels for solar_watches.
+  mutable double ratio_bounds_vdd = std::numeric_limits<double>::quiet_NaN();
+  mutable std::array<double, flat::kScMaxRatios> ratio_bounds{};
+
+  const std::array<double, flat::kScMaxRatios>& ratio_bounds_for(
+      double vdd) const {
+    if (vdd != ratio_bounds_vdd) {
+      for (std::size_t k = 0; k < kScFlat.n_ratios; ++k) {
+        ratio_bounds[k] = (vdd + kScFlat.margin) / kScFlat.ratios[k];
+      }
+      ratio_bounds_vdd = vdd;
+    }
+    return ratio_bounds;
   }
 
   void rail_watches(WatchAccum& w) const {
@@ -946,39 +988,93 @@ struct NodeRunner {
   /// miss a crossing; the bound keeps detection latency inside one
   /// comparator hysteresis band).
   HEMP_HOT double choose_dt(double g0, double p_load) {
-    double dt = std::min(day - t, kDtMax);
-    auto timed = [&](double when) {
-      if (when > t) dt = std::min(dt, when - t);
+    using solver_stats::StepCause;
+    step_cause = StepCause::kDeadline;
+    // One regulator-envelope check per step: v_s and cmd_vdd are frozen
+    // until the epilogue, so the settle block, the watch bounds, and the
+    // integration pre-pass can all share it.
+    step_sc_ok = sc_supports(v_s, cmd_vdd);
+    double dt = std::min(day - t, can_run ? flat::kRunDtCap : kDtMax);
+    {
+      const double knot = trace.next_knot(t, cur);
+      if (knot > t && knot - t < dt) {
+        dt = knot - t;
+        step_cause = StepCause::kTraceKnot;
+      }
+    }
+    auto deadline = [&](double when) {
+      if (when > t && when - t < dt) {
+        dt = when - t;
+        step_cause = StepCause::kDeadline;
+      }
     };
-    timed(trace.next_knot(t, cur));
-    if (sh.scenario.job_cycles > 0.0) timed(next_submit);
+    if (sh.scenario.job_cycles > 0.0) deadline(next_submit);
     if (mgr == MgrState::kTracking) {
-      timed(next_reassess);
-      if (timer_watched) timed(next_control);
-      if (queue > 0) dt = dt_min;  // a job starts at the very next eval
+      deadline(next_reassess);
+      if (timer_watched) deadline(next_control);
+      if (queue > 0) {  // a job starts at the very next eval
+        dt = dt_min;
+        step_cause = StepCause::kDeadline;
+      }
     } else if (mgr == MgrState::kSprinting) {
-      timed(sprint_started + 1.5 * plan.deadline);
+      deadline(sprint_started + 1.5 * plan.deadline);
       if (!sprint_bypassed) {
-        timed(sprint_started + plan.phase_time);
-        timed(sprint_started + kSagEnableTime);
+        deadline(sprint_started + plan.phase_time);
+        deadline(sprint_started + kSagEnableTime);
       }
       if (f_eff > 0.0) {
         const double remaining = plan.cycles - (cycles - sprint_start_cycles);
-        timed(t + remaining / f_eff);
+        deadline(t + remaining / f_eff);
       }
     }
 
-    // Regulated rail restoring upward toward the target while the clock is
-    // running: cap at ~2*tau so the effective frequency clamp f_max(v_dd)
-    // tracks the moving rail.  Only that quadrant needs fine steps: with the
-    // rail at or above its *effective* steady point (one reference tick of
-    // load energy above the commanded target — see integrate()), f_max(v_d)
-    // sits above the commanded frequency and the clamp is inactive, and with
-    // the clock gated off no cycles accrue either way.
+    // Regulated rail outside its settle band.  With the clock running, fine
+    // steps (~2*tau) are still needed: p_load(v_d) and the effective
+    // frequency clamp f_max(v_dd) must track the moving rail.  With the
+    // clock gated off, nothing rides the rail and the 3-regime map is exact
+    // in closed form for any dt — so instead of grinding capped micro-steps
+    // through (or, for a pinned rail, *at*) the transient, take one step to
+    // the closed-form episode endpoint: the tick where the rail first enters
+    // its band.  A pinned rail (regulator unsupported at the present solar
+    // voltage, or stuck above target with no load to sink into) has no
+    // endpoint and needs no settle cap at all — the watch bounds alone
+    // guarantee crossing detection.
     if (cmd_path == PowerPath::kRegulated) {
       const double e_t = 0.5 * c_vdd * cmd_vdd * cmd_vdd + p_load * dt_min;
       const double v_eff = std::sqrt(2.0 * e_t / c_vdd);
-      if (std::fabs(v_d - v_eff) > kRailBand) dt = std::min(dt, kRailSettleCap);
+      if (std::fabs(v_d - v_eff) > kRailBand) {
+        if (p_load > 0.0) {
+          if (kRailSettleCap < dt) {
+            dt = kRailSettleCap;
+            step_cause = StepCause::kSettle;
+          }
+        } else {
+          double dt_settle = std::numeric_limits<double>::infinity();
+          if (step_sc_ok) {
+            const double e_0 = 0.5 * c_vdd * v_d * v_d;
+            const double v_lo = v_eff - kRailBand;
+            const double v_hi = v_eff + kRailBand;
+            dt_settle = flat::rail_settle_dt(
+                e_0, e_t, dt_min, kTau, 0.0, kScFlat.rated,
+                0.5 * c_vdd * v_lo * v_lo, 0.5 * c_vdd * v_hi * v_hi);
+            // The rail side of a long episode is exact, and integrate()
+            // prices conversion losses per regime — but eta(vin) and the
+            // supports check still freeze at step start, and relaxing this
+            // cap measurably degrades the max-perf duty-cycling nodes in
+            // the equivalence suite (systematically past ~2x, marginally at
+            // 2x; see DESIGN.md 6h).  Supported episodes therefore keep the
+            // classic ~2*tau cap — the closed form still lands them exactly
+            // on the band-entry tick when that comes sooner.  Only the
+            // *pinned* rail (unsupported, no endpoint) runs uncapped; that
+            // is where the old cap burned steps grinding a frozen transient.
+            dt_settle = std::min(dt_settle, kRailSettleCap);
+          }
+          if (dt_settle < dt) {
+            dt = std::max(dt_settle, dt_min);
+            step_cause = StepCause::kSettle;
+          }
+        }
+      }
     }
     // Analytic watch bounds.  G is linear between knots and dt never crosses
     // a knot, so max irradiance over the step sits at its endpoints.
@@ -987,18 +1083,27 @@ struct NodeRunner {
 
     // Max terminal current the cell can source anywhere on an *upward* path
     // from the present voltage (i_pv is decreasing in v, increasing in g).
-    const double i_pv_now = cell_i(v_s, g_hi);
+    // Only the bypass swing cap reads it — the watch bounds below all walk
+    // the surface directly (wb.iv is always set here), so regulated steps
+    // skip the lookup.
+    double i_pv_now = 0.0;
 
     // Bypass: the clock rides the shared node, so bound the rail swing per
     // step to keep the frequency error within ~1%.  The swing rate is the
     // *net* current into the merged node — near the operating equilibrium it
     // is tiny, so this is an accuracy cap, not a tick-scale clamp (the watch
     // bounds below independently guarantee crossing detection).
-    if (cmd_path != PowerPath::kRegulated && can_run) {
-      const double i_load = p_load / std::max(v_d, kWatchVFloor);
-      const double i_net = std::fabs(i_pv_now - i_load);
-      const double rate = (1.5 * i_net + 1e-6) / (c_solar + c_vdd);
-      if (rate > 0.0) dt = std::min(dt, kBypassDvCap / rate);
+    if (cmd_path != PowerPath::kRegulated) {
+      i_pv_now = cell_i(v_s, g_hi);
+      if (can_run) {
+        const double i_load = p_load / std::max(v_d, kWatchVFloor);
+        const double i_net = std::fabs(i_pv_now - i_load);
+        const double rate = (1.5 * i_net + 1e-6) / (c_solar + c_vdd);
+        if (rate > 0.0 && kBypassDvCap / rate < dt) {
+          dt = kBypassDvCap / rate;
+          step_cause = StepCause::kWatchBound;
+        }
+      }
     }
 
     WatchAccum ws, wd;
@@ -1023,9 +1128,16 @@ struct NodeRunner {
     wb.e_0 = 0.5 * c_vdd * v_d * v_d;
     wb.tau = kTau;
     wb.dt_ref = dt_min;
-    wb.sc_ok = sc_supports(v_s, cmd_vdd);
+    wb.sc_ok = step_sc_ok;
     wb.sc = &kScFlat;
-    dt = flat::watch_bound_dt(wb, ws, wd);
+    wb.iv = &iv;
+    wb.g_hi = g_hi;
+    wb.g_lo = std::min(g0, g_end);
+    const double dt_watched = flat::watch_bound_dt(wb, ws, wd);
+    if (dt_watched < dt) {
+      dt = dt_watched;
+      step_cause = StepCause::kWatchBound;
+    }
 
     // Quantize to whole reference ticks (flooring preserves every bound
     // above) so controller evals, job adjudication, and the discrete rail
@@ -1039,38 +1151,72 @@ struct NodeRunner {
   // ---------------------------------------------------------------------
   // Physics integration (shared hemp::flat primitives: implicit midpoint on
   // the stiff solar node, exact closed-form regulated rail).
+  //
+  // The step is split into a prologue (controller, dt selection, and
+  // everything of the integration except the solar-node Newton solve) and
+  // an epilogue (rail update, metrics, time advance) so a lane driver can
+  // batch the solve across nodes via flat::integrate_solar_lane.  Steps the
+  // lane cannot express — the conducting-bypass merged two-node solve —
+  // integrate scalar inside the prologue and skip the lane entirely, so the
+  // per-node arithmetic is identical either way.
   // ---------------------------------------------------------------------
 
-  HEMP_HOT void integrate(double dt, double g_mid, double p_load) {
+  struct StepPlan {
+    double g0 = 0.0;
+    double dt = 0.0;
+    double g_mid = 0.0;
+    double p_load = 0.0;
+    bool solar_solve = false;  ///< step needs an integrate_solar solve
+    double p_in = 0.0;         ///< regulator source-side draw for the solve
+    double p_out = 0.0;        ///< regulator output power for the rail update
+  };
+
+  HEMP_HOT void integrate_pre(StepPlan& pl) {
+    pl.solar_solve = true;
+    pl.p_in = 0.0;
+    pl.p_out = 0.0;
     if (cmd_path == PowerPath::kRegulated) {
-      const bool supports = sc_supports(v_s, cmd_vdd);
-      double p_in = 0.0;
-      double p_out = 0.0;
-      if (supports) {
+      if (!step_sc_ok) return;
+      {
         // Closed-form restoration matching the reference tick map exactly
         // (see flat::rail_regulated_step for the 3-regime derivation).  The
         // steady rail rides at sqrt(vt^2 + 2*p_load*dt_ref/C), which keeps
         // the commanded frequency off the f_max clamp.
         const double e_t = 0.5 * c_vdd * cmd_vdd * cmd_vdd +
-                           p_load * dt_min;
+                           pl.p_load * dt_min;
         const double e_0 = 0.5 * c_vdd * v_d * v_d;
-        const double e_end = flat::rail_regulated_step(
-            e_0, e_t, dt, dt_min, kTau, p_load, kScFlat.rated);
-        const double p_restore = (e_end - e_0) / dt;
-        p_out = std::clamp(p_load + p_restore, 0.0, kScFlat.rated);
-        if (p_out > 0.0) {
-          const double eta = sc_efficiency(v_s, cmd_vdd, p_out);
+        const flat::RailEpisode ep = flat::rail_regulated_episode(
+            e_0, e_t, pl.dt, dt_min, kTau, pl.p_load, kScFlat.rated,
+            &pow_memo);
+        // Conversion losses priced per regime: the ramp pins p_out at rated,
+        // the drain pins it at zero, and the geometric phase transfers its
+        // own average — so a one-step settle episode sees the same eta
+        // profile the capped micro-steps used to walk through, instead of
+        // one lookup at the smeared rated-to-zero average.
+        double e_in = 0.0;   // source-side energy drawn over the step
+        double e_out = 0.0;  // regulator output energy over the step
+        if (ep.t_ramp > 0.0) {
+          const double eta = sc_efficiency(v_s, cmd_vdd, kScFlat.rated);
           if (eta > 0.0) {
-            p_in = p_out / eta;
-          } else {
-            p_out = 0.0;  // regulator stalled: no transfer this step
+            e_out += kScFlat.rated * ep.t_ramp;
+            e_in += kScFlat.rated * ep.t_ramp / eta;
           }
         }
+        if (ep.t_decay > 0.0) {
+          const double p_restore = (ep.e_end - ep.e_decay_0) / ep.t_decay;
+          const double p_dec =
+              std::clamp(pl.p_load + p_restore, 0.0, kScFlat.rated);
+          if (p_dec > 0.0) {
+            const double eta = sc_efficiency(v_s, cmd_vdd, p_dec);
+            if (eta > 0.0) {
+              e_out += p_dec * ep.t_decay;
+              e_in += p_dec * ep.t_decay / eta;
+            }
+          }
+        }
+        pl.p_out = e_out / pl.dt;
+        pl.p_in = e_in / pl.dt;
       }
-      harvested += dt * flat::integrate_solar(iv, c_solar, v_s, dt, g_mid, p_in);
-      double e_d = 0.5 * c_vdd * v_d * v_d + (p_out - p_load) * dt;
-      if (e_d < 0.0) e_d = 0.0;
-      v_d = std::sqrt(2.0 * e_d / c_vdd);
       return;
     }
 
@@ -1080,30 +1226,28 @@ struct NodeRunner {
     // merged quasi-steady limit instead (charge-conserving, same energy).
     if (cmd_path == PowerPath::kBypass && v_s > v_d) {
       const flat::BypassStepResult r = flat::integrate_bypass_merged(
-          iv, c_solar, c_vdd, kBypassR, v_s, v_d, dt, g_mid, p_load,
+          iv, c_solar, c_vdd, kBypassR, v_s, v_d, pl.dt, pl.g_mid, pl.p_load,
           kWatchVFloor);
       if (r.conducted) {
-        harvested += dt * r.p_harvest_avg;
+        harvested += pl.dt * r.p_harvest_avg;
+        pl.solar_solve = false;  // merged solve integrated both nodes
         return;
       }
-      // Diode would block: fall through and treat as detached for this step.
+      // Diode would block: treat as detached for this step (p_in stays 0).
     }
-    harvested += dt * flat::integrate_solar(iv, c_solar, v_s, dt, g_mid, 0.0);
-    double e_d = 0.5 * c_vdd * v_d * v_d - p_load * dt;
-    if (e_d < 0.0) e_d = 0.0;
-    v_d = std::sqrt(2.0 * e_d / c_vdd);
   }
 
   // ---------------------------------------------------------------------
   // Main loop
   // ---------------------------------------------------------------------
 
-  HEMP_HOT NodeResult run() {
-    // One-time setup before the stepped loop (builds LUT/ladder buffers).
-    // hemp-analyzer: allow(hot-path-purity) — setup edge, not per-step
-    on_start();
-    while (t < day - 1e-15) {
+  bool done() const { return t >= day - 1e-15; }
+
+  /// Controller + dt selection + integration pre-pass for one step.
+  HEMP_HOT void step_prologue(StepPlan& pl) {
+    {
       const double g0 = trace.at(t, cur);
+      pl.g0 = g0;
       controller_eval();
 
       // Load for this step (reference tick semantics: rail voltage gates the
@@ -1119,8 +1263,12 @@ struct NodeRunner {
       double p_load = 0.0;
       f_eff = 0.0;
       if (can_run) {
-        const double fmax_now =
-            proc_fmax(pc, std::clamp(v_d, kVminProc, kVmaxProc));
+        const double v_fm = std::clamp(v_d, kVminProc, kVmaxProc);
+        if (v_fm != fmax_key) {
+          fmax_key = v_fm;
+          fmax_val = proc_fmax(pc, v_fm);
+        }
+        const double fmax_now = fmax_val;
         f_eff = cmd_freq;
         bool clamped = false;
         if (f_eff > fmax_now) {
@@ -1131,40 +1279,66 @@ struct NodeRunner {
         // episodes (transitions into the clamped condition).
         if (clamped && !fault_latch) ++timing_faults;
         fault_latch = clamped;
-        p_load = proc_power(pc, v_d, f_eff);
+        if (v_d != pload_key_v || f_eff != pload_key_f) {
+          pload_key_v = v_d;
+          pload_key_f = f_eff;
+          pload_val = proc_power(pc, v_d, f_eff);
+        }
+        p_load = pload_val;
       } else {
         fault_latch = false;
         if (was_running && cmd_run) ++brownouts;
       }
       was_running = can_run;
+      pl.p_load = p_load;
+      pl.dt = choose_dt(g0, p_load);
+    }
+    ++step_counts[static_cast<int>(step_cause)];
+    pl.g_mid = trace.at(t + 0.5 * pl.dt, cur);
+    integrate_pre(pl);
+  }
 
-      const double dt = choose_dt(g0, p_load);
-      const double g_mid = trace.at(t + 0.5 * dt, cur);
-      integrate(dt, g_mid, p_load);
+  /// Rail update + per-step metrics + time advance.  `p_avg` is the solar
+  /// Newton solve's average harvested power (ignored when the prologue
+  /// already integrated the step via the merged bypass solve).
+  HEMP_HOT void step_epilogue(const StepPlan& pl, double p_avg) {
+    if (pl.solar_solve) {
+      harvested += pl.dt * p_avg;
+      double e_d = 0.5 * c_vdd * v_d * v_d + (pl.p_out - pl.p_load) * pl.dt;
+      if (e_d < 0.0) e_d = 0.0;
+      v_d = std::sqrt(2.0 * e_d / c_vdd);
+    }
 
-      // Metrics over the step.
-      if (can_run) {
-        cycles += f_eff * dt;
-        delivered += p_load * dt;
-      } else if (cmd_run) {
-        halted += dt;
-      }
-      // MPPT tracking error, dt-weighted (the reference averages uniform
-      // waveform samples under the same predicate).
-      if (cmd_path == PowerPath::kRegulated && f_eff > 0.0 && g0 >= 0.05) {
-        const double g_q = std::round(g0 * 100.0) / 100.0;
-        if (g_q >= 0.05) {
-          const double vmpp = sh.vmpp_at(s.pv_scale, g_q);
-          if (vmpp > 0.0) {
-            mppt_num += dt * std::fabs(v_s - vmpp) / vmpp;
-            mppt_den += dt;
-          }
+    // Metrics over the step.
+    if (can_run) {
+      cycles += f_eff * pl.dt;
+      delivered += pl.p_load * pl.dt;
+    } else if (cmd_run) {
+      halted += pl.dt;
+    }
+    // MPPT tracking error, dt-weighted (the reference averages uniform
+    // waveform samples under the same predicate).
+    if (cmd_path == PowerPath::kRegulated && f_eff > 0.0 && pl.g0 >= 0.05) {
+      const double g_q = std::round(pl.g0 * 100.0) / 100.0;
+      if (g_q >= 0.05) {
+        const double vmpp = sh.vmpp_at(s.pv_scale, g_q);
+        if (vmpp > 0.0) {
+          mppt_num += pl.dt * std::fabs(v_s - vmpp) / vmpp;
+          mppt_den += pl.dt;
         }
       }
-      p_processor = p_load;
-      t += dt;
     }
+    p_processor = pl.p_load;
+    t += pl.dt;
+  }
+
+  /// Day-end flush: comparator-bank edges, step accounting, result build.
+  NodeResult finish() {
     if (events != nullptr) update_bank();  // final edge flush at day end
+    for (int c = 0; c < solver_stats::kStepCauseCount; ++c) {
+      solver_stats::count_steps(static_cast<solver_stats::StepCause>(c),
+                                step_counts[static_cast<std::size_t>(c)]);
+    }
 
     NodeResult out;
     out.sample = s;
@@ -1186,7 +1360,116 @@ struct NodeRunner {
         jobs_completed > 0 ? Joules(delivered / jobs_completed) : Joules(0.0);
     return out;
   }
+
+  /// Scalar driver: the reference arrangement of the split step, used by
+  /// run_node() / traced runs and as the bit-identity baseline for the lane
+  /// driver below.
+  HEMP_HOT NodeResult run() {
+    // One-time setup before the stepped loop (builds LUT/ladder buffers).
+    // hemp-analyzer: allow(hot-path-purity) — setup edge, not per-step
+    on_start();
+    StepPlan pl;
+    while (!done()) {
+      step_prologue(pl);
+      double p_avg = 0.0;
+      if (pl.solar_solve) {
+        p_avg =
+            flat::integrate_solar(iv, c_solar, v_s, pl.dt, pl.g_mid, pl.p_in);
+      }
+      step_epilogue(pl, p_avg);
+    }
+    return finish();
+  }
 };
+
+/// Lane driver: advances up to flat::kSolarLaneWidth node runners
+/// concurrently so their solar-node Newton solves share one vectorizable
+/// flat::integrate_solar_lane call per round.  Nodes advance at independent
+/// times — there is nothing to synchronize; grouping is by concurrent
+/// stepping, not trace identity — and a slot whose day completes is refilled
+/// with the next pending node, so short-lived lanes never idle the loop.
+/// Steps the lane cannot express (the conducting-bypass merged solve)
+/// integrate scalar inside the prologue and simply skip the gather.  Lane
+/// elements converge and freeze independently inside integrate_solar_lane,
+/// so every node executes exactly the scalar step sequence and the results
+/// written to `out` are bit-identical to run_node() per node.
+void run_nodes_laned(const BatchFleetKernel::Shared& sh, int lo, int hi,
+                     NodeResult* out) {
+  constexpr int kW = flat::kSolarLaneWidth;
+  std::array<std::optional<NodeRunner>, kW> slot;
+  std::array<int, kW> node_of{};
+  std::array<NodeRunner::StepPlan, kW> plan{};
+  int next = lo;
+  int active = 0;
+
+  const auto fill = [&](int w) {
+    const std::size_t i = static_cast<std::size_t>(next);
+    slot[static_cast<std::size_t>(w)].emplace(
+        NodeRunner{sh,
+                   sh.samples[i],
+                   sh.pv[i],
+                   sh.proc[i],
+                   sh.shared_sky ? sh.sky : sh.traces[i],
+                   sh.samples[i].solar_capacitance.value(),
+                   sh.scenario.vdd_cap.value(),
+                   sh.scenario.day_length.value(),
+                   sh.scenario.time_step.value(),
+                   sh.crossover_power[i]});
+    node_of[static_cast<std::size_t>(w)] = next++;
+    slot[static_cast<std::size_t>(w)]->on_start();
+    ++active;
+  };
+  for (int w = 0; w < kW && next < hi; ++w) fill(w);
+
+  // Gather buffers for the lane call (element order = ascending slot).
+  std::array<flat::IvSurface::Bound, kW> iv_g{};
+  std::array<double, kW> c_g{}, v_g{}, dt_g{}, gm_g{}, pin_g{}, pavg_g{};
+
+  while (active > 0) {
+    int n_lane = 0;
+    for (int w = 0; w < kW; ++w) {
+      auto& r = slot[static_cast<std::size_t>(w)];
+      if (!r) continue;
+      auto& pl = plan[static_cast<std::size_t>(w)];
+      r->step_prologue(pl);
+      if (pl.solar_solve) {
+        const auto e = static_cast<std::size_t>(n_lane);
+        iv_g[e] = r->iv;
+        c_g[e] = r->c_solar;
+        v_g[e] = r->v_s;
+        dt_g[e] = pl.dt;
+        gm_g[e] = pl.g_mid;
+        pin_g[e] = pl.p_in;
+        ++n_lane;
+      }
+    }
+    if (n_lane > 0) {
+      flat::integrate_solar_lane(iv_g.data(), c_g.data(), v_g.data(),
+                                 dt_g.data(), gm_g.data(), pin_g.data(),
+                                 pavg_g.data(), n_lane);
+    }
+    int e = 0;
+    for (int w = 0; w < kW; ++w) {
+      auto& r = slot[static_cast<std::size_t>(w)];
+      if (!r) continue;
+      const auto& pl = plan[static_cast<std::size_t>(w)];
+      double p_avg = 0.0;
+      if (pl.solar_solve) {
+        const auto ei = static_cast<std::size_t>(e);
+        r->v_s = v_g[ei];
+        p_avg = pavg_g[ei];
+        ++e;
+      }
+      r->step_epilogue(pl, p_avg);
+      if (r->done()) {
+        out[node_of[static_cast<std::size_t>(w)]] = r->finish();
+        r.reset();
+        --active;
+        if (next < hi) fill(w);
+      }
+    }
+  }
+}
 
 }  // namespace
 
@@ -1235,8 +1518,12 @@ FleetReport BatchFleetKernel::run(const BatchKernelOptions& opts) const {
   std::vector<NodeResult> results(static_cast<std::size_t>(n));
   const int block = std::max(1, opts.block_size);
   if (!opts.parallel || n <= block) {
-    for (int i = 0; i < n; ++i) {
-      results[static_cast<std::size_t>(i)] = run_node(i);
+    if (opts.simd_lanes) {
+      run_nodes_laned(sh, 0, n, results.data());
+    } else {
+      for (int i = 0; i < n; ++i) {
+        results[static_cast<std::size_t>(i)] = run_node(i);
+      }
     }
   } else {
     const std::size_t blocks =
@@ -1246,8 +1533,12 @@ FleetReport BatchFleetKernel::run(const BatchKernelOptions& opts) const {
     parallel_for(pool, blocks, [&](std::size_t b) {
       const int lo = static_cast<int>(b) * block;
       const int hi = std::min(lo + block, n);
-      for (int i = lo; i < hi; ++i) {
-        results[static_cast<std::size_t>(i)] = run_node(i);
+      if (opts.simd_lanes) {
+        run_nodes_laned(sh, lo, hi, results.data());
+      } else {
+        for (int i = lo; i < hi; ++i) {
+          results[static_cast<std::size_t>(i)] = run_node(i);
+        }
       }
     });
   }

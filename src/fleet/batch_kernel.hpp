@@ -47,6 +47,13 @@ struct BatchKernelOptions {
   /// from common/solver_stats.hpp).  The check is process-wide, so callers
   /// running concurrent exact solves elsewhere should disable it.
   bool check_no_exact_solves = false;
+  /// Advance up to flat::kSolarLaneWidth nodes concurrently so their
+  /// per-step solar Newton solves share one vectorizable lane call
+  /// (flat::integrate_solar_lane).  Lane elements converge and freeze
+  /// independently, so every node sees exactly the scalar step sequence:
+  /// results are bit-identical with the flag on or off (asserted in
+  /// tests/fleet/batch_kernel_test.cpp) and this is a pure throughput knob.
+  bool simd_lanes = true;
 };
 
 /// One solar-node comparator edge recorded by the traced single-node runner.

@@ -39,6 +39,8 @@ void FleetScenario::validate() const {
                "FleetScenario: constant_g must be in [0, 1]");
   HEMP_REQUIRE(trace_kind != TraceKind::kCsv || !trace_csv.empty(),
                "FleetScenario: trace = csv needs a trace_csv path");
+  HEMP_REQUIRE(trace_coarsen_eps >= 0.0,
+               "FleetScenario: trace_coarsen_eps must be >= 0");
   HEMP_REQUIRE(0.0 < pv_scale_min && pv_scale_min <= pv_scale_max,
                "FleetScenario: need 0 < pv_scale_min <= pv_scale_max");
   HEMP_REQUIRE(solar_cap_min.value() > 0.0 && solar_cap_min <= solar_cap_max,
@@ -129,6 +131,8 @@ FleetScenario FleetScenario::from_string(const std::string& text) {
       s.constant_g = parse_double(key, value);
     } else if (key == "trace_csv") {
       s.trace_csv = value;
+    } else if (key == "trace_coarsen_eps") {
+      s.trace_coarsen_eps = parse_double(key, value);
     } else if (key == "pv_scale_min") {
       s.pv_scale_min = parse_double(key, value);
     } else if (key == "pv_scale_max") {

@@ -22,12 +22,14 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <limits>
 #include <memory>
 #include <utility>
 #include <vector>
 
 #include "common/annotations.hpp"
 #include "common/error.hpp"
+#include "common/solver_stats.hpp"
 #include "regulator/switched_cap.hpp"
 #include "sim/flat_model.hpp"
 #include "sim/soc_system.hpp"
@@ -93,6 +95,9 @@ struct FastEngine {
   double p_load = 0.0;
 
   SimTotals totals{};
+  // Step accounting (flushed to solver_stats once per run).
+  solver_stats::StepCause step_cause = solver_stats::StepCause::kDeadline;
+  std::uint64_t step_counts[solver_stats::kStepCauseCount] = {};
   double harvested = 0.0;
   double delivered = 0.0;
   double reg_loss = 0.0;
@@ -104,26 +109,70 @@ struct FastEngine {
   /// bounds, quantized to whole reference ticks (see batch_kernel.cpp for
   /// the same scheme over the flattened fleet controller).
   HEMP_HOT double choose_dt(double g0, const SocStepHint& hint) {
+    using solver_stats::StepCause;
+    step_cause = StepCause::kDeadline;
     if (hint.next_deadline_s <= t + 1e-15) return dt_min;  // decide next tick
     if (cmd.path == PowerPath::kBypass && v_s - v_d > kBypassMergeBand) {
+      step_cause = StepCause::kSettle;
       return std::min(dt_min, t_end - t);  // dense RC merge transient
     }
-    double dt = std::min(t_end - t, flat::kDtMax);
-    auto timed = [&](double when) {
-      if (when > t) dt = std::min(dt, when - t);
+    double dt =
+        std::min(t_end - t, can_run ? flat::kRunDtCap : flat::kDtMax);
+    {
+      const double knot = trace->next_knot(t, cur);
+      if (knot > t && knot - t < dt) {
+        dt = knot - t;
+        step_cause = StepCause::kTraceKnot;
+      }
+    }
+    auto deadline = [&](double when) {
+      if (when > t && when - t < dt) {
+        dt = when - t;
+        step_cause = StepCause::kDeadline;
+      }
     };
-    timed(trace->next_knot(t, cur));
-    timed(next_sample);
-    timed(hint.next_deadline_s);
+    // Waveform decimation is a hard cadence: a record fires this iteration
+    // when next_sample is already due, so the step must not overshoot the
+    // sample after it — otherwise long settle/watch episodes would thin the
+    // record below the configured interval.
+    deadline(next_sample > t ? next_sample : t + interval);
+    deadline(hint.next_deadline_s);
 
-    // Regulated rail restoring toward its target: fine steps only while the
-    // rail is outside the settle band, so f_max(v_dd) tracks the moving rail.
+    // Regulated rail outside its settle band: fine steps while the clock
+    // runs (p_load(v_d) and f_max(v_dd) must track the moving rail); with
+    // the clock gated, one closed-form step to the episode endpoint — the
+    // tick where the 3-regime map first enters the band — and no cap at all
+    // for a pinned rail (see batch_kernel.cpp for the full argument).
     if (cmd.path == PowerPath::kRegulated) {
       const double vt = cmd.vdd_target.value();
       const double e_t = 0.5 * c_vdd * vt * vt + p_load * dt_min;
       const double v_eff = std::sqrt(2.0 * e_t / c_vdd);
       if (std::fabs(v_d - v_eff) > flat::kRailBand) {
-        dt = std::min(dt, flat::kRailSettleFactor * tau);
+        if (p_load > 0.0) {
+          if (flat::kRailSettleFactor * tau < dt) {
+            dt = flat::kRailSettleFactor * tau;
+            step_cause = StepCause::kSettle;
+          }
+        } else {
+          double dt_settle = std::numeric_limits<double>::infinity();
+          if (flat::sc_supports(ctx->sc, v_s, vt)) {
+            const double e_0 = 0.5 * c_vdd * v_d * v_d;
+            const double v_lo = v_eff - flat::kRailBand;
+            const double v_hi = v_eff + flat::kRailBand;
+            dt_settle = flat::rail_settle_dt(
+                e_0, e_t, dt_min, tau, 0.0, ctx->sc.rated,
+                0.5 * c_vdd * v_lo * v_lo, 0.5 * c_vdd * v_hi * v_hi);
+            // Supported episodes keep the classic ~2*tau cap: eta(vin) and
+            // the supports check freeze at step start, and the equivalence
+            // suite degrades past that horizon (see batch_kernel.cpp for
+            // the full argument).  Pinned rails run uncapped.
+            dt_settle = std::min(dt_settle, flat::kRailSettleFactor * tau);
+          }
+          if (dt_settle < dt) {
+            dt = std::max(dt_settle, dt_min);
+            step_cause = StepCause::kSettle;
+          }
+        }
       }
     }
 
@@ -139,7 +188,10 @@ struct FastEngine {
       const double i_load = p_load / std::max(v_d, flat::kWatchVFloor);
       const double i_net = std::fabs(i_pv_now - i_load);
       const double rate = (1.5 * i_net + 1e-6) / (c_solar + c_vdd);
-      if (rate > 0.0) dt = std::min(dt, flat::kBypassDvCap / rate);
+      if (rate > 0.0 && flat::kBypassDvCap / rate < dt) {
+        dt = flat::kBypassDvCap / rate;
+        step_cause = StepCause::kWatchBound;
+      }
     }
 
     flat::WatchAccum ws, wd;
@@ -189,7 +241,14 @@ struct FastEngine {
     wb.dt_ref = dt_min;
     wb.sc_ok = flat::sc_supports(ctx->sc, v_s, wb.cmd_vdd);
     wb.sc = &ctx->sc;
-    dt = flat::watch_bound_dt(wb, ws, wd);
+    wb.iv = &iv;
+    wb.g_hi = g_hi;
+    wb.g_lo = std::min(g0, g_end);
+    const double dt_watched = flat::watch_bound_dt(wb, ws, wd);
+    if (dt_watched < dt) {
+      dt = dt_watched;
+      step_cause = StepCause::kWatchBound;
+    }
 
     // Quantize to whole reference ticks (flooring preserves every bound), so
     // controller evals land on the instants the fixed-step loop uses; the
@@ -210,19 +269,38 @@ struct FastEngine {
       if (supports) {
         const double e_t = 0.5 * c_vdd * vt * vt + p_load * dt_min;
         const double e_0 = 0.5 * c_vdd * v_d * v_d;
-        const double e_end = flat::rail_regulated_step(
+        const flat::RailEpisode ep = flat::rail_regulated_episode(
             e_0, e_t, dt, dt_min, tau, p_load, ctx->sc.rated);
-        const double p_restore = (e_end - e_0) / dt;
-        p_out = std::clamp(p_load + p_restore, 0.0, ctx->sc.rated);
-        if (p_out > 0.0) {
-          const double eta = flat::sc_efficiency(ctx->sc, v_s, vt, p_out);
+        // Conversion losses priced per regime (mirrors batch_kernel.cpp):
+        // ramp at rated, drain at zero, geometric phase at its own average.
+        double e_in = 0.0;
+        double e_out = 0.0;
+        if (ep.t_ramp > 0.0) {
+          const double eta =
+              flat::sc_efficiency(ctx->sc, v_s, vt, ctx->sc.rated);
           if (eta > 0.0) {
-            p_in = p_out / eta;
+            e_out += ctx->sc.rated * ep.t_ramp;
+            e_in += ctx->sc.rated * ep.t_ramp / eta;
           } else {
-            p_out = 0.0;  // regulator stalled: no transfer this step
-            reg_ok = false;
+            reg_ok = false;  // regulator stalled: no transfer this regime
           }
         }
+        if (ep.t_decay > 0.0) {
+          const double p_restore = (ep.e_end - ep.e_decay_0) / ep.t_decay;
+          const double p_dec =
+              std::clamp(p_load + p_restore, 0.0, ctx->sc.rated);
+          if (p_dec > 0.0) {
+            const double eta = flat::sc_efficiency(ctx->sc, v_s, vt, p_dec);
+            if (eta > 0.0) {
+              e_out += p_dec * ep.t_decay;
+              e_in += p_dec * ep.t_decay / eta;
+            } else {
+              reg_ok = false;
+            }
+          }
+        }
+        p_out = e_out / dt;
+        p_in = e_in / dt;
       }
       harvested += dt * flat::integrate_solar(iv, c_solar, v_s, dt, g_mid, p_in);
       reg_loss += (p_in - p_out) * dt;
@@ -323,7 +401,9 @@ struct FastEngine {
       // --- Step length from the controller's own bounds. -------------------
       SocStepHint hint;
       controller->step_hint(state, hint);
+      step_cause = solver_stats::StepCause::kDeadline;
       const double dt = hint.event_driven ? choose_dt(g0, hint) : dt_min;
+      ++step_counts[static_cast<int>(step_cause)];
 
       const double g_mid = trace->at(t + 0.5 * dt, cur);
       integrate(dt, g_mid);
@@ -370,6 +450,10 @@ struct FastEngine {
     totals.bypass_loss = Joules(byp_loss);
     totals.cycles = cycles;
     totals.halted_time = Seconds(halted);
+    for (int c = 0; c < solver_stats::kStepCauseCount; ++c) {
+      solver_stats::count_steps(static_cast<solver_stats::StepCause>(c),
+                                step_counts[c]);
+    }
     // hemp-analyzer: allow(hot-path-purity) — slack trim after the stepped loop
     waveform->finalize();
     return SimResult{std::move(*waveform), totals, state};
@@ -381,6 +465,9 @@ struct FastEngine {
 SimResult SocSystem::run_fast(const IrradianceTrace& trace_in,
                               SocController& controller, Seconds t_end) {
   flat::FlatTrace trace = flat::flatten_trace(trace_in, t_end.value());
+  if (config_.trace_coarsen_eps > 0.0) {
+    trace.coarsen(config_.trace_coarsen_eps * t_end.value());
+  }
   double g_need = trace.constant
                       ? trace.g_const
                       : *std::max_element(trace.gs.begin(), trace.gs.end());

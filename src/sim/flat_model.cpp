@@ -1,6 +1,7 @@
 #include "sim/flat_model.hpp"
 
 #include <cmath>
+#include <queue>
 #include <utility>
 
 #include "common/error.hpp"
@@ -115,25 +116,106 @@ FlatProc make_flat_proc(const Processor& proc) {
 
 FlatTrace flatten_trace(const IrradianceTrace& trace, double t_end) {
   FlatTrace flat;
-  std::vector<double> knots;
-  constexpr int kUniform = 256;
-  knots.reserve(kUniform + 1 + 3 * trace.breakpoints().size());
-  for (int i = 0; i <= kUniform; ++i) {
-    knots.push_back(t_end * i / kUniform);
-  }
+  // Breakpoints in range, sorted (the IrradianceTrace ctor sorts and dedups).
+  std::vector<double> bps;
+  bps.reserve(trace.breakpoints().size());
   for (const Seconds bp : trace.breakpoints()) {
     const double b = bp.value();
-    if (b < -1e-9 || b > t_end + 1e-9) continue;
+    if (b >= -1e-9 && b <= t_end + 1e-9) bps.push_back(b);
+  }
+  std::vector<double> knots;
+  constexpr int kUniform = 256;
+  knots.reserve(kUniform + 1 + 3 * bps.size());
+  for (int i = 0; i <= kUniform; ++i) {
+    const double u = t_end * i / kUniform;
+    // A uniform knot inside a breakpoint's ±1 ns triple would land within
+    // nanoseconds of the triple's own samples — a near-duplicate knot the
+    // event stepper pays a whole step for.  The triple already covers the
+    // kink, so skip the uniform knot instead.
+    const auto it = std::lower_bound(bps.begin(), bps.end(), u);
+    if (it != bps.end() && *it - u <= 1e-9) continue;
+    if (it != bps.begin() && u - *(it - 1) <= 1e-9) continue;
+    knots.push_back(u);
+  }
+  for (const double b : bps) {
     knots.push_back(std::clamp(b - 1e-9, 0.0, t_end));
     knots.push_back(std::clamp(b, 0.0, t_end));
     knots.push_back(std::clamp(b + 1e-9, 0.0, t_end));
   }
   std::sort(knots.begin(), knots.end());
   knots.erase(std::unique(knots.begin(), knots.end()), knots.end());
+  // Triples of breakpoints closer than 2 ns to each other can still collide
+  // sub-nanosecond; merge anything tighter than a quarter of the triple pitch
+  // (keeping the earlier knot) so no surviving gap costs a wasted step.
+  knots.erase(std::unique(knots.begin(), knots.end(),
+                          [](double a, double b) { return b - a < 0.25e-9; }),
+              knots.end());
   flat.ts = std::move(knots);
   flat.gs.reserve(flat.ts.size());
   for (const double t : flat.ts) flat.gs.push_back(trace.at(Seconds(t)));
   return flat;
+}
+
+void FlatTrace::coarsen(double eps) {
+  if (constant || eps <= 0.0 || ts.size() <= 2) return;
+  const std::size_t n = ts.size();
+  // Doubly linked list over the knot indices; interior knots carry the
+  // triangle area their removal would sweep (the L1 distance between the
+  // current polyline and the one with the knot dropped).
+  std::vector<std::size_t> prev(n), next(n);
+  std::vector<double> area(n, std::numeric_limits<double>::infinity());
+  std::vector<bool> alive(n, true);
+  const auto tri = [&](std::size_t p, std::size_t i, std::size_t q) {
+    return 0.5 * std::fabs((ts[q] - ts[p]) * (gs[i] - gs[p]) -
+                           (ts[i] - ts[p]) * (gs[q] - gs[p]));
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    prev[i] = i == 0 ? n : i - 1;
+    next[i] = i + 1 == n ? n : i + 1;
+    if (i > 0 && i + 1 < n) area[i] = tri(i - 1, i, i + 1);
+  }
+  // Min-heap of (area, index) with lazy invalidation: stale entries (the
+  // area changed after a neighbour was removed) are skipped on pop.  Ties
+  // break on the lower index, so the removal sequence — and with it the
+  // eps-monotone prefix property — is fully deterministic.
+  using Entry = std::pair<double, std::size_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (std::size_t i = 1; i + 1 < n; ++i) heap.emplace(area[i], i);
+  double spent = 0.0;
+  std::size_t removed = 0;
+  while (!heap.empty()) {
+    const auto [a, i] = heap.top();
+    heap.pop();
+    if (!alive[i] || a != area[i]) continue;  // stale entry
+    if (spent + a > eps) break;               // budget exhausted
+    spent += a;
+    ++removed;
+    alive[i] = false;
+    const std::size_t p = prev[i];
+    const std::size_t q = next[i];
+    next[p] = q;
+    prev[q] = p;
+    if (prev[p] != n) {
+      area[p] = tri(prev[p], p, q);
+      heap.emplace(area[p], p);
+    }
+    if (next[q] != n) {
+      area[q] = tri(p, q, next[q]);
+      heap.emplace(area[q], q);
+    }
+  }
+  if (removed == 0) return;
+  std::vector<double> ts2, gs2;
+  ts2.reserve(n - removed);
+  gs2.reserve(n - removed);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (alive[i]) {
+      ts2.push_back(ts[i]);
+      gs2.push_back(gs[i]);
+    }
+  }
+  ts = std::move(ts2);
+  gs = std::move(gs2);
 }
 
 FlatTrace flatten_constant(double g) {
@@ -241,8 +323,10 @@ MppSurface build_mpp_surface(const PvCellParams& base, double s_lo, double s_hi,
 // Closed-form stepping primitives.
 // ---------------------------------------------------------------------------
 
-double rail_regulated_step(double e_0, double e_t, double dt, double dt_ref,
-                           double tau, double p_load, double rated) {
+RailEpisode rail_regulated_episode(double e_0, double e_t, double dt,
+                                   double dt_ref, double tau, double p_load,
+                                   double rated, PowMemo* memo) {
+  RailEpisode out;
   const double rho = 1.0 - dt_ref / tau;
   double e_end = e_0;
   double k = dt / dt_ref;  // whole ticks (grid-quantized); final partial
@@ -255,18 +339,89 @@ double rail_regulated_step(double e_0, double e_t, double dt, double dt_ref,
       const double k1 = std::min(k, std::ceil((e_hi - e_end) / step_e - 1e-9));
       e_end += k1 * step_e;
       k -= k1;
+      out.t_ramp = k1 * dt_ref;
     } else if (e_end > e_lo && p_load > 0.0) {
       const double step_e = p_load * dt_ref;
       const double k2 = std::min(k, std::ceil((e_end - e_lo) / step_e - 1e-9));
       e_end -= k2 * step_e;
       k -= k2;
+      out.t_drain = k2 * dt_ref;
     }
   }
+  out.e_decay_0 = e_end;
   if (k > 0.0) {
-    const double decay = rho > 0.0 ? std::pow(rho, k) : 0.0;
+    double decay = 0.0;
+    if (rho > 0.0) {
+      if (memo != nullptr && memo->base == rho && memo->exp == k) {
+        decay = memo->val;
+      } else {
+        decay = std::pow(rho, k);
+        if (memo != nullptr) {
+          memo->base = rho;
+          memo->exp = k;
+          memo->val = decay;
+        }
+      }
+    }
     e_end = e_t + (e_end - e_t) * decay;
+    out.t_decay = k * dt_ref;
   }
-  return e_end;
+  out.e_end = e_end;
+  return out;
+}
+
+double rail_regulated_step(double e_0, double e_t, double dt, double dt_ref,
+                           double tau, double p_load, double rated) {
+  return rail_regulated_episode(e_0, e_t, dt, dt_ref, tau, p_load, rated).e_end;
+}
+
+double rail_settle_dt(double e_0, double e_t, double dt_ref, double tau,
+                      double p_load, double rated, double e_band_lo,
+                      double e_band_hi) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  if (e_0 >= e_band_lo && e_0 <= e_band_hi) return 0.0;
+  const double rho = 1.0 - dt_ref / tau;
+  if (rho <= 0.0) return dt_ref;  // one tick lands exactly on e_t
+  const double e_hi = e_t - tau * (rated - p_load);
+  const double e_lo = e_t + tau * p_load;
+  double e = e_0;
+  double ticks = 0.0;
+  if (e < e_band_lo) {
+    // Approaching from below: linear ramp at (rated - p_load) per tick while
+    // e < e_hi, then geometric decay of the gap to e_t inside the mid-band.
+    if (e < e_hi) {
+      const double step_e = (rated - p_load) * dt_ref;
+      if (step_e <= 0.0) return kInf;  // no ramp headroom: pinned below
+      const double goal = std::min(e_hi, e_band_lo);
+      const double k1 = std::max(0.0, std::ceil((goal - e) / step_e - 1e-9));
+      e += k1 * step_e;
+      ticks += k1;
+      if (e >= e_band_lo) return ticks * dt_ref;  // band reached on the ramp
+    }
+    const double gap = e_t - e;
+    const double gap_goal = e_t - e_band_lo;
+    if (gap <= gap_goal) return ticks * dt_ref;
+    if (gap_goal <= 0.0) return kInf;  // band entirely below the fixed point
+    const double k2 = std::ceil(std::log(gap_goal / gap) / std::log(rho) - 1e-9);
+    return (ticks + std::max(k2, 1.0)) * dt_ref;
+  }
+  // Approaching from above: linear drain at p_load per tick while e > e_lo
+  // (the output clamp pins p_out at zero), then geometric inside the band.
+  if (e > e_lo) {
+    if (p_load <= 0.0) return kInf;  // the regulator cannot sink: pinned
+    const double step_e = p_load * dt_ref;
+    const double goal = std::max(e_lo, e_band_hi);
+    const double k1 = std::max(0.0, std::ceil((e - goal) / step_e - 1e-9));
+    e -= k1 * step_e;
+    ticks += k1;
+    if (e <= e_band_hi) return ticks * dt_ref;
+  }
+  const double gap = e - e_t;
+  const double gap_goal = e_band_hi - e_t;
+  if (gap <= gap_goal) return ticks * dt_ref;
+  if (gap_goal <= 0.0) return kInf;
+  const double k2 = std::ceil(std::log(gap_goal / gap) / std::log(rho) - 1e-9);
+  return (ticks + std::max(k2, 1.0)) * dt_ref;
 }
 
 double integrate_solar(const IvSurface::Bound& iv, double c_solar, double& v_s,
@@ -275,11 +430,12 @@ double integrate_solar(const IvSurface::Bound& iv, double c_solar, double& v_s,
   double v1 = v0;
   double vm = v0;
   double i = 0.0;
+  IvSurface::Bound::RowCursor rc = iv.bind_row(g_mid);
   for (int iter = 0; iter < 40; ++iter) {
     vm = 0.5 * (v0 + v1);
     if (vm < 0.0) vm = 0.0;
     double didv = 0.0;
-    i = iv.cell_i(vm, g_mid, &didv);
+    i = iv.cell_i_row(vm, rc, &didv);
     const double F =
         0.5 * c_solar * (v1 * v1 - v0 * v0) - dt * (vm * i - p_in);
     double dF = c_solar * v1 - dt * 0.5 * (i + vm * didv);
@@ -291,6 +447,54 @@ double integrate_solar(const IvSurface::Bound& iv, double c_solar, double& v_s,
   if (v1 < 0.0) v1 = 0.0;
   v_s = v1;
   return vm * i;
+}
+
+void integrate_solar_lane(const IvSurface::Bound* iv, const double* c_solar,
+                          double* v_s, const double* dt, const double* g_mid,
+                          const double* p_in, double* p_avg, int n) {
+  // Mirrors integrate_solar op for op: each element runs the same safeguarded
+  // implicit-midpoint Newton, but instead of breaking out on convergence it
+  // freezes (stops updating) while the rest of the lane finishes.  A frozen
+  // element's state never changes again, so the per-element results are
+  // bit-identical to n scalar calls — lane batching is a pure layout change.
+  double v0[kSolarLaneWidth], v1[kSolarLaneWidth], vm[kSolarLaneWidth];
+  double cur[kSolarLaneWidth];
+  bool done[kSolarLaneWidth];
+  IvSurface::Bound::RowCursor rc[kSolarLaneWidth];
+  for (int j = 0; j < n; ++j) {
+    v0[j] = v_s[j];
+    v1[j] = v0[j];
+    vm[j] = v0[j];
+    cur[j] = 0.0;
+    done[j] = false;
+    rc[j] = iv[j].bind_row(g_mid[j]);
+  }
+  for (int iter = 0; iter < 40; ++iter) {
+    bool any = false;
+    for (int j = 0; j < n; ++j) any = any || !done[j];
+    if (!any) break;
+    for (int j = 0; j < n; ++j) {
+      if (done[j]) continue;
+      double m = 0.5 * (v0[j] + v1[j]);
+      if (m < 0.0) m = 0.0;
+      vm[j] = m;
+      double didv = 0.0;
+      const double i = iv[j].cell_i_row(m, rc[j], &didv);
+      cur[j] = i;
+      const double F = 0.5 * c_solar[j] * (v1[j] * v1[j] - v0[j] * v0[j]) -
+                       dt[j] * (m * i - p_in[j]);
+      double dF = c_solar[j] * v1[j] - dt[j] * 0.5 * (i + m * didv);
+      if (dF < 1e-12) dF = 1e-12;
+      const double step = F / dF;
+      v1[j] -= step;
+      if (std::fabs(step) < 1e-10) done[j] = true;
+    }
+  }
+  for (int j = 0; j < n; ++j) {
+    if (v1[j] < 0.0) v1[j] = 0.0;
+    v_s[j] = v1[j];
+    p_avg[j] = vm[j] * cur[j];
+  }
 }
 
 BypassStepResult integrate_bypass_merged(const IvSurface::Bound& iv,
@@ -316,11 +520,12 @@ BypassStepResult integrate_bypass_merged(const IvSurface::Bound& iv,
   double v1 = vbar0;
   double vm = vbar0;
   double i = 0.0;
+  IvSurface::Bound::RowCursor rc = iv.bind_row(g_mid);
   for (int iter = 0; iter < 40; ++iter) {
     vm = 0.5 * (vbar0 + v1);
     const double v_cell = std::max(vm + off_s, 0.0);
     double didv = 0.0;
-    i = iv.cell_i(v_cell, g_mid, &didv);
+    i = iv.cell_i_row(v_cell, rc, &didv);
     const double F = c_tot * (v1 - vbar0) - dt * (i - i_load);
     double dF = c_tot - dt * 0.5 * didv;
     if (dF < 1e-12) dF = 1e-12;
@@ -338,6 +543,81 @@ BypassStepResult integrate_bypass_merged(const IvSurface::Bound& iv,
 // Analytic watch bounds.
 // ---------------------------------------------------------------------------
 
+// How many v-grid cells the crossing-time walks inspect exactly before
+// closing the remainder with a single worst-case-rate term.  Stalls (the case
+// the walk exists for) reveal themselves within a few cells of the start.
+constexpr int kSolarWalkCells = 6;
+
+double solar_rise_dt(const IvSurface::Bound& iv, double c_eff, double v0,
+                     double v_to, double g, double i_opp, double dt_cap) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  if (v_to <= v0) return 0.0;
+  double t_acc = 0.0;
+  double x1 = v0;
+  double n1 = iv.cell_i(x1, g) - i_opp;
+  if (n1 <= 0.0) return kInf;  // not rising at the start: no upward crossing
+  // The initial rate is the maximum anywhere on an upward path (photocurrent
+  // is non-increasing in v), so when even the full distance at that rate
+  // takes longer than the cap the walk cannot bind — skip it.  Identical
+  // return to the full walk, which would accumulate >= this and cap out.
+  if (c_eff * (v_to - x1) / n1 >= dt_cap) return dt_cap;
+  for (int cells = 0; x1 < v_to; ++cells) {
+    if (cells >= kSolarWalkCells) {
+      // Photocurrent is monotone non-increasing in v, so the net rate beyond
+      // this point never exceeds n1: one conservative term closes the
+      // remainder.  The walk only matters near a stall, which shows up in
+      // the first few cells; a long fast charge is fine with the crude tail.
+      return std::min(t_acc + c_eff * (v_to - x1) / n1, dt_cap);
+    }
+    // Next v-grid boundary strictly above x1 (uniform pitch iv.dv); i is
+    // linear in v on the segment, so charging the cell at its *fastest* rate
+    // max(n1, n2) lower-bounds the crossing time.  A watch bound only needs
+    // that direction of error, and skipping the exact log integral keeps the
+    // walk to one surface lookup per cell.
+    const double k = std::floor(x1 / iv.dv + 1e-9) + 1.0;
+    const double x2 = std::min(v_to, k * iv.dv);
+    const double n2 = iv.cell_i(x2, g) - i_opp;
+    if (n2 <= 0.0) return kInf;  // stalls at an in-cell equilibrium
+    t_acc += c_eff * (x2 - x1) / std::max(n1, n2);
+    if (t_acc >= dt_cap) return dt_cap;
+    x1 = x2;
+    n1 = n2;
+  }
+  return t_acc;
+}
+
+double solar_fall_dt(const IvSurface::Bound& iv, double c_eff, double v0,
+                     double v_to, double g, double i_drv, double dt_cap) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  if (v_to >= v0) return 0.0;
+  double t_acc = 0.0;
+  double x1 = v0;
+  double n1 = i_drv - iv.cell_i(x1, g);  // net discharge, > 0 while falling
+  if (n1 <= 0.0) return kInf;  // photocurrent holds the node up
+  // Falling raises the photocurrent opposition, so the initial rate bounds
+  // the whole path: if the full distance at that rate already exceeds the
+  // cap, the walk cannot bind (same early-out as solar_rise_dt).
+  if (c_eff * (x1 - v_to) / n1 >= dt_cap) return dt_cap;
+  for (int cells = 0; x1 > v_to; ++cells) {
+    if (cells >= kSolarWalkCells) {
+      // Falling v raises the photocurrent opposition, so the net rate beyond
+      // this point never exceeds n1 — same tail closure as solar_rise_dt.
+      return std::min(t_acc + c_eff * (x1 - v_to) / n1, dt_cap);
+    }
+    // Same cheap per-cell bound as solar_rise_dt: discharge the cell at its
+    // fastest in-cell rate, a lower bound on the true crossing time.
+    const double k = std::ceil(x1 / iv.dv - 1e-9) - 1.0;
+    const double x2 = std::max(v_to, k * iv.dv);
+    const double n2 = i_drv - iv.cell_i(x2, g);
+    if (n2 <= 0.0) return kInf;  // parks at an in-cell equilibrium
+    t_acc += c_eff * (x1 - x2) / std::max(n1, n2);
+    if (t_acc >= dt_cap) return dt_cap;
+    x1 = x2;
+    n1 = n2;
+  }
+  return t_acc;
+}
+
 double watch_bound_dt(const WatchBoundIn& in, const WatchAccum& ws,
                       const WatchAccum& wd) {
   double dt = in.dt;
@@ -353,10 +633,23 @@ double watch_bound_dt(const WatchBoundIn& in, const WatchAccum& ws,
   // moves either node spreads over the merged capacitance.
   const double c_sol_eff = in.conducting ? in.c_solar + in.c_vdd : in.c_solar;
   const double c_rail_eff = in.conducting ? in.c_solar + in.c_vdd : in.c_vdd;
-  // Solar node, upward crossings: only photocurrent charges the node, and it
-  // can never exceed its value at the present (lowest-on-path) voltage.
-  if (std::isfinite(ws.up) && in.i_pv_now > 0.0) {
-    dt = std::min(dt, c_sol_eff * up_s / in.i_pv_now);
+  // Solar node, upward crossings: only photocurrent charges the node.  With
+  // the IV surface at hand, walk the per-cell crossing time of
+  // the frozen-input dynamics (photocurrent falls along an upward path, so
+  // freezing it at the initial value — the fallback — badly underestimates
+  // the crossing time near the diode knee).  The merged bypass node also
+  // fights the processor draw; p_load / v_level under-states that draw
+  // everywhere on the path, keeping the bound valid.
+  if (std::isfinite(ws.up)) {
+    if (in.iv != nullptr) {
+      const double v_to = in.v_s + up_s;
+      const double i_opp =
+          in.conducting ? in.p_load / std::max(v_to, in.v_floor) : 0.0;
+      dt = std::min(dt, solar_rise_dt(*in.iv, c_sol_eff, in.v_s, v_to,
+                                      in.g_hi, i_opp, dt));
+    } else if (in.i_pv_now > 0.0) {
+      dt = std::min(dt, c_sol_eff * up_s / in.i_pv_now);
+    }
   }
   // Solar node, downward crossings: only the source-side draw discharges it
   // (p_in = (p_out + fixed loss)/eta_lin grows monotonically with p_out, and
@@ -376,9 +669,21 @@ double watch_bound_dt(const WatchBoundIn& in, const WatchAccum& ws,
         i_bound = p_in_bound / std::max(in.v_s - ws.down, in.v_floor);
       }
     } else if (!in.regulated) {
-      i_bound = in.p_load / std::max(in.v_d, in.v_floor);
+      i_bound = in.p_load / std::max(in.conducting ? in.v_s - ws.down : in.v_d,
+                                     in.v_floor);
     }
-    if (i_bound > 0.0) dt = std::min(dt, c_sol_eff * dn_s / i_bound);
+    if (i_bound > 0.0) {
+      if (in.iv != nullptr) {
+        // Exact fall integral: the photocurrent *opposes* the discharge and
+        // grows as the node falls, so a node harvesting near its draw parks
+        // instead of grinding bound-limited steps toward a level it will
+        // never cross.
+        dt = std::min(dt, solar_fall_dt(*in.iv, c_sol_eff, in.v_s,
+                                        in.v_s - dn_s, in.g_lo, i_bound, dt));
+      } else {
+        dt = std::min(dt, c_sol_eff * dn_s / i_bound);
+      }
+    }
   }
   if (in.regulated) {
     // Regulated rail: the step integrator follows the exact discrete map
@@ -408,8 +713,17 @@ double watch_bound_dt(const WatchBoundIn& in, const WatchAccum& ws,
     // Bypass rail: only the conducting switch can charge it (at most the
     // photocurrent bound; a detached rail cannot rise), and only the
     // processor load can discharge it.
-    if (std::isfinite(wd.up) && in.conducting && in.i_pv_now > 0.0) {
-      dt = std::min(dt, c_rail_eff * (wd.up + in.half_hyst) / in.i_pv_now);
+    if (std::isfinite(wd.up) && in.conducting) {
+      const double v_to = in.v_d + wd.up + in.half_hyst;
+      if (in.iv != nullptr) {
+        // Integrate from v_d: the merged node sits at or above it, and the
+        // photocurrent only falls with voltage, so this is conservative.
+        const double i_opp = in.p_load / std::max(v_to, in.v_floor);
+        dt = std::min(dt, solar_rise_dt(*in.iv, c_rail_eff, in.v_d, v_to,
+                                        in.g_hi, i_opp, dt));
+      } else if (in.i_pv_now > 0.0) {
+        dt = std::min(dt, c_rail_eff * (wd.up + in.half_hyst) / in.i_pv_now);
+      }
     }
     if (std::isfinite(wd.down) && in.p_load > 0.0) {
       const double i_bound =

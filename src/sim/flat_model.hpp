@@ -51,10 +51,22 @@ namespace hemp::flat {
 // Event-stepping knob defaults shared by both engines (see DESIGN.md).
 // ---------------------------------------------------------------------------
 
-inline constexpr double kDtMax = 250e-6;      ///< hard ceiling on one step
+/// Hard ceiling on one step.  1 ms is safe only because every *accuracy*
+/// limit is enforced by its own bound (rail settle episodes, bypass swing
+/// cap, watch bounds, knot-exact trace stepping): the ceiling is a backstop,
+/// not the accuracy mechanism.  The naive raise without those bounds breaks
+/// the modal-equivalence suites — see DESIGN.md 6h.
+inline constexpr double kDtMax = 1e-3;
+/// Accuracy ceiling on every step the processor clock is running: f_eff and
+/// p_load are frozen over a step, so long running steps integrate stale
+/// load power.  Applied to *all* can_run steps — an experiment letting
+/// regulated in-band rails coast at kDtMax (the rail sits at the tick map's
+/// fixed point there) drifted cycle counts past the modal-equivalence
+/// tolerances and was reverted; only gated/halted nodes coast at kDtMax.
+inline constexpr double kRunDtCap = 250e-6;
 inline constexpr double kRailBand = 2e-3;     ///< |v_dd - target| band that ...
 inline constexpr double kRailSettleFactor = 2.0;  ///< ... caps dt at this * tau
-inline constexpr double kBypassDvCap = 4e-3;  ///< max rail swing/step in bypass
+inline constexpr double kBypassDvCap = 16e-3;  ///< max rail swing/step in bypass
 inline constexpr double kVminHysteresis = 5e-3;  ///< re-enable band above Vmin
 inline constexpr double kWatchVFloor = 0.05;  ///< discharge-current bound floor
 inline constexpr double kWatchDeadband = 1e-3;  ///< keeps dt finite at
@@ -88,8 +100,9 @@ double pv_current(const FlatPv& pv, double v, double g, double& warm);  // unit-
 // ---------------------------------------------------------------------------
 
 /// Flattened switched-cap constants (ratios descending, as in the params).
+inline constexpr std::size_t kScMaxRatios = 8;
 struct FlatSc {
-  std::array<double, 8> ratios{};
+  std::array<double, kScMaxRatios> ratios{};
   std::size_t n_ratios = 0;
   double margin = 0.0;
   double control_power = 0.0;  // unit-lint: flattened kernel math on raw SI
@@ -185,6 +198,22 @@ struct FlatTrace {
   std::vector<double> ts;
   std::vector<double> gs;
 
+  /// Greedy knot dropping under an explicit absorbed-energy error budget.
+  ///
+  /// Repeatedly removes the knot whose removal perturbs the trace the least —
+  /// the triangle area |∫(chord - segments)| it spans with its neighbours —
+  /// until the *cumulative* removed area would exceed `eps` (in sun·seconds).
+  /// The total absorbed-irradiance error of the coarsened trace against the
+  /// original piecewise-linear integral is bounded by the sum of removed
+  /// areas, hence by `eps`.  The greedy removal order is data-determined and
+  /// independent of `eps` (larger budgets just remove a longer prefix of the
+  /// same sequence), so the surviving knot count is monotone non-increasing
+  /// in `eps`.  Sharp features survive on their own: dropping a breakpoint
+  /// shoulder stretches a steep ramp across a long interval, a huge area the
+  /// budget refuses long before it trims the cheap near-collinear knots of
+  /// the uniform grid.  Endpoints are always kept; `eps <= 0` is a no-op.
+  void coarsen(double eps);
+
   /// Linear interpolation with a monotone-biased cursor hint.
   [[nodiscard]] double at(double t, std::size_t& cur) const {
     if (constant) return g_const;
@@ -254,6 +283,50 @@ struct IvSurface {
       if (didv != nullptr) *didv = (i1 - i0) / dv;
       return i0 + (i1 - i0) * fx;
     }
+
+    /// Fixed-g row cursor for the Newton solves: within one implicit solve
+    /// the irradiance is constant and successive iterates almost always stay
+    /// inside one v-cell, so the eight grid loads and the g/scale blends can
+    /// be reused across iterations.  cell_i_row computes exactly the same
+    /// expressions as cell_i — results are bit-identical, the cursor is a
+    /// pure load-elision.
+    struct RowCursor {
+      std::size_t yi = 0;   ///< g-cell index (fixed for the solve)
+      double fy = 0.0;      ///< g-cell fraction
+      std::ptrdiff_t xi = -1;  ///< cached v-cell; -1 = nothing cached
+      double i0 = 0.0, i1 = 0.0;  ///< blended currents at the cell's v-knots
+    };
+
+    RowCursor bind_row(double g) const {
+      RowCursor rc;
+      double y = g / dg;
+      y = std::clamp(y, 0.0, static_cast<double>(g_knots - 1) - 1e-9);
+      rc.yi = static_cast<std::size_t>(y);
+      rc.fy = y - static_cast<double>(rc.yi);
+      return rc;
+    }
+
+    double cell_i_row(double v, RowCursor& rc, double* didv = nullptr) const {
+      double x = v / dv;
+      x = std::clamp(x, 0.0, static_cast<double>(v_knots - 1) - 1e-9);
+      const auto xi = static_cast<std::ptrdiff_t>(x);
+      const double fx = x - static_cast<double>(xi);
+      if (xi != rc.xi) {
+        const std::size_t a =
+            static_cast<std::size_t>(xi) * static_cast<std::size_t>(g_knots) +
+            rc.yi;
+        const std::size_t b = a + static_cast<std::size_t>(g_knots);
+        const double lo0 = lo[a] + (lo[a + 1] - lo[a]) * rc.fy;
+        const double lo1 = lo[b] + (lo[b + 1] - lo[b]) * rc.fy;
+        const double hi0 = hi[a] + (hi[a + 1] - hi[a]) * rc.fy;
+        const double hi1 = hi[b] + (hi[b + 1] - hi[b]) * rc.fy;
+        rc.xi = xi;
+        rc.i0 = lo0 + (hi0 - lo0) * w;
+        rc.i1 = lo1 + (hi1 - lo1) * w;
+      }
+      if (didv != nullptr) *didv = (rc.i1 - rc.i0) / dv;
+      return rc.i0 + (rc.i1 - rc.i0) * fx;
+    }
   };
 
   [[nodiscard]] Bound bind(double pv_scale) const;
@@ -321,11 +394,77 @@ MppSurface build_mpp_surface(const PvCellParams& base, double s_lo, double s_hi,
 double rail_regulated_step(double e_0, double e_t, double dt, double dt_ref,
                            double tau, double p_load, double rated);
 
+/// Closed-form settle horizon of the same 3-regime map: the time (a whole
+/// number of reference ticks) after which the rail energy, starting from
+/// `e_0`, first lands inside [e_band_lo, e_band_hi] around the effective
+/// target `e_t` — i.e. when the settle transient is over.  Returns infinity
+/// when the map can never reach the band: draining with zero load pins the
+/// rail (the regulator cannot sink), and a zero-width ramp (rated == p_load)
+/// pins it below.  A ramp tick can jump clean across a narrow band; the
+/// returned time is then the tick that first reaches-or-crosses it, after
+/// which the rail either sits inside the band or is pinned just past it —
+/// in both cases the settle episode is over.  Both engines use this to take
+/// one step to the episode endpoint instead of grinding capped micro-steps
+/// through (or worse, *at*) a transient the map already solves exactly.
+double rail_settle_dt(double e_0, double e_t, double dt_ref, double tau,
+                      double p_load, double rated, double e_band_lo,
+                      double e_band_hi);
+
+/// Per-regime decomposition of one rail_regulated_step advance, for energy
+/// accounting across a long settle episode.  The regulator output power is
+/// piecewise simple over the step — pinned at `rated` on the ramp, pinned at
+/// zero on the drain, and decaying from the regime boundary inside the
+/// mid-band — so a caller that prices conversion losses (eta depends on
+/// p_out) can integrate each regime under its own efficiency point instead
+/// of smearing a rated-to-zero profile through one lookup.  Fields satisfy
+/// t_ramp + t_drain + t_decay == dt and e_decay_0 is the rail energy
+/// entering the geometric phase (== e_end when t_decay is zero).
+struct RailEpisode {
+  double e_end = 0.0;
+  double t_ramp = 0.0;
+  double t_drain = 0.0;
+  double t_decay = 0.0;
+  double e_decay_0 = 0.0;
+};
+
+/// One-entry exact-key memo for the episode's rho^k geometric factor.  The
+/// decay ratio rho is a scenario constant and the tick count k repeats on
+/// steady stepping cadences, so most steps reuse the previous std::pow
+/// result; a key mismatch recomputes, keeping results bit-identical.
+struct PowMemo {
+  double base = -1.0;  ///< never matches a real rho in (0, 1)
+  double exp = -1.0;
+  double val = 1.0;
+};
+
+/// Same closed form as rail_regulated_step (bit-identical e_end), with the
+/// per-regime time split exposed.  `memo`, when given, caches the rho^k
+/// evaluation across calls.
+RailEpisode rail_regulated_episode(double e_0, double e_t, double dt,
+                                   double dt_ref, double tau, double p_load,
+                                   double rated, PowMemo* memo = nullptr);
+
 /// Advance the solar node by dt under a constant source-side draw `p_in`,
 /// harvesting from the cell at the midpoint irradiance (implicit midpoint on
 /// the stiff node).  Returns the average harvested power over the step.
 double integrate_solar(const IvSurface::Bound& iv, double c_solar, double& v_s,
                        double dt, double g_mid, double p_in);
+
+/// Lane width for the batched solar integrator (nodes sharing a trace step
+/// their independent Newton solves side by side through the IV surface).
+inline constexpr int kSolarLaneWidth = 8;
+
+/// Lane-batched integrate_solar: `n` independent solar nodes (n <=
+/// kSolarLaneWidth), each with its own surface view, capacitance, dt,
+/// midpoint irradiance, and draw, advanced together through a masked
+/// vectorizable Newton loop.  Per element the arithmetic is the *identical*
+/// sequence of operations integrate_solar performs — converged elements
+/// freeze instead of breaking out — so each v_s[j] / p_avg[j] is
+/// bit-identical to a scalar call, and lane batching can never perturb the
+/// fleet summary hash.
+void integrate_solar_lane(const IvSurface::Bound* iv, const double* c_solar,
+                          double* v_s, const double* dt, const double* g_mid,
+                          const double* p_in, double* p_avg, int n);
 
 /// One step of the conducting-bypass merged-node quasi-steady limit.  When
 /// the diode would block (i_r < 0) nothing is mutated and the caller should
@@ -380,7 +519,41 @@ struct WatchBoundIn {
   double tau = 0.0, dt_ref = 0.0;
   bool sc_ok = false;  ///< sc_supports(v_s, cmd_vdd)
   const FlatSc* sc = nullptr;
+  /// Optional IV surface view + step-max irradiance: lets the upward bounds
+  /// walk the per-cell crossing time (solar_rise_dt) instead of freezing
+  /// the photocurrent at its initial (highest-on-path) value.
+  const IvSurface::Bound* iv = nullptr;
+  double g_hi = 0.0;
+  double g_lo = 0.0;  ///< step-min irradiance (for downward crossings)
 };
+
+/// First-crossing-time lower bound for an upward path: the time for a node
+/// of capacitance `c_eff` at `v0` to reach `v_to` when charged by the
+/// surface current i(v, g) against a constant opposing draw `i_opp`,
+/// following C dv/dt = i(v, g) - i_opp.  i is piecewise-linear in v
+/// (bilinear surface at fixed g); each v-grid cell is charged at its
+/// fastest in-cell rate — a conservative bound that costs one surface
+/// lookup per cell instead of the exact log integral — and after a few
+/// cells a single worst-case-rate term closes the remainder (stalls, the
+/// case the walk exists for, reveal themselves near the start).  Returns
+/// +inf when the net current stalls before `v_to` (the path converges to an
+/// equilibrium below the level), and caps the walk at `dt_cap` — callers
+/// min() the result anyway, so when even the initial (path-max) rate cannot
+/// cover the distance inside the cap the walk early-outs to `dt_cap`.
+/// Because i is decreasing in v and increasing in g, evaluating at the
+/// step-max irradiance and a path-min opposing draw keeps the result a
+/// valid lower bound on the true crossing time.
+double solar_rise_dt(const IvSurface::Bound& iv, double c_eff, double v0,
+                     double v_to, double g, double i_opp, double dt_cap);
+
+/// Downward twin of solar_rise_dt: time to fall from `v0` to `v_to` under a
+/// constant discharging draw `i_drv` opposed by the surface photocurrent
+/// i(v, g), following C dv/dt = i(v, g) - i_drv.  Evaluating at the
+/// step-min irradiance and a path-max draw keeps the result a valid lower
+/// bound on the true crossing time; returns +inf when the photocurrent
+/// balances the draw before `v_to` (the node parks at an equilibrium).
+double solar_fall_dt(const IvSurface::Bound& iv, double c_eff, double v0,
+                     double v_to, double g, double i_drv, double dt_cap);
 
 /// Tighten `in.dt` by the analytic no-late-detection bounds
 /// dt <= C * dist / i_max for both nodes.  Within a step every voltage is

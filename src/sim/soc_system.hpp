@@ -60,6 +60,12 @@ struct SocConfig {
   /// on, when the regulator is not the on-chip switched-cap converter, or when
   /// the controller declines to bound its next state change (see SocStepHint).
   bool fast_path = false;
+  /// Knot-coarsening budget for the fast path's flattened trace: the
+  /// absorbed-irradiance error allowed per simulated second (sun fraction;
+  /// the per-run budget handed to flat::FlatTrace::coarsen is this times the
+  /// run length).  Zero keeps every flattened knot.  Only the fast path reads
+  /// it — the dense reference loop samples the exact profile.
+  double trace_coarsen_eps = 1e-3;  // unit-lint: dimensionless sun fraction
 
   void validate() const;
 };

@@ -37,6 +37,7 @@ min_energy_fraction = 0.5
 job_cycles = 1e6
 job_period_ms = 20
 job_deadline_ms = 5
+trace_coarsen_eps = 2.5e-3
 )");
   EXPECT_EQ(s.name, "smoke");
   EXPECT_EQ(s.nodes, 12);
@@ -55,6 +56,18 @@ job_deadline_ms = 5
   EXPECT_DOUBLE_EQ(s.job_cycles, 1e6);
   EXPECT_DOUBLE_EQ(s.job_period.value(), 0.02);
   EXPECT_DOUBLE_EQ(s.job_deadline.value(), 0.005);
+  EXPECT_DOUBLE_EQ(s.trace_coarsen_eps, 2.5e-3);
+}
+
+TEST(FleetScenario, CoarsenEpsDefaultsOnAndRejectsNegative) {
+  EXPECT_DOUBLE_EQ(FleetScenario{}.trace_coarsen_eps, 1e-3);
+
+  FleetScenario off = FleetScenario::from_string("trace_coarsen_eps = 0\n");
+  EXPECT_NO_THROW(off.validate());
+
+  FleetScenario bad;
+  bad.trace_coarsen_eps = -1e-6;
+  EXPECT_THROW(bad.validate(), ModelError);
 }
 
 TEST(FleetScenario, UnknownKeyThrows) {

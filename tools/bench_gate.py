@@ -15,6 +15,11 @@ microbench harness writes ({"suites": [{"suite": ..., "derived": {...}}]}).
 A metric listed in the baseline but absent from the bench document fails the
 gate — silently dropping a tracked metric is itself a regression.
 
+A band may set "requires_threads": true for thread-scaling ratios
+(parallel_sweep_speedup, fleet_parallel_speedup): when the owning suite
+reports thread_pool_size <= 1 — a single-core CI runner, where parallel ==
+serial by construction — the band is skipped instead of failed.
+
 Bands are deliberately loose: they catch order-of-magnitude regressions
 (a surface cache silently falling back to exact solves, the batch kernel
 degenerating to reference-tick stepping) while staying robust to CI machine
@@ -66,6 +71,13 @@ def main():
     failures = []
     for key, band in sorted(metrics.items()):
         value = bench.get(key)
+        if band.get("requires_threads"):
+            suite = key.rsplit(".", 1)[0]
+            pool = bench.get(f"{suite}.thread_pool_size")
+            if pool is not None and pool <= 1:
+                print(f"  skip {key}: thread_pool_size={pool:g} "
+                      "(thread-scaling band needs >1 worker)")
+                continue
         if value is None:
             failures.append(f"{key}: missing from {args.bench}")
             continue

@@ -1,7 +1,8 @@
 // fleetsim: run a fleet scenario and write its aggregate report.
 //
 //   fleetsim <scenario.scn> [--kernel batch|reference] [--policy NAME]
-//            [--nodes N] [--seed S] [--serial] [--out DIR] [--no-files]
+//            [--nodes N] [--seed S] [--coarsen-eps E] [--serial]
+//            [--out DIR] [--no-files]
 //
 // Loads the scenario description, simulates the fleet (parallel by default,
 // `--serial` for the single-threaded loop; both orders are bit-identical),
@@ -27,9 +28,13 @@ namespace {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <scenario.scn> [--kernel batch|reference]\n"
-               "          [--policy NAME] [--nodes N] [--seed S] [--serial]\n"
-               "          [--out DIR] [--no-files]\n"
+               "          [--policy NAME] [--nodes N] [--seed S]\n"
+               "          [--coarsen-eps E] [--serial] [--out DIR] "
+               "[--no-files]\n"
                "\n"
+               "--coarsen-eps overrides the scenario's trace_coarsen_eps\n"
+               "(irradiance-trace knot-dropping budget as a day-integral\n"
+               "fraction; 0 disables coarsening).\n"
                "--policy forces every node onto one registered energy policy\n"
                "(overrides the scenario's min_energy mix / policy key):\n",
                argv0);
@@ -62,6 +67,7 @@ int main(int argc, char** argv) {
   bool use_batch = false;
   int override_nodes = -1;
   long long override_seed = -1;
+  double override_coarsen_eps = -1.0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -92,6 +98,12 @@ int main(int argc, char** argv) {
       override_nodes = std::atoi(next("--nodes"));
     } else if (arg == "--seed") {
       override_seed = std::atoll(next("--seed"));
+    } else if (arg == "--coarsen-eps") {
+      override_coarsen_eps = std::atof(next("--coarsen-eps"));
+      if (override_coarsen_eps < 0.0) {
+        std::fprintf(stderr, "fleetsim: --coarsen-eps must be >= 0\n");
+        return 2;
+      }
     } else if (arg == "--out") {
       out_dir = next("--out");
     } else if (arg == "--help" || arg == "-h") {
@@ -118,6 +130,9 @@ int main(int argc, char** argv) {
     if (override_nodes > 0) scenario.nodes = override_nodes;
     if (override_seed >= 0) {
       scenario.seed = static_cast<std::uint64_t>(override_seed);
+    }
+    if (override_coarsen_eps >= 0.0) {
+      scenario.trace_coarsen_eps = override_coarsen_eps;
     }
     if (!forced_policy.empty()) {
       // Resolve eagerly so a typo reports the registry's names, not a
